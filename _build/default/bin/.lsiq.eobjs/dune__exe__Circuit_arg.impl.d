@@ -1,0 +1,1 @@
+bin/circuit_arg.ml: Circuit Cmdliner Format Printf Sys

@@ -1,0 +1,1 @@
+bin/lsiq.ml: Arg Array Circuit Circuit_arg Cmd Cmdliner Experiments Fab Faults Format Fsim List Printf Quality Report Stats Term Tpg

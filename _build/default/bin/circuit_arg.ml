@@ -1,0 +1,21 @@
+(* Shared circuit-selection argument for the CLI: a builtin generator
+   spec (see {!Circuit.Generators.of_spec}) or a path to a .bench file. *)
+
+let parse spec =
+  if Sys.file_exists spec && not (Sys.is_directory spec) then
+    Circuit.Bench_format.parse_file spec
+  else Circuit.Generators.of_spec spec
+
+let conv =
+  let parser s =
+    match parse s with
+    | c -> Ok c
+    | exception Failure message -> Error (`Msg message)
+    | exception Invalid_argument message -> Error (`Msg message)
+    | exception Circuit.Bench_format.Parse_error { line; message } ->
+      Error (`Msg (Printf.sprintf "parse error at line %d: %s" line message))
+  in
+  let printer ppf (c : Circuit.Netlist.t) =
+    Format.pp_print_string ppf c.Circuit.Netlist.name
+  in
+  Cmdliner.Arg.conv (parser, printer)

@@ -1,0 +1,475 @@
+(* lsiq - LSI product quality and fault coverage toolkit.
+
+   Command-line front end over the reproduction libraries: the paper's
+   model (reject rates, coverage requirements, n0 estimation) plus the
+   substrate (fault simulation, ATPG, lot simulation). *)
+
+open Cmdliner
+
+(* --------------------------- common args --------------------------- *)
+
+let yield_arg =
+  let doc = "Process yield y (probability a chip is fault-free)." in
+  Arg.(required & opt (some float) None & info [ "y"; "yield" ] ~docv:"Y" ~doc)
+
+let n0_arg =
+  let doc = "Average number of faults on a defective chip (n0 >= 1)." in
+  Arg.(value & opt float 8.0 & info [ "n0" ] ~docv:"N0" ~doc)
+
+let reject_arg =
+  let doc = "Target field reject rate, e.g. 0.001 for 1-in-1000." in
+  Arg.(value & opt float 0.001 & info [ "r"; "reject" ] ~docv:"R" ~doc)
+
+let seed_arg =
+  let doc = "Random seed (all simulations are deterministic in it)." in
+  Arg.(value & opt int 1981 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let circuit_arg =
+  let doc =
+    "Circuit: builtin spec (c17, rca:N, mul:N, alu:N, parity:N, mux:K, dec:N, \
+     cmp:N, lsi:S, rand:i,g,o,seed) or a .bench file path."
+  in
+  Arg.(value & opt Circuit_arg.conv (Circuit.Generators.c17 ()) &
+       info [ "c"; "circuit" ] ~docv:"CIRCUIT" ~doc)
+
+(* --------------------------- reject-rate --------------------------- *)
+
+let reject_rate_cmd =
+  let coverage =
+    Arg.(required & opt (some float) None & info [ "f"; "coverage" ] ~docv:"F"
+           ~doc:"Fault coverage of the test set, in [0,1].")
+  in
+  let action y n0 f =
+    Printf.printf "field reject rate  r(f) = %.6f\n"
+      (Quality.Reject.reject_rate ~yield_:y ~n0 f);
+    Printf.printf "bad-chips-passing  Ybg  = %.6f\n" (Quality.Reject.ybg ~yield_:y ~n0 f);
+    Printf.printf "fraction rejected  P(f) = %.6f\n"
+      (Quality.Reject.p_reject ~yield_:y ~n0 f);
+    Printf.printf "baseline (Wadsack) r    = %.6f\n"
+      (Quality.Wadsack.reject_rate ~yield_:y f)
+  in
+  let doc = "Field reject rate for a given coverage (paper Eq. 7-9)." in
+  Cmd.v (Cmd.info "reject-rate" ~doc)
+    Term.(const action $ yield_arg $ n0_arg $ coverage)
+
+(* ------------------------ required-coverage ------------------------ *)
+
+let required_coverage_cmd =
+  let action y n0 reject =
+    (match Quality.Requirement.required_coverage ~yield_:y ~n0 ~reject with
+    | Some f -> Printf.printf "required coverage (this model): %.4f\n" f
+    | None -> print_endline "required coverage (this model): unreachable");
+    (match Quality.Wadsack.required_coverage ~yield_:y ~reject with
+    | Some f -> Printf.printf "required coverage (Wadsack):    %.4f\n" f
+    | None -> print_endline "required coverage (Wadsack):    unreachable");
+    match Quality.Williams_brown.required_coverage ~yield_:y ~defect_level:reject with
+    | Some f -> Printf.printf "required coverage (Williams-Brown): %.4f\n" f
+    | None -> print_endline "required coverage (Williams-Brown): n/a"
+  in
+  let doc = "Coverage needed for a target reject rate (paper Eq. 8/11, Figs. 2-4)." in
+  Cmd.v (Cmd.info "required-coverage" ~doc)
+    Term.(const action $ yield_arg $ n0_arg $ reject_arg)
+
+(* --------------------------- estimate-n0 --------------------------- *)
+
+let estimate_cmd =
+  let data =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"CSV"
+           ~doc:"CSV file with two columns: coverage (0..1), fraction failed.")
+  in
+  let yield_opt =
+    Arg.(value & opt (some float) None & info [ "y"; "yield" ] ~docv:"Y"
+           ~doc:"Known process yield; when omitted, jointly estimated.")
+  in
+  let action path yield_opt =
+    let ic = open_in path in
+    let text = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    let points =
+      Report.Csv.parse text
+      |> List.filter_map (fun row ->
+             match row with
+             | [ a; b ] ->
+               (match (float_of_string_opt a, float_of_string_opt b) with
+               | Some coverage, Some fraction_failed ->
+                 Some { Quality.Estimate.coverage; fraction_failed }
+               | _ -> None (* header or malformed row *))
+             | _ -> None)
+    in
+    if points = [] then failwith "no (coverage, fraction) rows found";
+    (match yield_opt with
+    | Some y ->
+      let n0, residual = Quality.Estimate.fit_n0 ~yield_:y points in
+      Printf.printf "least-squares fit: n0 = %.2f (residual %.3g)\n" n0 residual;
+      Printf.printf "slope estimate:    n0 = %.2f (P'(0) = %.2f)\n"
+        (Quality.Estimate.slope_n0 ~yield_:y points)
+        (Quality.Estimate.slope_nav points)
+    | None ->
+      let n0, y, residual = Quality.Estimate.fit_n0_and_yield points in
+      Printf.printf "joint fit: n0 = %.2f, yield = %.3f (residual %.3g)\n" n0 y residual;
+      Printf.printf "slope estimate (yield-free, pessimistic): n0 ~ %.2f\n"
+        (Quality.Estimate.slope_nav points))
+  in
+  let doc = "Estimate n0 from wafer-test data (paper Section 5)." in
+  Cmd.v (Cmd.info "estimate-n0" ~doc) Term.(const action $ data $ yield_opt)
+
+(* --------------------------- simulate-lot -------------------------- *)
+
+let simulate_lot_cmd =
+  let scale =
+    Arg.(value & opt int 6 & info [ "scale" ] ~docv:"S" ~doc:"lsi_chip scale.")
+  in
+  let chips =
+    Arg.(value & opt int 277 & info [ "chips" ] ~docv:"N" ~doc:"Lot size.")
+  in
+  let target_yield =
+    Arg.(value & opt float 0.07 & info [ "target-yield" ] ~docv:"Y"
+           ~doc:"Process yield to calibrate the line to.")
+  in
+  let clustered =
+    Arg.(value & flag & info [ "clustered" ]
+           ~doc:"Use the physical clustered-defect line instead of the ideal \
+                 Eq. 1 line.")
+  in
+  let action scale chips target_yield n0 clustered seed =
+    let config =
+      { Experiments.Pipeline.default_config with
+        Experiments.Pipeline.scale; lot_size = chips; target_yield;
+        target_n0 = n0; seed;
+        line = (if clustered then Experiments.Pipeline.Clustered
+                else Experiments.Pipeline.Ideal) }
+    in
+    let run = Experiments.Pipeline.execute config in
+    print_string (Experiments.Pipeline.summary run);
+    print_newline ();
+    print_string (Experiments.Table1.render ~run ())
+  in
+  let doc = "Simulate a chip lot end-to-end and print its Table-1 analogue." in
+  Cmd.v (Cmd.info "simulate-lot" ~doc)
+    Term.(const action $ scale $ chips $ target_yield $ n0_arg $ clustered $ seed_arg)
+
+(* ------------------------------ fsim ------------------------------- *)
+
+let fsim_cmd =
+  let patterns =
+    Arg.(value & opt int 256 & info [ "n"; "patterns" ] ~docv:"N"
+           ~doc:"Number of random patterns to grade.")
+  in
+  let engine =
+    Arg.(value & opt (enum [ ("serial", Fsim.Coverage.Serial);
+                             ("ppsfp", Fsim.Coverage.Parallel);
+                             ("deductive", Fsim.Coverage.Deductive);
+                             ("concurrent", Fsim.Coverage.Concurrent) ])
+           Fsim.Coverage.Parallel
+         & info [ "engine" ] ~docv:"ENGINE" ~doc:"serial, ppsfp, deductive or concurrent.")
+  in
+  let action circuit count engine seed =
+    let rng = Stats.Rng.create ~seed () in
+    let universe = Faults.Universe.all circuit in
+    let classes = Faults.Collapse.equivalence circuit universe in
+    let reps = Faults.Collapse.representatives classes in
+    let patterns = Tpg.Random_tpg.uniform rng circuit ~count in
+    let profile = Fsim.Coverage.profile ~engine circuit reps patterns in
+    Format.printf "%a@." Circuit.Netlist.pp_summary circuit;
+    Printf.printf "universe: %d faults (%d after collapsing, ratio %.2f)\n"
+      (Array.length universe) (Array.length reps)
+      (Faults.Collapse.collapse_ratio classes);
+    Printf.printf "patterns: %d random\n" count;
+    Printf.printf "coverage: %.2f%% (%d detected, %d undetected)\n"
+      (100.0 *. Fsim.Coverage.final_coverage profile)
+      (Fsim.Coverage.detected_count profile)
+      (Array.length reps - Fsim.Coverage.detected_count profile);
+    let curve = Fsim.Coverage.curve profile in
+    let step = max 1 (Array.length curve / 16) in
+    Array.iteri
+      (fun i (k, f) ->
+        if i mod step = 0 || i = Array.length curve - 1 then
+          Printf.printf "  after %5d patterns: %.2f%%\n" k (100.0 *. f))
+      curve
+  in
+  let doc = "Fault-simulate random patterns and print the coverage curve." in
+  Cmd.v (Cmd.info "fsim" ~doc)
+    Term.(const action $ circuit_arg $ patterns $ engine $ seed_arg)
+
+(* ------------------------------ atpg ------------------------------- *)
+
+let atpg_cmd =
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Write generated patterns (one 0/1 row per pattern) to FILE.")
+  in
+  let action circuit out seed =
+    let universe = Faults.Universe.all circuit in
+    let classes = Faults.Collapse.equivalence circuit universe in
+    let reps = Faults.Collapse.representatives classes in
+    let config = { Tpg.Atpg.default_config with Tpg.Atpg.seed } in
+    let report = Tpg.Atpg.run ~config circuit reps in
+    Format.printf "%a@." Circuit.Netlist.pp_summary circuit;
+    Printf.printf "faults: %d collapsed\n" (Array.length reps);
+    Printf.printf "patterns: %d (%d random + %d deterministic)\n"
+      (Array.length report.Tpg.Atpg.patterns) report.Tpg.Atpg.random_patterns
+      report.Tpg.Atpg.deterministic_patterns;
+    Printf.printf "coverage: %.2f%%\n" (100.0 *. Tpg.Atpg.coverage report);
+    Printf.printf "untestable (proved redundant): %d\n" report.Tpg.Atpg.untestable;
+    Printf.printf "aborted: %d\n" report.Tpg.Atpg.aborted;
+    match out with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      Array.iter
+        (fun pattern ->
+          Array.iter (fun b -> output_char oc (if b then '1' else '0')) pattern;
+          output_char oc '\n')
+        report.Tpg.Atpg.patterns;
+      close_out oc;
+      Printf.printf "patterns written to %s\n" path
+  in
+  let doc = "Generate a test set (random + PODEM) for a circuit." in
+  Cmd.v (Cmd.info "atpg" ~doc) Term.(const action $ circuit_arg $ out $ seed_arg)
+
+(* ------------------------------ convert ----------------------------- *)
+
+let convert_cmd =
+  let bench_out =
+    Arg.(value & opt (some string) None & info [ "bench" ] ~docv:"FILE"
+           ~doc:"Write the netlist in .bench format.")
+  in
+  let verilog_out =
+    Arg.(value & opt (some string) None & info [ "verilog" ] ~docv:"FILE"
+           ~doc:"Write the netlist as structural Verilog.")
+  in
+  let action circuit bench_out verilog_out =
+    Format.printf "%a@." Circuit.Netlist.pp_summary circuit;
+    (match bench_out with
+    | Some path ->
+      Circuit.Bench_format.write_file path circuit;
+      Printf.printf "wrote %s\n" path
+    | None -> ());
+    match verilog_out with
+    | Some path ->
+      Circuit.Verilog.write_file path circuit;
+      Printf.printf "wrote %s\n" path
+    | None -> ()
+  in
+  let doc = "Convert a circuit between generator specs, .bench and Verilog." in
+  Cmd.v (Cmd.info "convert" ~doc)
+    Term.(const action $ circuit_arg $ bench_out $ verilog_out)
+
+(* ----------------------------- diagnose ----------------------------- *)
+
+let diagnose_cmd =
+  let patterns_count =
+    Arg.(value & opt int 128 & info [ "n"; "patterns" ] ~docv:"N"
+           ~doc:"Random patterns in the diagnostic program.")
+  in
+  let fault_index =
+    Arg.(value & opt (some int) None & info [ "inject" ] ~docv:"I"
+           ~doc:"Universe index of the fault to inject (default: random).")
+  in
+  let action circuit count fault_index seed =
+    let rng = Stats.Rng.create ~seed () in
+    let classes = Faults.Collapse.equivalence circuit (Faults.Universe.all circuit) in
+    let universe = Faults.Collapse.representatives classes in
+    let patterns = Tpg.Random_tpg.uniform rng circuit ~count in
+    let dictionary = Fsim.Diagnosis.build circuit universe patterns in
+    let distinguishable, total = Fsim.Diagnosis.distinguishable_pairs dictionary in
+    Printf.printf "dictionary: %d faults x %d patterns; resolution %d/%d pairs\n"
+      (Array.length universe) count distinguishable total;
+    let culprit =
+      match fault_index with
+      | Some i when i >= 0 && i < Array.length universe -> i
+      | Some _ -> failwith "fault index out of range"
+      | None -> Stats.Rng.int rng (Array.length universe)
+    in
+    Printf.printf "injected: %s\n"
+      (Faults.Fault.to_string circuit universe.(culprit));
+    let observation = Fsim.Diagnosis.observe circuit [| universe.(culprit) |] patterns in
+    Printf.printf "observed %d failing patterns\n" (List.length observation);
+    (match Fsim.Diagnosis.exact_matches dictionary observation with
+    | [] -> print_endline "no exact match (escaped or unmodeled)"
+    | matches ->
+      Printf.printf "exact matches:\n";
+      List.iter
+        (fun i ->
+          Printf.printf "  %s%s\n"
+            (Faults.Fault.to_string circuit universe.(i))
+            (if i = culprit then "  <- injected" else ""))
+        matches)
+  in
+  let doc = "Build a fault dictionary and diagnose an injected fault." in
+  Cmd.v (Cmd.info "diagnose" ~doc)
+    Term.(const action $ circuit_arg $ patterns_count $ fault_index $ seed_arg)
+
+(* ------------------------------ compact ----------------------------- *)
+
+let compact_cmd =
+  let action circuit seed =
+    let classes = Faults.Collapse.equivalence circuit (Faults.Universe.all circuit) in
+    let universe = Faults.Collapse.representatives classes in
+    let config = { Tpg.Atpg.default_config with Tpg.Atpg.seed } in
+    let report = Tpg.Atpg.run ~config circuit universe in
+    let original = Array.length report.Tpg.Atpg.patterns in
+    let reverse = Tpg.Compact.reverse_order circuit universe report.Tpg.Atpg.patterns in
+    let forward = Tpg.Compact.forward_order circuit universe report.Tpg.Atpg.patterns in
+    Printf.printf "original: %d patterns, coverage %.2f%%\n" original
+      (100.0 *. Tpg.Atpg.coverage report);
+    Printf.printf "reverse-order compaction: %d patterns (%.0f%%)\n"
+      (Array.length reverse.Tpg.Compact.kept)
+      (100.0 *. Tpg.Compact.compaction_ratio reverse);
+    Printf.printf "forward-order compaction: %d patterns (%.0f%%)\n"
+      (Array.length forward.Tpg.Compact.kept)
+      (100.0 *. Tpg.Compact.compaction_ratio forward)
+  in
+  let doc = "Generate a test set and statically compact it." in
+  Cmd.v (Cmd.info "compact" ~doc) Term.(const action $ circuit_arg $ seed_arg)
+
+(* ------------------------------ stafan ------------------------------ *)
+
+let stafan_cmd =
+  let patterns_count =
+    Arg.(value & opt int 128 & info [ "n"; "patterns" ] ~docv:"N"
+           ~doc:"Random patterns to analyze.")
+  in
+  let action circuit count seed =
+    let rng = Stats.Rng.create ~seed () in
+    let classes = Faults.Collapse.equivalence circuit (Faults.Universe.all circuit) in
+    let universe = Faults.Collapse.representatives classes in
+    let patterns = Tpg.Random_tpg.uniform rng circuit ~count in
+    let st = Fsim.Stafan.analyze circuit patterns in
+    let profile = Fsim.Coverage.profile circuit universe patterns in
+    Printf.printf "%-10s %-12s %-12s\n" "patterns" "actual" "STAFAN";
+    List.iter
+      (fun k ->
+        if k <= count then
+          Printf.printf "%-10d %-12.4f %-12.4f\n" k
+            (Fsim.Coverage.coverage_after profile k)
+            (Fsim.Stafan.expected_coverage st universe ~pattern_count:k))
+      [ 1; 2; 4; 8; 16; 32; 64; 128; 256; 512 ];
+    (* The ten hardest faults by SCOAP, with their STAFAN detection
+       probabilities. *)
+    let scoap = Tpg.Scoap.analyze circuit in
+    print_endline "\nhardest faults (SCOAP difficulty | STAFAN detection probability):";
+    List.iter
+      (fun (fault, difficulty) ->
+        Printf.printf "  %-20s %8d   %.6f\n"
+          (Faults.Fault.to_string circuit fault)
+          difficulty
+          (Fsim.Stafan.detection_probability st fault))
+      (Tpg.Scoap.hardest_faults scoap circuit universe ~count:10)
+  in
+  let doc = "Statistical fault analysis: coverage prediction without fault simulation." in
+  Cmd.v (Cmd.info "stafan" ~doc)
+    Term.(const action $ circuit_arg $ patterns_count $ seed_arg)
+
+(* ------------------------------ sample ------------------------------ *)
+
+let sample_cmd =
+  let patterns_count =
+    Arg.(value & opt int 128 & info [ "n"; "patterns" ] ~docv:"N" ~doc:"Patterns.")
+  in
+  let sample_size =
+    Arg.(value & opt int 500 & info [ "sample" ] ~docv:"K" ~doc:"Fault sample size.")
+  in
+  let action circuit count sample_size seed =
+    let rng = Stats.Rng.create ~seed () in
+    let classes = Faults.Collapse.equivalence circuit (Faults.Universe.all circuit) in
+    let universe = Faults.Collapse.representatives classes in
+    let patterns = Tpg.Random_tpg.uniform rng circuit ~count in
+    let est =
+      Fsim.Sampling.estimate_coverage rng circuit universe ~sample_size patterns
+    in
+    Printf.printf
+      "sampled coverage: %.4f +- %.4f (95%%: [%.4f, %.4f]) from %d of %d faults\n"
+      est.Fsim.Sampling.coverage est.Fsim.Sampling.std_error
+      est.Fsim.Sampling.lower_95 est.Fsim.Sampling.upper_95
+      est.Fsim.Sampling.sample_size est.Fsim.Sampling.universe_size;
+    let profile = Fsim.Coverage.profile circuit universe patterns in
+    Printf.printf "exact coverage:   %.4f\n" (Fsim.Coverage.final_coverage profile)
+  in
+  let doc = "Estimate fault coverage from a random fault sample (with CI)." in
+  Cmd.v (Cmd.info "sample-coverage" ~doc)
+    Term.(const action $ circuit_arg $ patterns_count $ sample_size $ seed_arg)
+
+(* --------------------------- experiments --------------------------- *)
+
+let experiments_cmd =
+  let target =
+    Arg.(value & pos 0 string "comparison" & info [] ~docv:"TARGET"
+           ~doc:"fig1 fig2 fig3 fig4 fig5 fig6 table1 comparison fineline \
+                 ablation economics drift.")
+  in
+  let action target =
+    let output =
+      match target with
+      | "fig1" -> Experiments.Fig1.render ()
+      | "fig2" -> Experiments.Fig2_3_4.render_figure ~name:"Fig.2" ~reject:0.01
+      | "fig3" -> Experiments.Fig2_3_4.render_figure ~name:"Fig.3" ~reject:0.005
+      | "fig4" -> Experiments.Fig2_3_4.render_figure ~name:"Fig.4" ~reject:0.001
+      | "fig5" ->
+        let run = Experiments.Pipeline.execute Experiments.Pipeline.default_config in
+        Experiments.Fig5.render ~run ()
+      | "fig6" -> Experiments.Fig6.render ()
+      | "table1" ->
+        let run = Experiments.Pipeline.execute Experiments.Pipeline.default_config in
+        Experiments.Table1.render ~run ()
+      | "comparison" -> Experiments.Comparison.render ()
+      | "fineline" -> Experiments.Fineline.render ()
+      | "ablation" -> Experiments.Ablation.render ()
+      | "economics" -> Experiments.Economics_study.render ()
+      | "drift" -> Experiments.Drift.render ()
+      | other -> Printf.sprintf "unknown experiment %S\n" other
+    in
+    print_string output
+  in
+  let doc = "Regenerate one of the paper's figures or tables." in
+  Cmd.v (Cmd.info "experiments" ~doc) Term.(const action $ target)
+
+(* ------------------------------ wafer ------------------------------ *)
+
+let wafer_cmd =
+  let diameter =
+    Arg.(value & opt int 25 & info [ "diameter" ] ~docv:"D" ~doc:"Wafer width in dies.")
+  in
+  let target_yield =
+    Arg.(value & opt float 0.5 & info [ "target-yield" ] ~docv:"Y"
+           ~doc:"Disc-average yield to calibrate to.")
+  in
+  let action diameter target_yield seed =
+    let rng = Stats.Rng.create ~seed () in
+    let yield_model =
+      Fab.Yield_model.create
+        ~defect_density:(Fab.Yield_model.solve_defect_density ~target_yield
+                           ~area:1.0 ~variance_ratio:0.25)
+        ~area:1.0 ~variance_ratio:0.25
+    in
+    let defect =
+      Fab.Defect.create ~yield_model ~fault_multiplicity:2.0 ~universe_size:1000 ()
+    in
+    let wafer = Fab.Wafer.fabricate defect rng ~diameter () in
+    print_string (Fab.Wafer.render_map wafer);
+    let lot = Fab.Wafer.to_lot wafer in
+    Printf.printf "dies: %d, yield: %.3f\n" (Fab.Lot.size lot)
+      (Fab.Lot.empirical_yield lot);
+    Array.iter
+      (fun (r, y) -> Printf.printf "  ring r=%.2f yield=%.3f\n" r y)
+      (Fab.Wafer.yield_by_ring wafer ~rings:5)
+  in
+  let doc = "Fabricate and render a simulated wafer map." in
+  Cmd.v (Cmd.info "wafer" ~doc) Term.(const action $ diameter $ target_yield $ seed_arg)
+
+(* ------------------------------- main ------------------------------ *)
+
+let () =
+  let doc =
+    "Reproduction of Agrawal, Seth & Agrawal, 'LSI Product Quality and Fault \
+     Coverage' (DAC 1981)."
+  in
+  let info = Cmd.info "lsiq" ~version:"1.0.0" ~doc in
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [ reject_rate_cmd; required_coverage_cmd; estimate_cmd;
+            simulate_lot_cmd; fsim_cmd; atpg_cmd; convert_cmd; diagnose_cmd;
+            compact_cmd;
+            stafan_cmd; sample_cmd; experiments_cmd; wafer_cmd ]))

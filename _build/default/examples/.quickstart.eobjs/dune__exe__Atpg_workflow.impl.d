@@ -1,0 +1,1 @@
+examples/atpg_workflow.ml: Array Circuit Faults Format Fsim List Printf Tpg

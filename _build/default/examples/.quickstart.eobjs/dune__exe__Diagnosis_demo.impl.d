@@ -1,0 +1,1 @@
+examples/diagnosis_demo.ml: Array Circuit Faults Format Fsim List Printf Stats Tpg

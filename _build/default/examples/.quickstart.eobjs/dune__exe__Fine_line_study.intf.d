@@ -1,0 +1,1 @@
+examples/fine_line_study.mli:

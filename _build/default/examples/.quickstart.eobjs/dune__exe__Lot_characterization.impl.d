@@ -1,0 +1,1 @@
+examples/lot_characterization.ml: Experiments List Printf Quality Tester

@@ -1,0 +1,1 @@
+examples/lot_characterization.mli:

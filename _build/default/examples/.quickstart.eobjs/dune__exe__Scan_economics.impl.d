@@ -1,0 +1,1 @@
+examples/scan_economics.ml: Array Circuit Faults Format List Logicsim Printf Quality Tpg

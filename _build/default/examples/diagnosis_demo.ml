@@ -1,0 +1,68 @@
+(* Fault diagnosis: locating the defect in a failing chip.
+
+   Builds an ALU, generates and compacts a test program, precomputes
+   the full-response fault dictionary, then plays tester: a "customer
+   return" with an unknown stuck-at fault is probed and its signature
+   looked up in the dictionary.
+
+   Run with:  dune exec examples/diagnosis_demo.exe *)
+
+let () =
+  let circuit = Circuit.Generators.alu ~bits:4 in
+  Format.printf "%a@." Circuit.Netlist.pp_summary circuit;
+  let classes = Faults.Collapse.equivalence circuit (Faults.Universe.all circuit) in
+  let universe = Faults.Collapse.representatives classes in
+
+  (* Test program: ATPG, then static compaction. *)
+  let report = Tpg.Atpg.run circuit universe in
+  let compacted = Tpg.Compact.reverse_order circuit universe report.Tpg.Atpg.patterns in
+  Printf.printf "test program: %d patterns compacted to %d (%.0f%%), coverage %.2f%%\n"
+    compacted.Tpg.Compact.original_count
+    (Array.length compacted.Tpg.Compact.kept)
+    (100.0 *. Tpg.Compact.compaction_ratio compacted)
+    (100.0 *. Tpg.Atpg.coverage report);
+  let patterns = compacted.Tpg.Compact.patterns in
+
+  (* The dictionary is computed once per program. *)
+  let dictionary = Fsim.Diagnosis.build circuit universe patterns in
+  let distinguishable, total = Fsim.Diagnosis.distinguishable_pairs dictionary in
+  Printf.printf "diagnostic resolution: %d of %d fault pairs distinguishable (%.1f%%)\n"
+    distinguishable total
+    (100.0 *. float_of_int distinguishable /. float_of_int total);
+
+  (* A chip comes back from the field with a mystery defect. *)
+  let rng = Stats.Rng.create ~seed:424 () in
+  let culprit_index = Stats.Rng.int rng (Array.length universe) in
+  let culprit = universe.(culprit_index) in
+  Printf.printf "\n(field defect, hidden from the diagnoser: %s)\n"
+    (Faults.Fault.to_string circuit culprit);
+
+  let observation = Fsim.Diagnosis.observe circuit [| culprit |] patterns in
+  Printf.printf "tester observes %d failing patterns\n" (List.length observation);
+
+  (match Fsim.Diagnosis.exact_matches dictionary observation with
+  | [] -> print_endline "no single modeled fault explains the signature"
+  | candidates ->
+    Printf.printf "exact dictionary matches (%d):\n" (List.length candidates);
+    List.iter
+      (fun i ->
+        Printf.printf "  %s%s\n"
+          (Faults.Fault.to_string circuit universe.(i))
+          (if i = culprit_index then "   <- the actual defect" else ""))
+      candidates);
+
+  (* A two-fault chip defeats exact lookup; ranked matching still points
+     at the right neighbourhood. *)
+  let second = universe.((culprit_index + 7) mod Array.length universe) in
+  let observation2 = Fsim.Diagnosis.observe circuit [| culprit; second |] patterns in
+  Printf.printf "\ndouble defect (%s + %s): exact matches = %d\n"
+    (Faults.Fault.to_string circuit culprit)
+    (Faults.Fault.to_string circuit second)
+    (List.length (Fsim.Diagnosis.exact_matches dictionary observation2));
+  print_endline "closest single-fault explanations:";
+  List.iter
+    (fun (i, distance) ->
+      Printf.printf "  %-18s distance %d\n"
+        (Faults.Fault.to_string circuit universe.(i))
+        distance)
+    (Fsim.Diagnosis.ranked_matches dictionary observation2 ~count:5)

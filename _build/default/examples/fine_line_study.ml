@@ -1,0 +1,56 @@
+(* Fine-line technology study: the paper's Section 8 prediction.
+
+   Shrinking a fixed design lowers its area (yield rises at constant
+   defect density) while each physical defect wipes out more logic
+   (n0 rises).  Both effects *relax* the required fault coverage — the
+   opposite of the intuition that denser chips need stronger tests.
+   The second half adds the Griffin mixed-Poisson view: a line whose n0
+   wanders between lots needs slightly more coverage than its average
+   n0 suggests.
+
+   Run with:  dune exec examples/fine_line_study.exe *)
+
+let () =
+  print_endline "shrink sweep (base: y = 0.07, n0 = 8, r = 0.001):";
+  let rows =
+    Experiments.Fineline.sweep ~shrinks:[ 1.0; 0.9; 0.8; 0.7; 0.6; 0.5 ] ()
+  in
+  List.iter
+    (fun r ->
+      Printf.printf
+        "  shrink %.1f: yield %.3f, n0 %.2f, required coverage %.1f%%\n"
+        r.Experiments.Fineline.shrink r.Experiments.Fineline.yield_
+        r.Experiments.Fineline.n0
+        (100.0 *. r.Experiments.Fineline.required_coverage))
+    rows;
+
+  print_newline ();
+  print_endline "line dispersion (Griffin mixed-Poisson extension):";
+  List.iter
+    (fun row ->
+      Printf.printf
+        "  dispersion %.1f: fixed-n0 model %.1f%%, mixed model %.1f%%\n"
+        row.Experiments.Ablation.dispersion
+        (100.0 *. row.Experiments.Ablation.required_base)
+        (100.0 *. row.Experiments.Ablation.required_mixed))
+    (Experiments.Ablation.griffin_dispersion ());
+
+  (* A wafer map visualization of why mixing happens: defect density is
+     not uniform across a wafer. *)
+  print_newline ();
+  print_endline "simulated wafer (edge dies see 3x the defect density):";
+  let rng = Stats.Rng.create ~seed:3 () in
+  let yield_model =
+    Fab.Yield_model.create
+      ~defect_density:(Fab.Yield_model.solve_defect_density ~target_yield:0.5
+                         ~area:1.0 ~variance_ratio:0.25)
+      ~area:1.0 ~variance_ratio:0.25
+  in
+  let defect =
+    Fab.Defect.create ~yield_model ~fault_multiplicity:2.0 ~universe_size:500 ()
+  in
+  let wafer = Fab.Wafer.fabricate defect rng ~diameter:25 () in
+  print_string (Fab.Wafer.render_map wafer);
+  Array.iter
+    (fun (r, y) -> Printf.printf "  ring r = %.2f: yield %.3f\n" r y)
+    (Fab.Wafer.yield_by_ring wafer ~rings:4)

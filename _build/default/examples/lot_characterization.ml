@@ -1,0 +1,58 @@
+(* Lot characterization: the paper's Section 5 procedure, end to end.
+
+   1. Take a chip design (here a generated ~1000-gate "LSI" block).
+   2. Build its collapsed stuck-at fault universe.
+   3. Produce an ordered production test program (functional walk +
+      random + PODEM) and grade it on the fault simulator to get the
+      cumulative coverage curve.
+   4. Fabricate a lot on the simulated line, probe every chip to its
+      first failing pattern on the virtual tester.
+   5. Plot fraction-failed vs coverage against the P(f) family and
+      estimate n0 two ways; then answer the coverage-requirement
+      question with the freshly estimated parameter.
+
+   Run with:  dune exec examples/lot_characterization.exe *)
+
+let () =
+  let config =
+    { Experiments.Pipeline.default_config with
+      Experiments.Pipeline.scale = 6;   (* keep the example snappy *)
+      lot_size = 200;
+      seed = 7 }
+  in
+  print_endline "running the end-to-end characterization pipeline...";
+  let run = Experiments.Pipeline.execute config in
+  print_newline ();
+  print_string (Experiments.Pipeline.summary run);
+
+  (* The data a test floor would plot (paper Fig. 5 / Table 1). *)
+  let points = Experiments.Fig5.simulated_estimate_points run in
+  print_newline ();
+  print_endline "checkpoints (coverage, fraction of lot failed):";
+  List.iter
+    (fun p ->
+      Printf.printf "  f = %.3f   failed = %.3f\n" p.Quality.Estimate.coverage
+        p.Quality.Estimate.fraction_failed)
+    points;
+
+  (* Estimate n0 from the data, as the paper prescribes. *)
+  let y = Experiments.Pipeline.true_yield run in
+  let n0_fit, residual = Quality.Estimate.fit_n0 ~yield_:y points in
+  Printf.printf "\nleast-squares fit of the P(f) family: n0 = %.2f (residual %.2e)\n"
+    n0_fit residual;
+  Printf.printf "ground truth from the (simulated) lot:  n0 = %.2f\n"
+    (Experiments.Pipeline.true_n0 run);
+
+  (* Close the loop: what coverage does this line need? *)
+  List.iter
+    (fun reject ->
+      match Quality.Requirement.required_coverage ~yield_:y ~n0:n0_fit ~reject with
+      | Some f ->
+        Printf.printf "for reject rate %g the program needs %.1f%% coverage\n"
+          reject (100.0 *. f)
+      | None -> ())
+    [ 0.01; 0.001 ];
+  let achieved = Tester.Pattern_set.final_coverage run.Experiments.Pipeline.program in
+  Printf.printf "the generated program achieves %.1f%% -> predicted reject rate %.5f\n"
+    (100.0 *. achieved)
+    (Quality.Reject.reject_rate ~yield_:y ~n0:n0_fit achieved)

@@ -1,0 +1,49 @@
+(* Quickstart: the paper's headline question, answered in a few lines.
+
+   "Our process yield is 7%; a characterization lot told us a defective
+   chip carries 8 faults on average.  What stuck-at coverage do our
+   tests need for a field reject rate of 1-in-1000, and what would the
+   older single-fault model (Wadsack) have demanded?"
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+let () =
+  let yield_ = 0.07 in
+  let n0 = 8.0 in
+
+  (* How bad is shipping untested silicon? *)
+  let untested_reject = Quality.Reject.reject_rate ~yield_ ~n0 0.0 in
+  Printf.printf "with no testing, %.0f%% of shipped chips are defective\n"
+    (100.0 *. untested_reject);
+
+  (* Reject rate at a typical coverage. *)
+  let f = 0.80 in
+  Printf.printf "at %.0f%% fault coverage the field reject rate is %.4f (1 in %.0f)\n"
+    (100.0 *. f)
+    (Quality.Reject.reject_rate ~yield_ ~n0 f)
+    (1.0 /. Quality.Reject.reject_rate ~yield_ ~n0 f);
+
+  (* The design question: coverage needed for a quality target. *)
+  List.iter
+    (fun reject ->
+      match Quality.Requirement.required_coverage ~yield_ ~n0 ~reject with
+      | Some f ->
+        let wadsack =
+          match Quality.Wadsack.required_coverage ~yield_ ~reject with
+          | Some w -> w
+          | None -> nan
+        in
+        Printf.printf
+          "reject rate %-6g -> need %.1f%% coverage (Wadsack baseline: %.2f%%)\n"
+          reject (100.0 *. f) (100.0 *. wadsack)
+      | None -> assert false)
+    [ 0.01; 0.005; 0.001 ];
+
+  (* And the reason the two models disagree: the escape probability of a
+     chip with several faults collapses geometrically (Eq. 5). *)
+  Printf.printf "\nescape probability of a chip with n faults at 80%% coverage:\n";
+  List.iter
+    (fun n ->
+      Printf.printf "  n = %2d: %.4g\n" n
+        (Quality.Escape.q0_simple ~faulty:n ~coverage:0.80))
+    [ 1; 2; 4; 8 ]

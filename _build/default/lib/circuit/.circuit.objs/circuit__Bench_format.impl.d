@@ -1,0 +1,1 @@
+lib/circuit/bench_format.ml: Array Buffer Filename Gate Hashtbl List Netlist Printf String

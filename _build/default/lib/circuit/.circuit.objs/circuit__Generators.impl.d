@@ -1,0 +1,1 @@
+lib/circuit/generators.ml: Array Gate Hashtbl List Netlist Printf Stats String

@@ -1,0 +1,201 @@
+exception Parse_error of { line : int; message : string }
+
+let fail line fmt =
+  Printf.ksprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+type statement =
+  | Declare_input of string
+  | Declare_output of string
+  | Define of { target : string; gate : string; args : string list }
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let tokenize_statement lineno text =
+  (* Shapes: INPUT(x) / OUTPUT(x) / t = GATE(a, b, ...) *)
+  let text = String.trim text in
+  match String.index_opt text '=' with
+  | None ->
+    let lparen =
+      match String.index_opt text '(' with
+      | Some i -> i
+      | None -> fail lineno "expected '(' in declaration %S" text
+    in
+    let keyword = String.uppercase_ascii (String.trim (String.sub text 0 lparen)) in
+    let rparen =
+      match String.rindex_opt text ')' with
+      | Some i -> i
+      | None -> fail lineno "missing ')' in %S" text
+    in
+    let arg = String.trim (String.sub text (lparen + 1) (rparen - lparen - 1)) in
+    if arg = "" then fail lineno "empty name in %S" text;
+    (match keyword with
+    | "INPUT" -> Declare_input arg
+    | "OUTPUT" -> Declare_output arg
+    | _ -> fail lineno "unknown declaration %S" keyword)
+  | Some eq ->
+    let target = String.trim (String.sub text 0 eq) in
+    if target = "" then fail lineno "missing target before '='";
+    let rhs = String.trim (String.sub text (eq + 1) (String.length text - eq - 1)) in
+    let lparen =
+      match String.index_opt rhs '(' with
+      | Some i -> i
+      | None -> fail lineno "expected '(' after gate name in %S" rhs
+    in
+    let gate = String.uppercase_ascii (String.trim (String.sub rhs 0 lparen)) in
+    let rparen =
+      match String.rindex_opt rhs ')' with
+      | Some i -> i
+      | None -> fail lineno "missing ')' in %S" rhs
+    in
+    let args_text = String.sub rhs (lparen + 1) (rparen - lparen - 1) in
+    let args =
+      String.split_on_char ',' args_text
+      |> List.map String.trim
+      |> List.filter (fun s -> s <> "")
+    in
+    Define { target; gate; args }
+
+let parse_statements source =
+  let statements = ref [] in
+  String.split_on_char '\n' source
+  |> List.iteri (fun i raw ->
+         let text = String.trim (strip_comment raw) in
+         if text <> "" then
+           statements := (i + 1, tokenize_statement (i + 1) text) :: !statements);
+  List.rev !statements
+
+let parse_string ?(name = "bench") source =
+  let statements = parse_statements source in
+  let builder = Netlist.Builder.create ~name in
+  let ids : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let declared_outputs = ref [] in
+  (* Pass 1: primary inputs and DFF outputs become input nodes so that
+     definitions can refer to them in any order. *)
+  List.iter
+    (fun (lineno, st) ->
+      match st with
+      | Declare_input signal ->
+        if Hashtbl.mem ids signal then fail lineno "duplicate INPUT(%s)" signal;
+        Hashtbl.add ids signal (Netlist.Builder.add_input builder signal)
+      | Define { target; gate = "DFF"; args } ->
+        (match args with
+        | [ _ ] -> ()
+        | _ -> fail lineno "DFF takes exactly one argument");
+        if Hashtbl.mem ids target then fail lineno "duplicate definition of %s" target;
+        (* Full scan: the flop's Q pin is a controllable pseudo input. *)
+        Hashtbl.add ids target (Netlist.Builder.add_input builder target)
+      | Declare_output _ | Define _ -> ())
+    statements;
+  (* Pass 2: logic gates, resolved iteratively because .bench files may
+     define signals after their uses. *)
+  let pending = ref [] in
+  List.iter
+    (fun (lineno, st) ->
+      match st with
+      | Declare_input _ -> ()
+      | Declare_output signal -> declared_outputs := (lineno, signal) :: !declared_outputs
+      | Define { gate = "DFF"; args; target } ->
+        (* The D pin is an observable pseudo output. *)
+        (match args with
+        | [ d ] -> declared_outputs := (lineno, d) :: !declared_outputs
+        | _ -> fail lineno "DFF takes exactly one argument (%s)" target)
+      | Define { target; gate; args } ->
+        let kind =
+          match Gate.of_string gate with
+          | Some k -> k
+          | None -> fail lineno "unknown gate type %S" gate
+        in
+        pending := (lineno, target, kind, args) :: !pending)
+    statements;
+  let pending = ref (List.rev !pending) in
+  let progress = ref true in
+  while !pending <> [] && !progress do
+    progress := false;
+    let unresolved = ref [] in
+    List.iter
+      (fun ((lineno, target, kind, args) as item) ->
+        let resolved =
+          List.fold_left
+            (fun acc arg ->
+              match acc with
+              | None -> None
+              | Some rev ->
+                (match Hashtbl.find_opt ids arg with
+                | Some id -> Some (id :: rev)
+                | None -> None))
+            (Some []) args
+        in
+        match resolved with
+        | Some rev_ids ->
+          if Hashtbl.mem ids target then fail lineno "duplicate definition of %s" target;
+          let id =
+            Netlist.Builder.add_gate builder ~name:target kind (List.rev rev_ids)
+          in
+          Hashtbl.add ids target id;
+          progress := true
+        | None -> unresolved := item :: !unresolved)
+      !pending;
+    pending := List.rev !unresolved
+  done;
+  (match !pending with
+  | (lineno, target, _, args) :: _ ->
+    let missing =
+      List.filter (fun a -> not (Hashtbl.mem ids a)) args |> String.concat ", "
+    in
+    fail lineno "undefined signal(s) %s feeding %s (or a combinational cycle)" missing target
+  | [] -> ());
+  List.iter
+    (fun (lineno, signal) ->
+      match Hashtbl.find_opt ids signal with
+      | Some id -> Netlist.Builder.mark_output builder id
+      | None -> fail lineno "OUTPUT(%s) refers to an undefined signal" signal)
+    (List.rev !declared_outputs);
+  Netlist.Builder.build builder
+
+let parse_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let source = really_input_string ic len in
+  close_in ic;
+  let name = Filename.remove_extension (Filename.basename path) in
+  parse_string ~name source
+
+let to_string (c : Netlist.t) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "# %s\n" c.name);
+  Array.iter
+    (fun id -> Buffer.add_string buf (Printf.sprintf "INPUT(%s)\n" c.node_names.(id)))
+    c.inputs;
+  Array.iter
+    (fun id -> Buffer.add_string buf (Printf.sprintf "OUTPUT(%s)\n" c.node_names.(id)))
+    c.outputs;
+  Array.iter
+    (fun id ->
+      match c.kinds.(id) with
+      | Gate.Input -> ()
+      | Gate.Const0 | Gate.Const1 ->
+        (* .bench has no constant literal; emit the XOR/XNOR-of-self idiom
+           is unsound, so use a dedicated pseudo gate name the parser of
+           this module understands. *)
+        Buffer.add_string buf
+          (Printf.sprintf "%s = %s()\n" c.node_names.(id) (Gate.to_string c.kinds.(id)))
+      | Gate.Buf | Gate.Not | Gate.And | Gate.Nand | Gate.Or | Gate.Nor
+      | Gate.Xor | Gate.Xnor ->
+        let args =
+          Array.to_list c.fanins.(id)
+          |> List.map (fun src -> c.node_names.(src))
+          |> String.concat ", "
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "%s = %s(%s)\n" c.node_names.(id)
+             (Gate.to_string c.kinds.(id)) args))
+    c.topo_order;
+  Buffer.contents buf
+
+let write_file path c =
+  let oc = open_out path in
+  output_string oc (to_string c);
+  close_out oc

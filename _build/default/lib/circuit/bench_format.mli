@@ -1,0 +1,29 @@
+(** Reader and writer for the ISCAS-85/89 [.bench] netlist format.
+
+    Grammar accepted (case-insensitive keywords, [#] comments):
+    {v
+      INPUT(name)
+      OUTPUT(name)
+      name = GATE(a, b, ...)
+      name = DFF(a)
+    v}
+    Flip-flops are handled by the full-scan transformation: a [DFF]
+    output becomes a pseudo primary input and its data line a pseudo
+    primary output, yielding the combinational core that test generation
+    and the paper's fault statistics operate on. *)
+
+exception Parse_error of { line : int; message : string }
+
+val parse_string : ?name:string -> string -> Netlist.t
+(** Parse a full [.bench] file held in a string.  [name] defaults to
+    ["bench"]. *)
+
+val parse_file : string -> Netlist.t
+(** Parse a [.bench] file from disk; the circuit is named after the
+    file's basename. *)
+
+val to_string : Netlist.t -> string
+(** Print a netlist back to [.bench] syntax.  [parse_string (to_string
+    c)] is structurally identical to [c] for DFF-free circuits. *)
+
+val write_file : string -> Netlist.t -> unit

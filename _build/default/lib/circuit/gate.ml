@@ -1,0 +1,79 @@
+type kind =
+  | Input
+  | Const0
+  | Const1
+  | Buf
+  | Not
+  | And
+  | Nand
+  | Or
+  | Nor
+  | Xor
+  | Xnor
+
+let to_string = function
+  | Input -> "INPUT"
+  | Const0 -> "CONST0"
+  | Const1 -> "CONST1"
+  | Buf -> "BUF"
+  | Not -> "NOT"
+  | And -> "AND"
+  | Nand -> "NAND"
+  | Or -> "OR"
+  | Nor -> "NOR"
+  | Xor -> "XOR"
+  | Xnor -> "XNOR"
+
+let of_string s =
+  match String.uppercase_ascii s with
+  | "INPUT" -> Some Input
+  | "CONST0" -> Some Const0
+  | "CONST1" -> Some Const1
+  | "BUF" | "BUFF" -> Some Buf
+  | "NOT" | "INV" -> Some Not
+  | "AND" -> Some And
+  | "NAND" -> Some Nand
+  | "OR" -> Some Or
+  | "NOR" -> Some Nor
+  | "XOR" -> Some Xor
+  | "XNOR" -> Some Xnor
+  | _ -> None
+
+let min_arity = function
+  | Input | Const0 | Const1 -> 0
+  | Buf | Not -> 1
+  | And | Nand | Or | Nor | Xor | Xnor -> 2
+
+let max_arity = function
+  | Input | Const0 | Const1 -> Some 0
+  | Buf | Not -> Some 1
+  | And | Nand | Or | Nor | Xor | Xnor -> None
+
+let eval kind values =
+  let all p = Array.for_all p values in
+  let any p = Array.exists p values in
+  let parity () = Array.fold_left (fun acc v -> acc <> v) false values in
+  match kind with
+  | Input -> invalid_arg "Gate.eval: Input has no logic function"
+  | Const0 -> false
+  | Const1 -> true
+  | Buf -> values.(0)
+  | Not -> not values.(0)
+  | And -> all (fun v -> v)
+  | Nand -> not (all (fun v -> v))
+  | Or -> any (fun v -> v)
+  | Nor -> not (any (fun v -> v))
+  | Xor -> parity ()
+  | Xnor -> not (parity ())
+
+let controlling_value = function
+  | And | Nand -> Some false
+  | Or | Nor -> Some true
+  | Input | Const0 | Const1 | Buf | Not | Xor | Xnor -> None
+
+let inverts = function
+  | Nand | Nor | Xnor | Not -> true
+  | Input | Const0 | Const1 | Buf | And | Or | Xor -> false
+
+let all_kinds =
+  [ Input; Const0; Const1; Buf; Not; And; Nand; Or; Nor; Xor; Xnor ]

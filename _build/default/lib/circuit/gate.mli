@@ -1,0 +1,46 @@
+(** Primitive gate types of the netlist IR.
+
+    The IR is purely combinational.  Sequential elements in parsed
+    netlists are handled by the full-scan transformation in
+    {!Bench_format} (flip-flop outputs become pseudo primary inputs,
+    flip-flop inputs pseudo primary outputs), which is how a production
+    test generator would see the circuit anyway. *)
+
+type kind =
+  | Input      (** Primary (or pseudo primary) input; no fanin. *)
+  | Const0     (** Constant logic 0. *)
+  | Const1     (** Constant logic 1. *)
+  | Buf        (** Identity, one fanin. *)
+  | Not        (** Inverter, one fanin. *)
+  | And
+  | Nand
+  | Or
+  | Nor
+  | Xor
+  | Xnor
+
+val to_string : kind -> string
+(** Upper-case mnemonic, e.g. ["NAND"]. *)
+
+val of_string : string -> kind option
+(** Case-insensitive parse of a mnemonic ([BUFF] is accepted for [Buf]). *)
+
+val min_arity : kind -> int
+(** Smallest legal number of fanins. *)
+
+val max_arity : kind -> int option
+(** Largest legal number of fanins, or [None] when unbounded. *)
+
+val eval : kind -> bool array -> bool
+(** Boolean evaluation over the fanin values. *)
+
+val controlling_value : kind -> bool option
+(** The value that, on any single input, fixes the output (0 for
+    AND/NAND, 1 for OR/NOR); [None] for XOR-like and unary gates. *)
+
+val inverts : kind -> bool
+(** Whether the gate complements its "natural" function (NAND, NOR,
+    XNOR, NOT are inverting). *)
+
+val all_kinds : kind list
+(** Every constructor, for exhaustive table-driven tests. *)

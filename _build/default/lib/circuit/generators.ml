@@ -1,0 +1,527 @@
+module B = Netlist.Builder
+
+(* ------------------------------------------------------------------ *)
+(* Component builders: take a builder plus input node ids, return
+   output node ids.  Top-level generators and the composite [lsi_chip]
+   share these. *)
+
+let full_adder b a_bit b_bit cin =
+  let axb = B.add_gate b Gate.Xor [ a_bit; b_bit ] in
+  let sum = B.add_gate b Gate.Xor [ axb; cin ] in
+  let ab = B.add_gate b Gate.And [ a_bit; b_bit ] in
+  let c_axb = B.add_gate b Gate.And [ cin; axb ] in
+  let cout = B.add_gate b Gate.Or [ ab; c_axb ] in
+  (sum, cout)
+
+let half_adder b a_bit b_bit =
+  let sum = B.add_gate b Gate.Xor [ a_bit; b_bit ] in
+  let cout = B.add_gate b Gate.And [ a_bit; b_bit ] in
+  (sum, cout)
+
+let build_ripple_adder b a_bits b_bits cin =
+  let n = Array.length a_bits in
+  assert (Array.length b_bits = n);
+  let sums = Array.make n (-1) in
+  let carry = ref cin in
+  for i = 0 to n - 1 do
+    let s, c = full_adder b a_bits.(i) b_bits.(i) !carry in
+    sums.(i) <- s;
+    carry := c
+  done;
+  (sums, !carry)
+
+(* Array multiplier as rows of partial products folded in with adder
+   chains.  [acc] holds the running sum per bit position; [None] stands
+   for constant zero so no constant gates are emitted. *)
+let build_multiplier b a_bits b_bits =
+  let n = Array.length a_bits in
+  assert (Array.length b_bits = n);
+  let width = 2 * n in
+  let acc = Array.make width None in
+  for j = 0 to n - 1 do
+    let carry = ref None in
+    for i = 0 to n - 1 do
+      let pp = B.add_gate b Gate.And [ a_bits.(i); b_bits.(j) ] in
+      let pos = i + j in
+      let sum, cout =
+        match (acc.(pos), !carry) with
+        | None, None -> (pp, None)
+        | Some x, None | None, Some x ->
+          let s, c = half_adder b x pp in
+          (s, Some c)
+        | Some x, Some c ->
+          let s, c' = full_adder b x pp c in
+          (s, Some c')
+      in
+      acc.(pos) <- Some sum;
+      carry := cout
+    done;
+    (* Propagate the row's final carry up the remaining positions. *)
+    let pos = ref (n + j) in
+    while !carry <> None && !pos < width do
+      (match (acc.(!pos), !carry) with
+      | None, Some c ->
+        acc.(!pos) <- Some c;
+        carry := None
+      | Some x, Some c ->
+        let s, c' = half_adder b x c in
+        acc.(!pos) <- Some s;
+        carry := Some c'
+      | (None | Some _), None -> assert false);
+      incr pos
+    done
+  done;
+  Array.map
+    (function
+      | Some id -> id
+      | None ->
+        (* Only the very top bit of a 1x1 product can stay empty. *)
+        B.add_const b "zero" false)
+    acc
+
+let rec build_parity_tree b = function
+  | [||] -> invalid_arg "parity of zero bits"
+  | [| x |] -> x
+  | bits ->
+    let n = Array.length bits in
+    let half = n / 2 in
+    let left = build_parity_tree b (Array.sub bits 0 half) in
+    let right = build_parity_tree b (Array.sub bits half (n - half)) in
+    B.add_gate b Gate.Xor [ left; right ]
+
+let mux2 b d0 d1 sel =
+  let nsel = B.add_gate b Gate.Not [ sel ] in
+  let t0 = B.add_gate b Gate.And [ d0; nsel ] in
+  let t1 = B.add_gate b Gate.And [ d1; sel ] in
+  B.add_gate b Gate.Or [ t0; t1 ]
+
+let rec build_mux_tree b data selects =
+  match selects with
+  | [] ->
+    assert (Array.length data = 1);
+    data.(0)
+  | sel :: rest ->
+    let n = Array.length data in
+    assert (n mod 2 = 0);
+    (* The lowest select bit chooses between adjacent pairs. *)
+    let reduced =
+      Array.init (n / 2) (fun i -> mux2 b data.(2 * i) data.((2 * i) + 1) sel)
+    in
+    build_mux_tree b reduced rest
+
+let build_decoder b enable selects =
+  let k = Array.length selects in
+  let negs = Array.map (fun s -> B.add_gate b Gate.Not [ s ]) selects in
+  Array.init (1 lsl k) (fun code ->
+      let literals =
+        List.init k (fun i ->
+            if (code lsr i) land 1 = 1 then selects.(i) else negs.(i))
+      in
+      B.add_gate b Gate.And (enable :: literals))
+
+let build_comparator b a_bits b_bits =
+  let n = Array.length a_bits in
+  let bitwise_eq =
+    Array.init n (fun i -> B.add_gate b Gate.Xnor [ a_bits.(i); b_bits.(i) ])
+  in
+  let eq =
+    match Array.to_list bitwise_eq with
+    | [ only ] -> only
+    | several -> B.add_gate b Gate.And several
+  in
+  (* From the MSB down: lt = (~a & b) | (bit-equal & lt-of-lower-bits). *)
+  let rec scan i lt_below =
+    if i >= n then lt_below
+    else begin
+      let na = B.add_gate b Gate.Not [ a_bits.(i) ] in
+      let here = B.add_gate b Gate.And [ na; b_bits.(i) ] in
+      let keep = B.add_gate b Gate.And [ bitwise_eq.(i); lt_below ] in
+      scan (i + 1) (B.add_gate b Gate.Or [ here; keep ])
+    end
+  in
+  let lt =
+    match n with
+    | 0 -> invalid_arg "comparator of zero bits"
+    | _ ->
+      let na = B.add_gate b Gate.Not [ a_bits.(0) ] in
+      let lt0 = B.add_gate b Gate.And [ na; b_bits.(0) ] in
+      scan 1 lt0
+  in
+  (eq, lt)
+
+let build_alu b a_bits b_bits cin op0 op1 =
+  let n = Array.length a_bits in
+  let and_bits = Array.init n (fun i -> B.add_gate b Gate.And [ a_bits.(i); b_bits.(i) ]) in
+  let or_bits = Array.init n (fun i -> B.add_gate b Gate.Or [ a_bits.(i); b_bits.(i) ]) in
+  let xor_bits = Array.init n (fun i -> B.add_gate b Gate.Xor [ a_bits.(i); b_bits.(i) ]) in
+  let sum_bits, add_cout = build_ripple_adder b a_bits b_bits cin in
+  let result =
+    Array.init n (fun i ->
+        let low = mux2 b and_bits.(i) or_bits.(i) op0 in
+        let high = mux2 b xor_bits.(i) sum_bits.(i) op0 in
+        mux2 b low high op1)
+  in
+  let cout = B.add_gate b Gate.And [ add_cout; op0; op1 ] in
+  (result, cout)
+
+(* ------------------------------------------------------------------ *)
+(* Top-level generators. *)
+
+let named_inputs b prefix n =
+  Array.init n (fun i -> B.add_input b (Printf.sprintf "%s%d" prefix i))
+
+let c17 () =
+  let b = B.create ~name:"c17" in
+  let g1 = B.add_input b "G1" in
+  let g2 = B.add_input b "G2" in
+  let g3 = B.add_input b "G3" in
+  let g6 = B.add_input b "G6" in
+  let g7 = B.add_input b "G7" in
+  let g10 = B.add_gate b ~name:"G10" Gate.Nand [ g1; g3 ] in
+  let g11 = B.add_gate b ~name:"G11" Gate.Nand [ g3; g6 ] in
+  let g16 = B.add_gate b ~name:"G16" Gate.Nand [ g2; g11 ] in
+  let g19 = B.add_gate b ~name:"G19" Gate.Nand [ g11; g7 ] in
+  let g22 = B.add_gate b ~name:"G22" Gate.Nand [ g10; g16 ] in
+  let g23 = B.add_gate b ~name:"G23" Gate.Nand [ g16; g19 ] in
+  B.mark_output b g22;
+  B.mark_output b g23;
+  B.build b
+
+let ripple_carry_adder ~bits =
+  if bits <= 0 then invalid_arg "ripple_carry_adder: bits must be positive";
+  let b = B.create ~name:(Printf.sprintf "rca%d" bits) in
+  let a = named_inputs b "a" bits in
+  let bv = named_inputs b "b" bits in
+  let cin = B.add_input b "cin" in
+  let sums, cout = build_ripple_adder b a bv cin in
+  Array.iter (B.mark_output b) sums;
+  B.mark_output b cout;
+  B.build b
+
+let carry_select_adder ~bits ~block =
+  if bits <= 0 then invalid_arg "carry_select_adder: bits must be positive";
+  if block <= 0 then invalid_arg "carry_select_adder: block must be positive";
+  let b = B.create ~name:(Printf.sprintf "csa%d_%d" bits block) in
+  let a = named_inputs b "a" bits in
+  let bv = named_inputs b "b" bits in
+  let cin = B.add_input b "cin" in
+  let sums = Array.make bits (-1) in
+  (* The first block ripples from the real carry-in; every later block
+     is computed for both carry values and muxed by the incoming carry. *)
+  let carry = ref cin in
+  let position = ref 0 in
+  while !position < bits do
+    let width = min block (bits - !position) in
+    let a_slice = Array.sub a !position width in
+    let b_slice = Array.sub bv !position width in
+    if !position = 0 then begin
+      let s, c = build_ripple_adder b a_slice b_slice !carry in
+      Array.blit s 0 sums !position width;
+      carry := c
+    end
+    else begin
+      let zero = B.add_const b (Printf.sprintf "c0_%d" !position) false in
+      let one = B.add_const b (Printf.sprintf "c1_%d" !position) true in
+      let s0, c0 = build_ripple_adder b a_slice b_slice zero in
+      let s1, c1 = build_ripple_adder b a_slice b_slice one in
+      for i = 0 to width - 1 do
+        sums.(!position + i) <- mux2 b s0.(i) s1.(i) !carry
+      done;
+      carry := mux2 b c0 c1 !carry
+    end;
+    position := !position + width
+  done;
+  Array.iter (B.mark_output b) sums;
+  B.mark_output b !carry;
+  B.build b
+
+let barrel_shifter ~bits =
+  if bits <= 1 || bits land (bits - 1) <> 0 then
+    invalid_arg "barrel_shifter: bits must be a power of two > 1";
+  let stages =
+    let rec log2 v acc = if v = 1 then acc else log2 (v / 2) (acc + 1) in
+    log2 bits 0
+  in
+  let b = B.create ~name:(Printf.sprintf "rol%d" bits) in
+  let data = named_inputs b "d" bits in
+  let selects = named_inputs b "s" stages in
+  (* Stage k rotates by 2^k when its select bit is set. *)
+  let current = ref data in
+  for stage = 0 to stages - 1 do
+    let amount = 1 lsl stage in
+    let rotated =
+      Array.init bits (fun i ->
+          (* Output i of a left rotation by [amount] takes input
+             (i - amount) mod bits. *)
+          let src = ((i - amount) mod bits + bits) mod bits in
+          mux2 b !current.(i) !current.(src) selects.(stage))
+    in
+    current := rotated
+  done;
+  Array.iter (B.mark_output b) !current;
+  B.build b
+
+let array_multiplier ~bits =
+  if bits <= 0 then invalid_arg "array_multiplier: bits must be positive";
+  let b = B.create ~name:(Printf.sprintf "mul%d" bits) in
+  let a = named_inputs b "a" bits in
+  let bv = named_inputs b "b" bits in
+  let products = build_multiplier b a bv in
+  Array.iter (B.mark_output b) products;
+  B.build b
+
+let parity_tree ~bits =
+  if bits <= 0 then invalid_arg "parity_tree: bits must be positive";
+  let b = B.create ~name:(Printf.sprintf "parity%d" bits) in
+  let xs = named_inputs b "x" bits in
+  B.mark_output b (build_parity_tree b xs);
+  B.build b
+
+let mux_tree ~select_bits =
+  if select_bits <= 0 then invalid_arg "mux_tree: select_bits must be positive";
+  let b = B.create ~name:(Printf.sprintf "mux%d" (1 lsl select_bits)) in
+  let data = named_inputs b "d" (1 lsl select_bits) in
+  let selects = named_inputs b "s" select_bits in
+  B.mark_output b (build_mux_tree b data (Array.to_list selects));
+  B.build b
+
+let decoder ~bits =
+  if bits <= 0 then invalid_arg "decoder: bits must be positive";
+  let b = B.create ~name:(Printf.sprintf "dec%d" bits) in
+  let enable = B.add_input b "en" in
+  let selects = named_inputs b "s" bits in
+  Array.iter (B.mark_output b) (build_decoder b enable selects);
+  B.build b
+
+let comparator ~bits =
+  if bits <= 0 then invalid_arg "comparator: bits must be positive";
+  let b = B.create ~name:(Printf.sprintf "cmp%d" bits) in
+  let a = named_inputs b "a" bits in
+  let bv = named_inputs b "b" bits in
+  let eq, lt = build_comparator b a bv in
+  B.mark_output b eq;
+  B.mark_output b lt;
+  B.build b
+
+let alu ~bits =
+  if bits <= 0 then invalid_arg "alu: bits must be positive";
+  let b = B.create ~name:(Printf.sprintf "alu%d" bits) in
+  let a = named_inputs b "a" bits in
+  let bv = named_inputs b "b" bits in
+  let cin = B.add_input b "cin" in
+  let op0 = B.add_input b "op0" in
+  let op1 = B.add_input b "op1" in
+  let result, cout = build_alu b a bv cin op0 op1 in
+  Array.iter (B.mark_output b) result;
+  B.mark_output b cout;
+  B.build b
+
+let random_gate_kinds =
+  [| Gate.And; Gate.Nand; Gate.Or; Gate.Nor; Gate.Xor; Gate.Xnor |]
+
+let build_random_logic b rng ~gates existing =
+  let nodes = ref existing in
+  let count = ref (List.length existing) in
+  let pick () =
+    (* Quadratic recency bias keeps depth realistic instead of shallow. *)
+    let u = Stats.Rng.uniform rng in
+    let offset = int_of_float (u *. u *. float_of_int !count) in
+    List.nth !nodes (min (!count - 1) offset)
+  in
+  let created = ref [] in
+  for _ = 1 to gates do
+    let id =
+      if Stats.Rng.uniform rng < 0.12 then
+        B.add_gate b Gate.Not [ pick () ]
+      else begin
+        let kind = random_gate_kinds.(Stats.Rng.int rng (Array.length random_gate_kinds)) in
+        let x = pick () in
+        let y = pick () in
+        if x = y then B.add_gate b Gate.Not [ x ] else B.add_gate b kind [ x; y ]
+      end
+    in
+    nodes := id :: !nodes;
+    incr count;
+    created := id :: !created
+  done;
+  List.rev !created
+
+let random_circuit ~inputs ~gates ~outputs ~seed =
+  if inputs <= 0 || gates <= 0 || outputs <= 0 then
+    invalid_arg "random_circuit: all sizes must be positive";
+  let rng = Stats.Rng.create ~seed:(seed + 1) () in
+  let b = B.create ~name:(Printf.sprintf "rand_i%d_g%d_s%d" inputs gates seed) in
+  let ins = named_inputs b "x" inputs in
+  let created = build_random_logic b rng ~gates (Array.to_list ins |> List.rev) in
+  (* Every sink must be observable, otherwise its cone is dead logic;
+     then top up with random internal nodes to reach the request. *)
+  let created_arr = Array.of_list created in
+  let referenced = Hashtbl.create gates in
+  (* A gate is a sink if no later gate consumed it; recompute after build
+     would be easier but the builder doesn't expose fanouts, so track
+     consumption implicitly: a node is consumed when picked.  Simplest
+     robust approach: mark the last [outputs] created gates plus any gate
+     nobody references.  We conservatively mark from the end. *)
+  ignore referenced;
+  let n_created = Array.length created_arr in
+  let marked = Hashtbl.create outputs in
+  let mark id =
+    if not (Hashtbl.mem marked id) then begin
+      Hashtbl.add marked id ();
+      B.mark_output b id
+    end
+  in
+  for i = 0 to min outputs n_created - 1 do
+    mark created_arr.(n_created - 1 - i)
+  done;
+  let netlist = B.build b in
+  (* Re-check for dead sinks and rebuild with them marked too. *)
+  let dead =
+    Array.to_list netlist.Netlist.topo_order
+    |> List.filter (fun id ->
+           Array.length netlist.Netlist.fanouts.(id) = 0
+           && not (Netlist.is_output netlist id)
+           && netlist.Netlist.kinds.(id) <> Gate.Input)
+  in
+  if dead = [] then netlist
+  else begin
+    List.iter mark dead;
+    B.build b
+  end
+
+let lsi_chip ?(seed = 1981) ?(scale = 8) () =
+  if scale < 4 then invalid_arg "lsi_chip: scale must be >= 4";
+  let rng = Stats.Rng.create ~seed () in
+  let b = B.create ~name:(Printf.sprintf "lsi%d" scale) in
+  let a = named_inputs b "a" scale in
+  let bv = named_inputs b "b" scale in
+  let c = named_inputs b "c" (2 * scale) in
+  let d = named_inputs b "d" (2 * scale) in
+  let cin = B.add_input b "cin" in
+  let op0 = B.add_input b "op0" in
+  let op1 = B.add_input b "op1" in
+  let en = B.add_input b "en" in
+  (* Datapath: multiplier feeding a wide adder, an ALU, a comparator. *)
+  let products = build_multiplier b a bv in
+  let sums, add_cout = build_ripple_adder b c d cin in
+  let alu_out, alu_cout = build_alu b a bv cin op0 op1 in
+  let eq, lt = build_comparator b c d in
+  (* Mix datapath results through parity/mux/decoder "control" logic. *)
+  let parity = build_parity_tree b products in
+  let dec_outs = build_decoder b en [| op0; op1; lt |] in
+  let mux_out = build_mux_tree b (Array.sub products 0 8) [ op0; op1; eq ] in
+  (* Random glue logic over a blend of everything above. *)
+  let pool =
+    List.concat
+      [ Array.to_list sums; Array.to_list alu_out; Array.to_list dec_outs;
+        [ parity; mux_out; add_cout; alu_cout; eq; lt ] ]
+  in
+  let glue = build_random_logic b rng ~gates:(scale * scale * 4) pool in
+  Array.iter (B.mark_output b) products;
+  Array.iter (B.mark_output b) sums;
+  Array.iter (B.mark_output b) alu_out;
+  B.mark_output b parity;
+  B.mark_output b mux_out;
+  B.mark_output b eq;
+  B.mark_output b lt;
+  B.mark_output b add_cout;
+  B.mark_output b alu_cout;
+  (* Observe the tail of the glue logic plus any dead sinks. *)
+  let glue_arr = Array.of_list glue in
+  let n_glue = Array.length glue_arr in
+  for i = 0 to min (4 * scale) n_glue - 1 do
+    B.mark_output b glue_arr.(n_glue - 1 - i)
+  done;
+  let netlist = B.build b in
+  let dead =
+    Array.to_list netlist.Netlist.topo_order
+    |> List.filter (fun id ->
+           Array.length netlist.Netlist.fanouts.(id) = 0
+           && not (Netlist.is_output netlist id)
+           && netlist.Netlist.kinds.(id) <> Gate.Input)
+  in
+  if dead = [] then netlist
+  else begin
+    List.iter (B.mark_output b) dead;
+    B.build b
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Functional specifications. *)
+
+let bits_to_int bits =
+  Array.to_list bits
+  |> List.rev
+  |> List.fold_left (fun acc bit -> (2 * acc) + if bit then 1 else 0) 0
+
+let int_to_bits width v = Array.init width (fun i -> (v lsr i) land 1 = 1)
+
+let spec_adder a b cin =
+  let n = Array.length a in
+  let total = bits_to_int a + bits_to_int b + if cin then 1 else 0 in
+  (int_to_bits n total, (total lsr n) land 1 = 1)
+
+let spec_multiplier a b =
+  let n = Array.length a in
+  int_to_bits (2 * n) (bits_to_int a * bits_to_int b)
+
+let spec_parity bits = Array.fold_left (fun acc bit -> acc <> bit) false bits
+
+let spec_mux ~data ~select = data.(bits_to_int select)
+
+let spec_decoder ~enable ~select =
+  let k = Array.length select in
+  let code = bits_to_int select in
+  Array.init (1 lsl k) (fun i -> enable && i = code)
+
+let spec_comparator a b =
+  let va = bits_to_int a and vb = bits_to_int b in
+  (va = vb, va < vb)
+
+let spec_alu ~op a b cin =
+  let n = Array.length a in
+  match op with
+  | 0 -> (Array.init n (fun i -> a.(i) && b.(i)), false)
+  | 1 -> (Array.init n (fun i -> a.(i) || b.(i)), false)
+  | 2 -> (Array.init n (fun i -> a.(i) <> b.(i)), false)
+  | 3 -> spec_adder a b cin
+  | _ -> invalid_arg "spec_alu: op must be 0..3"
+
+let spec_rotate_left data select =
+  let n = Array.length data in
+  let amount = bits_to_int select mod n in
+  Array.init n (fun i -> data.((((i - amount) mod n) + n) mod n))
+
+let of_spec spec =
+  let usage =
+    "unknown circuit spec (builtins: c17 rca:N csa:N,B mul:N alu:N parity:N \
+     mux:K dec:N cmp:N shift:N lsi:S rand:i,g,o,seed)"
+  in
+  let int_of s =
+    match int_of_string_opt (String.trim s) with
+    | Some v -> v
+    | None -> failwith usage
+  in
+  match String.split_on_char ':' spec with
+  | [ "c17" ] -> c17 ()
+  | [ "rca"; n ] -> ripple_carry_adder ~bits:(int_of n)
+  | [ "csa"; rest ] ->
+    (match String.split_on_char ',' rest with
+    | [ n; blk ] -> carry_select_adder ~bits:(int_of n) ~block:(int_of blk)
+    | [ n ] -> carry_select_adder ~bits:(int_of n) ~block:4
+    | _ -> failwith usage)
+  | [ "mul"; n ] -> array_multiplier ~bits:(int_of n)
+  | [ "alu"; n ] -> alu ~bits:(int_of n)
+  | [ "parity"; n ] -> parity_tree ~bits:(int_of n)
+  | [ "mux"; n ] -> mux_tree ~select_bits:(int_of n)
+  | [ "dec"; n ] -> decoder ~bits:(int_of n)
+  | [ "cmp"; n ] -> comparator ~bits:(int_of n)
+  | [ "shift"; n ] -> barrel_shifter ~bits:(int_of n)
+  | [ "lsi"; n ] -> lsi_chip ~scale:(int_of n) ()
+  | [ "rand"; rest ] ->
+    (match String.split_on_char ',' rest with
+    | [ i; g; o; s ] ->
+      random_circuit ~inputs:(int_of i) ~gates:(int_of g) ~outputs:(int_of o)
+        ~seed:(int_of s)
+    | _ -> failwith usage)
+  | _ -> failwith usage

@@ -1,0 +1,91 @@
+(** Programmatic benchmark circuits.
+
+    The paper's experiment ran on a proprietary ~25,000-transistor Bell
+    Labs LSI chip; no such netlist is publicly available, so the
+    reproduction generates its workloads.  Each generator returns a
+    {!Netlist.t}; the arithmetic ones come with functional
+    specifications used by the test suite to prove the generator
+    correct (an adder that cannot add would poison every downstream
+    experiment). *)
+
+val c17 : unit -> Netlist.t
+(** The classic ISCAS-85 c17 circuit: 5 inputs, 2 outputs, 6 NAND2s. *)
+
+val ripple_carry_adder : bits:int -> Netlist.t
+(** [bits]-bit ripple-carry adder.  Inputs a0..a{n-1}, b0..b{n-1}, cin;
+    outputs s0..s{n-1}, cout. *)
+
+val carry_select_adder : bits:int -> block:int -> Netlist.t
+(** [bits]-bit carry-select adder built from [block]-wide ripple
+    sections computed for both carry-in values and selected by the
+    incoming carry — same I/O contract as {!ripple_carry_adder}, a
+    different (wider, shallower) structure for the ablation studies. *)
+
+val barrel_shifter : bits:int -> Netlist.t
+(** Left-rotate barrel shifter: inputs d0..d{n-1} and
+    s0..s{log2 n - 1}; outputs y0..y{n-1} = d rotated left by s.
+    [bits] must be a power of two. *)
+
+val array_multiplier : bits:int -> Netlist.t
+(** [bits]x[bits] unsigned array multiplier; outputs p0..p{2n-1}. *)
+
+val parity_tree : bits:int -> Netlist.t
+(** Balanced XOR tree computing odd parity of [bits] inputs. *)
+
+val mux_tree : select_bits:int -> Netlist.t
+(** 2^k:1 multiplexer built from 2:1 mux cells; inputs d0..d{2^k-1},
+    s0..s{k-1}; one output y. *)
+
+val decoder : bits:int -> Netlist.t
+(** k-to-2^k decoder with enable; outputs y0..y{2^k-1}. *)
+
+val comparator : bits:int -> Netlist.t
+(** Unsigned magnitude comparator; outputs [eq] and [lt] (a < b). *)
+
+val alu : bits:int -> Netlist.t
+(** Small ALU: two data words, a 2-bit opcode selecting
+    AND / OR / XOR / ADD, carry-out.  Outputs y0..y{n-1}, cout. *)
+
+val random_circuit :
+  inputs:int -> gates:int -> outputs:int -> seed:int -> Netlist.t
+(** Random combinational DAG ("sea of gates"): [gates] two-input gates
+    with random types, fanins drawn from earlier nodes with a recency
+    bias so the circuit has realistic depth.  Deterministic in [seed]. *)
+
+val lsi_chip : ?seed:int -> ?scale:int -> unit -> Netlist.t
+(** The reproduction's stand-in for the paper's 25,000-transistor LSI
+    chip: a multiplier, an adder, an ALU, parity and random control
+    logic sharing inputs, sized by [scale] (default 8).  A few thousand
+    gates — large enough for the lot-test statistics to behave like the
+    paper's. *)
+
+val of_spec : string -> Netlist.t
+(** Parse a compact generator spec, e.g. ["c17"], ["rca:8"], ["csa:8,4"]
+    (carry-select with block width), ["mul:4"], ["alu:8"], ["parity:16"],
+    ["mux:3"], ["dec:4"], ["cmp:8"], ["shift:8"], ["lsi:8"],
+    ["rand:i,g,o,seed"].  Raises [Failure] with a usage message on an
+    unknown spec — the CLI surfaces it directly. *)
+
+(** {2 Functional specifications} (for tests)
+
+    Bit vectors are little-endian: element 0 is the least significant
+    bit and matches input/output index 0 of the generated circuits. *)
+
+val spec_adder : bool array -> bool array -> bool -> bool array * bool
+(** [spec_adder a b cin] = (sum bits, carry out). *)
+
+val spec_multiplier : bool array -> bool array -> bool array
+(** Product of two little-endian words, width [2 * bits]. *)
+
+val spec_parity : bool array -> bool
+val spec_mux : data:bool array -> select:bool array -> bool
+val spec_decoder : enable:bool -> select:bool array -> bool array
+val spec_comparator : bool array -> bool array -> bool * bool
+(** (eq, lt). *)
+
+val spec_rotate_left : bool array -> bool array -> bool array
+(** [spec_rotate_left data select]: little-endian rotate amount. *)
+
+val spec_alu : op:int -> bool array -> bool array -> bool -> bool array * bool
+(** [spec_alu ~op a b cin]: op 0 = AND, 1 = OR, 2 = XOR, 3 = ADD.
+    Returns (result bits, carry-out; carry-out is false for logic ops). *)

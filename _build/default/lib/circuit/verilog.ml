@@ -1,0 +1,98 @@
+let keywords =
+  [ "module"; "endmodule"; "input"; "output"; "wire"; "and"; "nand"; "or";
+    "nor"; "xor"; "xnor"; "not"; "buf"; "assign"; "supply0"; "supply1";
+    "begin"; "end"; "reg"; "always"; "initial" ]
+
+let sanitize name =
+  let buf = Buffer.create (String.length name) in
+  String.iteri
+    (fun i ch ->
+      match ch with
+      | 'a' .. 'z' | 'A' .. 'Z' | '_' -> Buffer.add_char buf ch
+      | '0' .. '9' ->
+        if i = 0 then Buffer.add_char buf 'n';
+        Buffer.add_char buf ch
+      | _ -> Buffer.add_char buf '_')
+    name;
+  let cleaned = Buffer.contents buf in
+  let cleaned = if cleaned = "" then "n" else cleaned in
+  if List.mem cleaned keywords then cleaned ^ "_w" else cleaned
+
+(* Unique sanitized name per node (collisions get numeric suffixes). *)
+let name_table (c : Netlist.t) =
+  let used = Hashtbl.create 64 in
+  let renamed = ref [] in
+  let names =
+    Array.mapi
+      (fun id original ->
+        let base = sanitize original in
+        let rec unique candidate k =
+          if Hashtbl.mem used candidate then
+            unique (Printf.sprintf "%s_%d" base k) (k + 1)
+          else candidate
+        in
+        let final = unique base 0 in
+        Hashtbl.replace used final ();
+        if final <> original then renamed := (original, final) :: !renamed;
+        ignore id;
+        final)
+      c.node_names
+  in
+  (names, List.rev !renamed)
+
+let to_string (c : Netlist.t) =
+  let names, renamed = name_table c in
+  let buf = Buffer.create 4096 in
+  let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  addf "// generated from netlist %s\n" c.name;
+  List.iter
+    (fun (original, final) -> addf "// renamed: %s -> %s\n" original final)
+    renamed;
+  let module_name = sanitize c.name in
+  let ports =
+    Array.to_list (Array.map (fun id -> names.(id)) c.inputs)
+    @ Array.to_list (Array.map (fun id -> names.(id)) c.outputs)
+  in
+  addf "module %s(%s);\n" module_name (String.concat ", " ports);
+  Array.iter (fun id -> addf "  input %s;\n" names.(id)) c.inputs;
+  Array.iter (fun id -> addf "  output %s;\n" names.(id)) c.outputs;
+  Array.iter
+    (fun id ->
+      match c.kinds.(id) with
+      | Gate.Input -> ()
+      | Gate.Const0 -> addf "  supply0 %s;\n" names.(id)
+      | Gate.Const1 -> addf "  supply1 %s;\n" names.(id)
+      | Gate.Buf | Gate.Not | Gate.And | Gate.Nand | Gate.Or | Gate.Nor
+      | Gate.Xor | Gate.Xnor ->
+        if not (Netlist.is_output c id) then addf "  wire %s;\n" names.(id))
+    c.topo_order;
+  Array.iteri
+    (fun id kind ->
+      let primitive =
+        match kind with
+        | Gate.Input | Gate.Const0 | Gate.Const1 -> None
+        | Gate.Buf -> Some "buf"
+        | Gate.Not -> Some "not"
+        | Gate.And -> Some "and"
+        | Gate.Nand -> Some "nand"
+        | Gate.Or -> Some "or"
+        | Gate.Nor -> Some "nor"
+        | Gate.Xor -> Some "xor"
+        | Gate.Xnor -> Some "xnor"
+      in
+      match primitive with
+      | None -> ()
+      | Some primitive ->
+        let operands =
+          names.(id)
+          :: (Array.to_list c.fanins.(id) |> List.map (fun src -> names.(src)))
+        in
+        addf "  %s g%d(%s);\n" primitive id (String.concat ", " operands))
+    c.kinds;
+  addf "endmodule\n";
+  Buffer.contents buf
+
+let write_file path c =
+  let oc = open_out path in
+  output_string oc (to_string c);
+  close_out oc

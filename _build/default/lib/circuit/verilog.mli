@@ -1,0 +1,15 @@
+(** Structural Verilog netlist writer.
+
+    Emits a gate-level Verilog module using the primitive gates
+    ([and], [nand], [or], [nor], [xor], [xnor], [not], [buf]) so the
+    generated circuits can be inspected or cross-checked with any
+    commercial or open-source Verilog tool.  Write-only: the
+    interchange format this library parses is [.bench]
+    ({!Bench_format}). *)
+
+val to_string : Netlist.t -> string
+(** One [module] per netlist; node names are sanitized into Verilog
+    identifiers (a name map comment is emitted when sanitization had to
+    rename).  Constants become [supply0]/[supply1] nets. *)
+
+val write_file : string -> Netlist.t -> unit

@@ -1,0 +1,1 @@
+lib/core/economics.ml: Array Reject Stats

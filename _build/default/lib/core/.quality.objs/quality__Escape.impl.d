@@ -1,0 +1,1 @@
+lib/core/escape.ml: Float Stats

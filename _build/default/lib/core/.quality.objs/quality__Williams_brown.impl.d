@@ -1,0 +1,1 @@
+lib/core/williams_brown.ml:

@@ -1,0 +1,43 @@
+(** Test-economics extension.
+
+    The paper's introduction motivates the whole exercise economically:
+    "test development and test application costs increase very rapidly"
+    as coverage approaches 100 %.  This module makes that trade-off
+    explicit: with a per-pattern application cost and a per-escape
+    field cost, there is a finite optimal coverage — the quantitative
+    version of the paper's argument that chasing the last percent is
+    not always worth it.
+
+    Test length is modeled by the random-pattern law
+    [patterns(f) = k·ln(1/(1-f))] (each undetected fault is caught per
+    pattern with roughly constant probability, so coverage approaches 1
+    geometrically), which matches the coverage curves the fault
+    simulator produces on the generated circuits. *)
+
+type t = {
+  yield_ : float;
+  n0 : float;
+  pattern_cost : float;       (** Cost of applying one test pattern. *)
+  patterns_per_decade : float;(** k in patterns(f) = k·ln(1/(1-f)). *)
+  escape_cost : float;        (** Field cost of shipping one bad chip. *)
+}
+
+val create :
+  yield_:float -> n0:float -> pattern_cost:float ->
+  patterns_per_decade:float -> escape_cost:float -> t
+
+val test_cost : t -> float -> float
+(** Application cost of a program reaching coverage [f]. *)
+
+val escape_cost_per_chip : t -> float -> float
+(** Expected field cost per shipped chip: [escape_cost · r(f)]. *)
+
+val total_cost : t -> float -> float
+(** Per-chip total: test + expected escape cost. *)
+
+val optimal_coverage : t -> float
+(** Argmin of {!total_cost} on [0, 1); the economics never push
+    coverage all the way to 1 because the test-cost term diverges. *)
+
+val sweep : t -> coverages:float array -> (float * float * float * float) array
+(** [(f, test cost, escape cost, total)] rows for tabulation. *)

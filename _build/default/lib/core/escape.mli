@@ -1,0 +1,28 @@
+(** Probability of a test set missing the faults on a chip
+    (Section 4 and the Appendix).
+
+    With [N] possible fault sites, [n] of them actually faulty and [m =
+    f·N] covered by the tests, the number of detected faults is
+    hypergeometric (Eq. 4).  The chip escapes (passes as good) when the
+    tests hit none of its faults — [q0(n)], for which the paper derives
+    one exact form (A.1) and two approximations (A.2, A.3 = Eq. 5).
+    Fig. 6 compares the three; the reproduction regenerates it. *)
+
+val qk : total:int -> faulty:int -> covered:int -> int -> float
+(** Eq. 4: probability of detecting exactly [k] of the [faulty] faults. *)
+
+val q0_exact : total:int -> faulty:int -> coverage:float -> float
+(** A.1, evaluated exactly in log space:
+    [C(N-m, n) / C(N, n)] with [m = round (coverage·N)]. *)
+
+val q0_second_order : total:int -> faulty:int -> coverage:float -> float
+(** A.2: [(1-f)^n · exp(-f n (n-1) / (2 N (1-f)))] — indistinguishable
+    from A.1 even for large [n]. *)
+
+val q0_simple : faulty:int -> coverage:float -> float
+(** A.3 / Eq. 5: [(1-f)^n], accurate when [n² << N (1-f) / f]. *)
+
+val q0_validity_bound : total:int -> coverage:float -> float
+(** The paper's validity threshold for {!q0_simple}:
+    [sqrt (N (1-f) / f)].  The approximation is good for [n] well below
+    this. *)

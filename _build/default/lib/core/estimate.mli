@@ -1,0 +1,42 @@
+(** Experimental determination of [n0] (Section 5).
+
+    The input is what a test floor actually produces: a list of
+    checkpoints [(f_j, w_j)] — cumulative fault coverage after some
+    pattern prefix, and the cumulative fraction of lot chips that have
+    failed by then.  Three estimators:
+
+    - {!fit_n0}: least-squares fit of the Eq. 9 family P(f) over a grid
+      of candidate [n0] (the paper's graphical overlay, automated);
+    - {!slope_n0}: the initial-slope shortcut of Eq. 10,
+      [n0 = P'(0)/(1-y)], taken from the earliest checkpoints;
+    - {!fit_n0_and_yield}: joint fit when the process yield is unknown
+      (2-d nested grid search). *)
+
+type point = { coverage : float; fraction_failed : float }
+
+val fit_n0 :
+  ?n0_max:float -> yield_:float -> point list -> float * float
+(** Returns (n0 estimate, residual sum of squares).  Requires at least
+    one point with positive coverage. *)
+
+val slope_n0 : ?points_used:int -> yield_:float -> point list -> float
+(** Eq. 10 estimator: regression through the origin on the first
+    [points_used] (default 1) checkpoints gives [P'(0) = nav];
+    dividing by [1-y] gives n0.  With one point this reproduces the
+    paper's hand computation 0.41/0.05 = 8.2 → 8.2/0.93 = 8.8. *)
+
+val slope_nav : ?points_used:int -> point list -> float
+(** The raw slope [P'(0)] itself — the paper notes it can stand in for
+    [n0] when the yield is unknown (a pessimistic but safe estimate,
+    since [P'(0) = (1-y) n0 < n0]). *)
+
+val fit_n0_and_yield :
+  ?n0_max:float -> point list -> float * float * float
+(** (n0, yield, residual) when neither parameter is known.  The yield
+    is searched on [0, min fraction-failed gap]; identifiability is
+    poor when the data stop at low coverage — the test suite documents
+    this honestly. *)
+
+val predicted_curve :
+  yield_:float -> n0:float -> coverages:float array -> point list
+(** The analytic P(f) checkpoints for plotting against data (Fig. 5). *)

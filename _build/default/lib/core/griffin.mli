@@ -1,0 +1,45 @@
+(** Mixed-Poisson extension (the paper's reference [15], Griffin 1980,
+    and its own Section 8 outlook).
+
+    The base model fixes one [n0] for the whole line.  Real lines
+    wander: letting the shifted-Poisson intensity [n0 - 1] itself be
+    Gamma(shape [k], scale [theta]) distributed across chips yields a
+    shifted negative-binomial fault count and a closed-form escape
+    yield — the gamma-mixed analogue of Eq. 7:
+
+    [Ybg(f) = (1-f)(1-y)(1 + theta·f)^{-k}].
+
+    As [k -> infinity] with [k·theta = n0 - 1] fixed, every formula
+    degenerates to the base model (property-tested). *)
+
+type t = {
+  yield_ : float;
+  shape : float;   (** k > 0. *)
+  scale : float;   (** theta > 0. *)
+}
+
+val create : yield_:float -> shape:float -> scale:float -> t
+
+val of_mean_dispersion : yield_:float -> n0:float -> dispersion:float -> t
+(** Parameterize by the mean [n0] and the variance inflation
+    [dispersion = 1 + theta] of the mixing law (dispersion → 1 is the
+    fixed-[n0] limit). *)
+
+val mean_n0 : t -> float
+(** [1 + k·theta]. *)
+
+val p : t -> int -> float
+(** Probability of exactly [n] faults on a chip (shifted negative
+    binomial for [n >= 1], [y] at 0). *)
+
+val ybg : t -> float -> float
+(** Gamma-mixed Eq. 7. *)
+
+val reject_rate : t -> float -> float
+(** Gamma-mixed Eq. 8. *)
+
+val p_reject : t -> float -> float
+(** Gamma-mixed Eq. 9. *)
+
+val required_coverage : t -> reject:float -> float option
+(** Mixed-model coverage requirement (bracketed root). *)

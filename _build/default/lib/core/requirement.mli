@@ -1,0 +1,23 @@
+(** Required fault coverage for a target field reject rate (Section 6).
+
+    Eq. 8 is awkward to solve for [f] in closed form; the paper reads
+    the answer off the graphs of Figs. 2–4.  Here the monotone equation
+    is solved directly by bracketing + Brent. *)
+
+val required_coverage :
+  yield_:float -> n0:float -> reject:float -> float option
+(** Smallest coverage [f] with [Reject.reject_rate f <= reject].
+    [None] when even 100 % coverage cannot reach the target (impossible
+    for [reject > 0], kept for totality); [Some 0.] when the bare yield
+    already meets it. *)
+
+val coverage_versus_yield :
+  reject:float -> n0:float -> yields:float array -> (float * float) array
+(** One curve of Figs. 2–4: [(y, required f)] for each yield.  Uses
+    Eq. 11 inversion per point. *)
+
+val sensitivity_to_n0 :
+  yield_:float -> reject:float -> n0_values:float array -> (float * float) array
+(** [(n0, required f)] — how strongly the requirement relaxes as the
+    defective-chip fault mean grows (the paper's headline observation
+    that LSI's larger n0 means lower required coverage). *)

@@ -1,0 +1,19 @@
+(** The prior-art baseline the paper argues against (its reference [5],
+    Wadsack 1978): field reject rate [r = (1 - y)(1 - f)].
+
+    This model effectively assumes every defective chip carries exactly
+    one fault (no shifted-Poisson multiplicity), which over-predicts
+    escapes and therefore demands near-perfect coverage for LSI-grade
+    yields — the paper's Section 7 contrasts 99 / 99.9 % (Wadsack)
+    against its own 80 / 95 % for the example chip. *)
+
+val reject_rate : yield_:float -> float -> float
+(** [r(f) = (1 - y)(1 - f)]. *)
+
+val required_coverage : yield_:float -> reject:float -> float option
+(** Closed-form inverse: [f = 1 - r / (1 - y)]; [Some 0.] when the
+    yield alone satisfies the target. *)
+
+val reject_ratio_vs_agrawal : yield_:float -> n0:float -> float -> float
+(** Wadsack's predicted reject rate divided by the paper's (Eq. 8), at
+    coverage [f] — the pessimism factor of the old model. *)

@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Array Buffer Circuit Faults Fig5 List Pipeline Printf Quality Report Tester Tpg

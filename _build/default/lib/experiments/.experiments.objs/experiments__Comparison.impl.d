@@ -1,0 +1,1 @@
+lib/experiments/comparison.ml: List Paper_data Printf Quality Report

@@ -1,0 +1,1 @@
+lib/experiments/drift.ml: Array Buffer List Printf Quality Stats

@@ -1,0 +1,1 @@
+lib/experiments/economics_study.mli:

@@ -1,0 +1,1 @@
+lib/experiments/fig1.ml: List Paper_data Printf Quality Report

@@ -1,0 +1,1 @@
+lib/experiments/fig2_3_4.mli: Report

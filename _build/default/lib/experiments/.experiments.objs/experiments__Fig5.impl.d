@@ -1,0 +1,1 @@
+lib/experiments/fig5.ml: Array Buffer Hashtbl List Paper_data Pipeline Printf Quality Report Tester

@@ -1,0 +1,1 @@
+lib/experiments/fineline.ml: Fab List Printf Quality Report

@@ -1,0 +1,1 @@
+lib/experiments/pipeline.mli: Circuit Fab Faults Quality Tester Tpg

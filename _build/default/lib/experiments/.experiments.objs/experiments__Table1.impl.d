@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: Buffer Fab Fig5 Hashtbl List Paper_data Pipeline Printf Quality Report Tester

@@ -1,0 +1,77 @@
+type row = {
+  reject : float;
+  ours : float;
+  wadsack : float;
+  williams_brown : float;
+  paper_ours : float option;
+  paper_wadsack : float option;
+}
+
+let paper_ours_value reject =
+  (* Section 7 quotes ~80 % for r = 0.01 and ~95 % for r = 0.001. *)
+  if reject = 0.01 then Some 0.80
+  else if reject = 0.001 then Some 0.95
+  else None
+
+let paper_wadsack_value yield_ reject =
+  List.find_map
+    (fun (y, r, f) -> if y = yield_ && r = reject then Some f else None)
+    Paper_data.wadsack_checkpoints
+
+let rows ?(yield_ = 0.07) ?(n0 = 8.0) () =
+  List.map
+    (fun reject ->
+      let ours =
+        match Quality.Requirement.required_coverage ~yield_ ~n0 ~reject with
+        | Some f -> f
+        | None -> nan
+      in
+      let wadsack =
+        match Quality.Wadsack.required_coverage ~yield_ ~reject with
+        | Some f -> f
+        | None -> nan
+      in
+      let williams_brown =
+        match
+          Quality.Williams_brown.required_coverage ~yield_ ~defect_level:reject
+        with
+        | Some f -> f
+        | None -> nan
+      in
+      { reject; ours; wadsack; williams_brown;
+        paper_ours = paper_ours_value reject;
+        paper_wadsack = paper_wadsack_value yield_ reject })
+    [ 0.01; 0.005; 0.001 ]
+
+let pessimism_series ~yield_ ~n0 =
+  Report.Series.of_fn ~label:"Wadsack r / our r"
+    ~f:(fun f -> Quality.Wadsack.reject_ratio_vs_agrawal ~yield_ ~n0 f)
+    ~lo:0.0 ~hi:0.99 ~steps:99
+
+let render () =
+  let opt = function
+    | Some v -> Report.Table.percent_cell v
+    | None -> "-"
+  in
+  let table_rows =
+    List.map
+      (fun r ->
+        [ Printf.sprintf "%g" r.reject;
+          Report.Table.percent_cell r.ours;
+          opt r.paper_ours;
+          Report.Table.percent_cell ~decimals:2 r.wadsack;
+          opt r.paper_wadsack;
+          Report.Table.percent_cell ~decimals:2 r.williams_brown ])
+      (rows ())
+  in
+  "Section 7: required coverage, this model vs Wadsack baseline (y=0.07, n0=8)\n\n"
+  ^ Report.Table.render
+      ~headers:
+        [ "reject rate"; "ours"; "ours (paper)"; "Wadsack"; "Wadsack (paper)";
+          "Williams-Brown" ]
+      table_rows
+  ^ "\n"
+  ^ Report.Ascii_plot.render ~y_scale:Report.Ascii_plot.Log10
+      ~title:"Pessimism of the single-fault baseline (ratio of predicted reject rates)"
+      ~x_label:"fault coverage f" ~y_label:"Wadsack r / our r (log)"
+      [ pessimism_series ~yield_:0.07 ~n0:8.0 ]

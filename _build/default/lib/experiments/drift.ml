@@ -1,0 +1,151 @@
+type lot_outcome = { true_n0 : float; fitted_n0 : float }
+
+type study = {
+  lots : lot_outcome list;
+  mean_true_n0 : float;
+  mean_fitted_n0 : float;
+  fit_rmse : float;
+  pooled_fit_n0 : float;
+  dispersion : float;
+}
+
+let checkpoint_coverages = [ 0.05; 0.1; 0.15; 0.2; 0.3; 0.4; 0.5; 0.65; 0.8 ]
+
+(* Urn model: a chip with n faults fails by coverage f with probability
+   1-(1-f)^n, so its first-fail coverage is the min of n uniforms. *)
+let sample_first_fail_coverage rng n =
+  let rec loop best remaining =
+    if remaining = 0 then best
+    else loop (min best (Stats.Rng.uniform rng)) (remaining - 1)
+  in
+  loop 1.0 n
+
+let sample_lot_points rng ~chips ~yield_ ~n0 =
+  let first_fail =
+    Array.init chips (fun _ ->
+        if Stats.Rng.uniform rng < yield_ then None
+        else begin
+          let n = 1 + Stats.Rng.poisson rng (n0 -. 1.0) in
+          Some (sample_first_fail_coverage rng n)
+        end)
+  in
+  List.map
+    (fun f ->
+      let failed =
+        Array.fold_left
+          (fun acc ff ->
+            match ff with Some c when c <= f -> acc + 1 | Some _ | None -> acc)
+          0 first_fail
+      in
+      { Quality.Estimate.coverage = f;
+        fraction_failed = float_of_int failed /. float_of_int chips })
+    checkpoint_coverages
+
+let simulate ?(lots = 40) ?(chips_per_lot = 277) ?(yield_ = 0.07) ?(mean_n0 = 8.0)
+    ?(dispersion = 2.0) ?(seed = 612) () =
+  if lots <= 0 || chips_per_lot <= 0 then invalid_arg "Drift.simulate: empty study";
+  if mean_n0 <= 1.0 then invalid_arg "Drift.simulate: mean n0 must exceed 1";
+  if dispersion < 1.0 then invalid_arg "Drift.simulate: dispersion must be >= 1";
+  let rng = Stats.Rng.create ~seed () in
+  let sample_n0 () =
+    if dispersion = 1.0 then mean_n0
+    else begin
+      (* n0 - 1 ~ Gamma with mean (mean_n0 - 1), variance scaled by
+         (dispersion - 1): matches Quality.Griffin's parameterization. *)
+      let scale = dispersion -. 1.0 in
+      let shape = (mean_n0 -. 1.0) /. scale in
+      1.0 +. Stats.Rng.gamma rng ~shape ~scale
+    end
+  in
+  let outcomes_and_points =
+    List.init lots (fun _ ->
+        let true_n0 = sample_n0 () in
+        let points = sample_lot_points rng ~chips:chips_per_lot ~yield_ ~n0:true_n0 in
+        let fitted_n0, _ = Quality.Estimate.fit_n0 ~yield_ points in
+        ({ true_n0; fitted_n0 }, points))
+  in
+  let outcomes = List.map fst outcomes_and_points in
+  let mean xs = List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs) in
+  let mean_true_n0 = mean (List.map (fun o -> o.true_n0) outcomes) in
+  let mean_fitted_n0 = mean (List.map (fun o -> o.fitted_n0) outcomes) in
+  let fit_rmse =
+    sqrt
+      (mean
+         (List.map
+            (fun o ->
+              let e = o.fitted_n0 -. o.true_n0 in
+              e *. e)
+            outcomes))
+  in
+  (* Pool all lots' checkpoints (averaging fractions per coverage). *)
+  let pooled =
+    List.map
+      (fun f ->
+        let fractions =
+          List.concat_map
+            (fun (_, points) ->
+              List.filter_map
+                (fun p ->
+                  if p.Quality.Estimate.coverage = f then
+                    Some p.Quality.Estimate.fraction_failed
+                  else None)
+                points)
+            outcomes_and_points
+        in
+        { Quality.Estimate.coverage = f; fraction_failed = mean fractions })
+      checkpoint_coverages
+  in
+  let pooled_fit_n0, _ = Quality.Estimate.fit_n0 ~yield_ pooled in
+  { lots = outcomes; mean_true_n0; mean_fitted_n0; fit_rmse; pooled_fit_n0;
+    dispersion }
+
+type lot_size_row = { chips : int; rmse : float; bias : float }
+
+let lot_size_study ?(lots = 60) ?(yield_ = 0.07) ?(n0 = 8.0) ?(seed = 77) ~sizes () =
+  let rng = Stats.Rng.create ~seed () in
+  List.map
+    (fun chips ->
+      if chips <= 0 then invalid_arg "Drift.lot_size_study: nonpositive lot size";
+      let errors =
+        List.init lots (fun _ ->
+            let points = sample_lot_points rng ~chips ~yield_ ~n0 in
+            let fitted, _ = Quality.Estimate.fit_n0 ~yield_ points in
+            fitted -. n0)
+      in
+      let mean = List.fold_left ( +. ) 0.0 errors /. float_of_int lots in
+      let rmse =
+        sqrt (List.fold_left (fun acc e -> acc +. (e *. e)) 0.0 errors /. float_of_int lots)
+      in
+      { chips; rmse; bias = mean })
+    sizes
+
+let render () =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    "Process-drift study: per-lot n0 estimation under line dispersion\n\n";
+  List.iter
+    (fun dispersion ->
+      let study = simulate ~dispersion () in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "dispersion %.1f: mean true n0 %.2f | mean per-lot fit %.2f | per-lot \
+            RMSE %.2f | pooled single fit %.2f\n"
+           dispersion study.mean_true_n0 study.mean_fitted_n0 study.fit_rmse
+           study.pooled_fit_n0))
+    [ 1.0; 1.5; 2.0; 3.0 ];
+  Buffer.add_string buf
+    "\nper-lot calibration tracks the drifting truth; a pooled single-n0 fit\n\
+     understates the dispersed line's escape tail (see Ablation D / Griffin).\n";
+  Buffer.add_string buf
+    "\nlot-size study (no drift): n0 estimation error vs chips tested\n";
+  List.iter
+    (fun row ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %4d chips: RMSE %.2f, bias %+.2f\n" row.chips row.rmse
+           row.bias))
+    (lot_size_study ~sizes:[ 50; 100; 200; 277; 500; 1000 ] ());
+  Buffer.add_string buf
+    "the paper's \"100 to 200 chips\" brings the error near half a fault;\n\
+     because only ~93% of chips are defective, precision scales with the\n\
+     defective count, not the lot size itself.\n";
+  Buffer.contents buf

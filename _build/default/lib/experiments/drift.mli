@@ -1,0 +1,45 @@
+(** Multi-lot process-drift study (model-level Monte Carlo).
+
+    The paper characterizes one lot.  Real lines drift: each lot has its
+    own [n0].  This study samples many lots directly from the urn model
+    — a chip with [n] faults fails by coverage [f] with probability
+    [1-(1-f)^n], so its first-fail coverage is the minimum of [n]
+    uniforms — runs the paper's estimation procedure per lot, and
+    reports (a) how well the fit tracks per-lot truth at realistic lot
+    sizes and (b) how much a pooled single-n0 fit misses when the line
+    disperses, connecting to the {!Quality.Griffin} extension. *)
+
+type lot_outcome = {
+  true_n0 : float;     (** The lot's drawn n0. *)
+  fitted_n0 : float;   (** Per-lot least-squares fit. *)
+}
+
+type study = {
+  lots : lot_outcome list;
+  mean_true_n0 : float;
+  mean_fitted_n0 : float;
+  fit_rmse : float;          (** RMS per-lot estimation error. *)
+  pooled_fit_n0 : float;     (** Single fit over all lots' pooled data. *)
+  dispersion : float;        (** Requested mixing dispersion. *)
+}
+
+val simulate :
+  ?lots:int -> ?chips_per_lot:int -> ?yield_:float -> ?mean_n0:float ->
+  ?dispersion:float -> ?seed:int -> unit -> study
+(** Defaults: 40 lots of 277 chips, y = 0.07, mean n0 = 8,
+    dispersion 2 (gamma-mixed n0 across lots). *)
+
+type lot_size_row = {
+  chips : int;
+  rmse : float;       (** Per-lot n0 estimation error at this lot size. *)
+  bias : float;       (** Mean (fit - truth). *)
+}
+
+val lot_size_study :
+  ?lots:int -> ?yield_:float -> ?n0:float -> ?seed:int ->
+  sizes:int list -> unit -> lot_size_row list
+(** Estimation error versus lot size at a fixed line (no drift) — the
+    quantitative version of the paper's advice that "100 to 200" chips
+    suffice to characterize n0. *)
+
+val render : unit -> string

@@ -1,0 +1,46 @@
+type row = {
+  escape_to_test_ratio : float;
+  optimal_coverage : float;
+  reject_at_optimum : float;
+  total_cost_at_optimum : float;
+}
+
+let sweep ?(yield_ = 0.07) ?(n0 = 8.0) ~ratios () =
+  List.map
+    (fun ratio ->
+      if ratio <= 0.0 then invalid_arg "Economics_study.sweep: nonpositive ratio";
+      let model =
+        Quality.Economics.create ~yield_ ~n0 ~pattern_cost:1.0
+          ~patterns_per_decade:50.0 ~escape_cost:(ratio *. 50.0)
+      in
+      let optimal_coverage = Quality.Economics.optimal_coverage model in
+      { escape_to_test_ratio = ratio;
+        optimal_coverage;
+        reject_at_optimum = Quality.Reject.reject_rate ~yield_ ~n0 optimal_coverage;
+        total_cost_at_optimum = Quality.Economics.total_cost model optimal_coverage })
+    ratios
+
+let render () =
+  let rows = sweep ~ratios:[ 1.0; 10.0; 100.0; 1000.0; 10000.0 ] () in
+  let quality_target =
+    match Quality.Requirement.required_coverage ~yield_:0.07 ~n0:8.0 ~reject:0.001 with
+    | Some f -> f
+    | None -> nan
+  in
+  let table_rows =
+    List.map
+      (fun r ->
+        [ Printf.sprintf "%g" r.escape_to_test_ratio;
+          Report.Table.percent_cell r.optimal_coverage;
+          Printf.sprintf "%.5f" r.reject_at_optimum;
+          Report.Table.float_cell ~decimals:1 r.total_cost_at_optimum ])
+      rows
+  in
+  "Economics extension: optimal coverage vs escape/test cost ratio (y=0.07, n0=8)\n\n"
+  ^ Report.Table.render
+      ~headers:
+        [ "escape/test ratio"; "optimal coverage"; "reject at optimum"; "cost" ]
+      table_rows
+  ^ Printf.sprintf
+      "\nfor contrast, the r = 0.001 quality target needs %.1f%% coverage\n"
+      (100.0 *. quality_target)

@@ -1,0 +1,19 @@
+(** Economics extension study: the optimal-coverage trade-off the
+    paper's introduction gestures at ("test development and test
+    application costs increase very rapidly" near 100 % coverage).
+
+    Sweeps the escape-cost-to-pattern-cost ratio and reports the
+    economically optimal coverage under the calibrated model
+    (y = 0.07, n0 = 8), alongside the quality-target requirement for
+    r = 0.001 for contrast. *)
+
+type row = {
+  escape_to_test_ratio : float;
+  optimal_coverage : float;
+  reject_at_optimum : float;
+  total_cost_at_optimum : float;
+}
+
+val sweep : ?yield_:float -> ?n0:float -> ratios:float list -> unit -> row list
+
+val render : unit -> string

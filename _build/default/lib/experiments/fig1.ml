@@ -1,0 +1,51 @@
+let cases = [ (0.80, 2.0); (0.80, 10.0); (0.20, 2.0); (0.20, 10.0) ]
+
+let series () =
+  List.map
+    (fun (y, n0) ->
+      Report.Series.of_fn
+        ~label:(Printf.sprintf "y=%.2f n0=%g" y n0)
+        ~f:(fun f -> Quality.Reject.reject_rate ~yield_:y ~n0 f)
+        ~lo:0.0 ~hi:1.0 ~steps:100)
+    cases
+
+let checkpoints () =
+  List.filter_map
+    (fun cp ->
+      if cp.Paper_data.figure = "Fig.1" then begin
+        let reproduced =
+          match
+            Quality.Requirement.required_coverage ~yield_:cp.Paper_data.yield_
+              ~n0:cp.Paper_data.n0 ~reject:cp.Paper_data.reject
+          with
+          | Some f -> f
+          | None -> nan
+        in
+        Some
+          (Printf.sprintf "y=%.2f n0=%g r=%.3f" cp.Paper_data.yield_
+             cp.Paper_data.n0 cp.Paper_data.reject,
+           cp.Paper_data.coverage, reproduced)
+      end
+      else None)
+    Paper_data.requirement_checkpoints
+
+let render () =
+  let plot =
+    Report.Ascii_plot.render ~y_scale:Report.Ascii_plot.Log10
+      ~title:"Fig. 1: field reject rate r(f) vs fault coverage (Eq. 8)"
+      ~x_label:"fault coverage f" ~y_label:"field reject rate (log)"
+      (series ())
+  in
+  let rows =
+    List.map
+      (fun (label, paper, ours) ->
+        [ label; Report.Table.float_cell ~decimals:3 paper;
+          Report.Table.float_cell ~decimals:3 ours;
+          Report.Table.float_cell ~decimals:3 (abs_float (paper -. ours)) ])
+      (checkpoints ())
+  in
+  plot ^ "\n"
+  ^ Report.Table.render
+      ~aligns:[ Report.Table.Left; Right; Right; Right ]
+      ~headers:[ "case (coverage needed for r<=0.005)"; "paper"; "reproduced"; "|diff|" ]
+      rows

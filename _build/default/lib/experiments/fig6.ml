@@ -1,0 +1,70 @@
+let total_sites = 1000
+
+let fault_counts = [ 1; 2; 4; 8; 16; 32 ]
+
+let coverage_grid = Array.init 99 (fun i -> float_of_int (i + 1) /. 100.0)
+
+let series () =
+  let exact =
+    List.map
+      (fun n ->
+        Report.Series.make ~label:(Printf.sprintf "n=%d exact" n)
+          (Array.map
+             (fun f -> (f, Quality.Escape.q0_exact ~total:total_sites ~faulty:n ~coverage:f))
+             coverage_grid))
+      fault_counts
+  in
+  let approx =
+    Report.Series.make ~label:"n=32 (1-f)^n"
+      (Array.map
+         (fun f -> (f, Quality.Escape.q0_simple ~faulty:32 ~coverage:f))
+         coverage_grid)
+  in
+  exact @ [ approx ]
+
+type error_row = {
+  n : int;
+  max_abs_error_a2 : float;
+  max_rel_error_a3 : float;
+}
+
+let error_table () =
+  List.map
+    (fun n ->
+      let max_abs_a2 = ref 0.0 and max_rel_a3 = ref 0.0 in
+      Array.iter
+        (fun f ->
+          let exact = Quality.Escape.q0_exact ~total:total_sites ~faulty:n ~coverage:f in
+          let a2 = Quality.Escape.q0_second_order ~total:total_sites ~faulty:n ~coverage:f in
+          let a3 = Quality.Escape.q0_simple ~faulty:n ~coverage:f in
+          max_abs_a2 := max !max_abs_a2 (abs_float (a2 -. exact));
+          (* The paper only claims (1-f)^n inside its validity region
+             n << sqrt(N(1-f)/f); report A.3's error there. *)
+          let in_validity_region =
+            float_of_int n
+            < 0.5 *. Quality.Escape.q0_validity_bound ~total:total_sites ~coverage:f
+          in
+          if exact > 1e-12 && in_validity_region then
+            max_rel_a3 := max !max_rel_a3 (abs_float ((a3 /. exact) -. 1.0)))
+        coverage_grid;
+      { n; max_abs_error_a2 = !max_abs_a2; max_rel_error_a3 = !max_rel_a3 })
+    fault_counts
+
+let render () =
+  let plot =
+    Report.Ascii_plot.render ~y_scale:Report.Ascii_plot.Log10
+      ~title:"Fig. 6: escape probability q0(n) vs coverage, N = 1000 (log scale)"
+      ~x_label:"fault coverage f = m/N" ~y_label:"q0(n)" (series ())
+  in
+  let rows =
+    List.map
+      (fun row ->
+        [ string_of_int row.n;
+          Printf.sprintf "%.3g" row.max_abs_error_a2;
+          Printf.sprintf "%.3g" row.max_rel_error_a3 ])
+      (error_table ())
+  in
+  plot ^ "\n"
+  ^ Report.Table.render
+      ~headers:[ "n"; "max |A.2 - exact|"; "max rel err of (1-f)^n" ]
+      rows

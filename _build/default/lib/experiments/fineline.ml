@@ -1,0 +1,60 @@
+type row = {
+  shrink : float;
+  yield_ : float;
+  n0 : float;
+  required_coverage : float;
+}
+
+let sweep ?(reject = 0.001) ?(base_yield = 0.07) ?(base_n0 = 8.0)
+    ?(variance_ratio = 0.25) ~shrinks () =
+  let defect_density =
+    Fab.Yield_model.solve_defect_density ~target_yield:base_yield ~area:1.0
+      ~variance_ratio
+  in
+  let base_model =
+    Fab.Yield_model.create ~defect_density ~area:1.0 ~variance_ratio
+  in
+  let base_lambda = Fab.Yield_model.lambda base_model in
+  let base_multiplicity = base_n0 *. (1.0 -. base_yield) /. base_lambda in
+  List.map
+    (fun shrink ->
+      if shrink <= 0.0 || shrink > 1.0 then
+        invalid_arg "Fineline.sweep: shrink must be in (0,1]";
+      let area_factor = shrink *. shrink in
+      (* Finer features: a defect of fixed physical size covers an area
+         of circuitry that scales with 1/shrink² gate sites. *)
+      let multiplicity_factor = 1.0 /. (shrink *. shrink) in
+      let model =
+        Fab.Yield_model.create ~defect_density ~area:area_factor ~variance_ratio
+      in
+      let yield_ = Fab.Yield_model.stapper_yield model in
+      let lambda = Fab.Yield_model.lambda model in
+      let multiplicity = max 1.0 (base_multiplicity *. multiplicity_factor) in
+      let n0 =
+        if lambda = 0.0 then multiplicity
+        else multiplicity *. lambda /. (1.0 -. yield_)
+      in
+      let n0 = max 1.0 n0 in
+      let required_coverage =
+        match Quality.Requirement.required_coverage ~yield_ ~n0 ~reject with
+        | Some f -> f
+        | None -> 1.0
+      in
+      { shrink; yield_; n0; required_coverage })
+    shrinks
+
+let render () =
+  let rows = sweep ~shrinks:[ 1.0; 0.9; 0.8; 0.7; 0.6; 0.5 ] () in
+  let table_rows =
+    List.map
+      (fun r ->
+        [ Printf.sprintf "%.1f" r.shrink;
+          Report.Table.float_cell r.yield_;
+          Report.Table.float_cell ~decimals:2 r.n0;
+          Report.Table.percent_cell r.required_coverage ])
+      rows
+  in
+  "Section 8: fine-line shrink study (r = 0.001, base y=0.07 n0=8)\n\n"
+  ^ Report.Table.render
+      ~headers:[ "linear shrink"; "yield"; "n0"; "required coverage" ]
+      table_rows

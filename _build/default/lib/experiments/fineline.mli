@@ -1,0 +1,24 @@
+(** Section 8 — the fine-line technology prediction.
+
+    Shrinking a design multiplies its area by a factor < 1 (raising
+    yield at fixed defect density) while each physical defect spans
+    more logic (raising n0).  Both movements lower the required fault
+    coverage.  This experiment sweeps shrink factors through the fab
+    model and the Eq. 8 requirement. *)
+
+type row = {
+  shrink : float;            (** Linear shrink; area scales by shrink². *)
+  yield_ : float;            (** Stapper yield after the shrink. *)
+  n0 : float;                (** Expected n0 from the defect model. *)
+  required_coverage : float; (** For r = 0.001. *)
+}
+
+val sweep :
+  ?reject:float ->
+  ?base_yield:float ->
+  ?base_n0:float ->
+  ?variance_ratio:float ->
+  shrinks:float list ->
+  unit -> row list
+
+val render : unit -> string

@@ -1,0 +1,60 @@
+type table1_row = {
+  coverage_percent : float;
+  cumulative_failed : int;
+  cumulative_fraction : float;
+}
+
+let table1 =
+  [ { coverage_percent = 5.0; cumulative_failed = 113; cumulative_fraction = 0.41 };
+    { coverage_percent = 8.0; cumulative_failed = 134; cumulative_fraction = 0.48 };
+    { coverage_percent = 10.0; cumulative_failed = 144; cumulative_fraction = 0.52 };
+    { coverage_percent = 15.0; cumulative_failed = 186; cumulative_fraction = 0.67 };
+    { coverage_percent = 20.0; cumulative_failed = 209; cumulative_fraction = 0.75 };
+    { coverage_percent = 30.0; cumulative_failed = 226; cumulative_fraction = 0.82 };
+    { coverage_percent = 36.0; cumulative_failed = 242; cumulative_fraction = 0.87 };
+    { coverage_percent = 45.0; cumulative_failed = 251; cumulative_fraction = 0.91 };
+    { coverage_percent = 50.0; cumulative_failed = 256; cumulative_fraction = 0.92 };
+    { coverage_percent = 65.0; cumulative_failed = 257; cumulative_fraction = 0.93 } ]
+
+let table1_chip_count = 277
+
+let table1_yield = 0.07
+
+let table1_points =
+  List.map
+    (fun row -> (row.coverage_percent /. 100.0, row.cumulative_fraction))
+    table1
+
+let fitted_n0 = 8.0
+
+let slope_n0_raw = 8.2
+
+let slope_n0_corrected = 8.8
+
+type requirement_checkpoint = {
+  figure : string;
+  yield_ : float;
+  n0 : float;
+  reject : float;
+  coverage : float;
+  tolerance : float;
+}
+
+let requirement_checkpoints =
+  [ { figure = "Fig.1"; yield_ = 0.80; n0 = 2.0; reject = 0.005; coverage = 0.95;
+      tolerance = 0.01 };
+    { figure = "Fig.1"; yield_ = 0.80; n0 = 10.0; reject = 0.005; coverage = 0.38;
+      tolerance = 0.01 };
+    { figure = "Fig.1"; yield_ = 0.20; n0 = 2.0; reject = 0.005; coverage = 0.99;
+      tolerance = 0.01 };
+    { figure = "Fig.1"; yield_ = 0.20; n0 = 10.0; reject = 0.005; coverage = 0.63;
+      tolerance = 0.01 };
+    { figure = "Fig.2"; yield_ = 0.07; n0 = 8.0; reject = 0.01; coverage = 0.80;
+      tolerance = 0.02 };
+    { figure = "Fig.4"; yield_ = 0.30; n0 = 8.0; reject = 0.001; coverage = 0.85;
+      tolerance = 0.02 };
+    { figure = "Fig.4"; yield_ = 0.07; n0 = 8.0; reject = 0.001; coverage = 0.95;
+      tolerance = 0.02 } ]
+
+let wadsack_checkpoints =
+  [ (0.07, 0.01, 0.99); (0.07, 0.001, 0.999) ]

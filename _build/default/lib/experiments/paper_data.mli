@@ -1,0 +1,42 @@
+(** The numbers printed in the paper, kept verbatim as ground truth for
+    the reproduction tables ("paper" column) and the regression tests. *)
+
+type table1_row = {
+  coverage_percent : float;      (** Fault coverage, percent. *)
+  cumulative_failed : int;       (** Chips failed by this point. *)
+  cumulative_fraction : float;   (** Fraction of the 277 chips. *)
+}
+
+val table1 : table1_row list
+(** Table 1: the 277-chip wafer-test experiment, yield ≈ 0.07. *)
+
+val table1_chip_count : int
+val table1_yield : float
+
+val table1_points : (float * float) list
+(** Table 1 as (coverage, fraction failed) pairs on [0,1] scales. *)
+
+val fitted_n0 : float
+(** Section 7: the visually fitted value, n0 = 8. *)
+
+val slope_n0_raw : float
+(** Section 7: P'(0) ≈ 0.41/0.05 = 8.2. *)
+
+val slope_n0_corrected : float
+(** Section 7: 8.2 / 0.93 = 8.8 via Eq. 10. *)
+
+type requirement_checkpoint = {
+  figure : string;      (** Which figure the value is read from. *)
+  yield_ : float;
+  n0 : float;
+  reject : float;
+  coverage : float;     (** The paper's graph-read required coverage. *)
+  tolerance : float;    (** Graph-reading slack for tests. *)
+}
+
+val requirement_checkpoints : requirement_checkpoint list
+(** Every required-coverage number quoted in the running text
+    (Sections 4, 6 and 7). *)
+
+val wadsack_checkpoints : (float * float * float) list
+(** Section 7 baseline numbers: (yield, reject, required coverage). *)

@@ -1,0 +1,74 @@
+(** End-to-end reproduction rig: circuit → test program → fab line →
+    virtual wafer test → characterization data.
+
+    One [execute] run is the whole Section 5/7 experiment: it
+    manufactures a chip design, generates and fault-grades a production
+    test program, fabricates a lot calibrated to a target yield and
+    [n0], probes every chip to its first failing pattern, and reduces
+    the outcomes to the (coverage, fraction failed) checkpoints that
+    {!Quality.Estimate} consumes. *)
+
+type line_model =
+  | Ideal
+      (** Fault counts follow the paper's Eq. 1 exactly (shifted
+          Poisson, uniform fault placement) — validates the paper's
+          procedure in its own terms. *)
+  | Clustered
+      (** The physical line: negative-binomial defect counts with
+          defect→fault multiplicity and locality.  Over-dispersed
+          relative to Eq. 1; the ablation experiments quantify how far
+          the estimators drift on it. *)
+
+type program_style =
+  | Atpg_only
+  | Functional_prelude of int
+      (** Prepend an [n]-pattern low-activity random walk so cumulative
+          coverage grows gradually, as the paper's functional program
+          did; the ATPG set follows. *)
+
+type config = {
+  seed : int;
+  scale : int;               (** {!Circuit.Generators.lsi_chip} size. *)
+  lot_size : int;            (** Paper: 277 chips. *)
+  target_yield : float;      (** Paper: 0.07. *)
+  variance_ratio : float;    (** Stapper X of the simulated line. *)
+  target_n0 : float;         (** Paper example fit: 8. *)
+  atpg : Tpg.Atpg.config;
+  tester_mode : Tester.Wafer_test.mode;
+  line : line_model;
+  program_style : program_style;
+}
+
+val default_config : config
+(** 277 chips, 7 % yield, n0 = 8, X = 0.25, scale-8 chip, ideal line,
+    192-pattern functional prelude. *)
+
+type run = {
+  config : config;
+  circuit : Circuit.Netlist.t;
+  universe : Faults.Fault.t array;      (** Collapsed representatives. *)
+  atpg_report : Tpg.Atpg.report;
+  program : Tester.Pattern_set.t;
+  defect : Fab.Defect.t;
+  lot : Fab.Lot.t;
+  outcome : Tester.Wafer_test.result;
+}
+
+val execute : config -> run
+
+val calibrated_multiplicity : config -> lambda:float -> float
+(** Faults-per-defect mean needed so [expected_n0 = target_n0] given
+    the mean defect count [lambda]. *)
+
+val estimation_points :
+  run -> at_coverages:float list -> Quality.Estimate.point list
+(** Table-1-style checkpoints for the estimators. *)
+
+val true_n0 : run -> float
+(** The lot's actual mean fault count on defective chips — the value
+    the estimators are trying to recover. *)
+
+val true_yield : run -> float
+
+val summary : run -> string
+(** Multi-line human-readable digest of the whole run. *)

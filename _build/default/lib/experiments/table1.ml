@@ -1,0 +1,77 @@
+let paper_side () =
+  List.map
+    (fun row ->
+      [ Printf.sprintf "%.0f%%" row.Paper_data.coverage_percent;
+        string_of_int row.Paper_data.cumulative_failed;
+        Report.Table.float_cell ~decimals:2 row.Paper_data.cumulative_fraction ])
+    Paper_data.table1
+
+let simulated_side run =
+  let coverages =
+    List.map (fun row -> row.Paper_data.coverage_percent /. 100.0) Paper_data.table1
+  in
+  Tester.Wafer_test.rows_at_coverages run.Pipeline.outcome run.Pipeline.program
+    ~coverages
+  |> (fun rows ->
+       (* Checkpoints the program cannot resolve alias to the same
+          pattern prefix; keep the first occurrence only. *)
+       let seen = Hashtbl.create 8 in
+       List.filter
+         (fun row ->
+           let k = row.Tester.Wafer_test.patterns_applied in
+           if Hashtbl.mem seen k then false
+           else begin
+             Hashtbl.add seen k ();
+             true
+           end)
+         rows)
+  |> List.map (fun row ->
+         [ Printf.sprintf "%.1f%%" (100.0 *. row.Tester.Wafer_test.coverage);
+           string_of_int row.Tester.Wafer_test.cumulative_failed;
+           Report.Table.float_cell ~decimals:2 row.Tester.Wafer_test.fraction_failed ])
+
+type estimates = {
+  fit_n0 : float;
+  slope_nav : float;
+  slope_n0 : float;
+  true_n0 : float;
+  empirical_yield : float;
+}
+
+let estimates run =
+  let points = Fig5.simulated_estimate_points run in
+  let empirical_yield = Pipeline.true_yield run in
+  let fit_n0, _ = Quality.Estimate.fit_n0 ~yield_:empirical_yield points in
+  { fit_n0;
+    slope_nav = Quality.Estimate.slope_nav ~points_used:1 points;
+    slope_n0 = Quality.Estimate.slope_n0 ~points_used:1 ~yield_:empirical_yield points;
+    true_n0 = Pipeline.true_n0 run;
+    empirical_yield }
+
+let render ?run () =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    (Printf.sprintf "Table 1 (paper): yield ~ %.2f, %d chips\n\n"
+       Paper_data.table1_yield Paper_data.table1_chip_count);
+  Buffer.add_string buf
+    (Report.Table.render
+       ~headers:[ "fault coverage"; "cum. failed"; "cum. fraction" ]
+       (paper_side ()));
+  (match run with
+  | None -> ()
+  | Some r ->
+    Buffer.add_string buf
+      (Printf.sprintf
+         "\nTable 1 (reproduced): simulated lot of %d chips, empirical yield %.3f\n\n"
+         (Fab.Lot.size r.Pipeline.lot) (Pipeline.true_yield r));
+    Buffer.add_string buf
+      (Report.Table.render
+         ~headers:[ "fault coverage"; "cum. failed"; "cum. fraction" ]
+         (simulated_side r));
+    let e = estimates r in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "\nestimates on simulated lot: fit n0 = %.2f | slope P'(0) = %.2f | \
+          slope n0 = %.2f | true n0 = %.2f\n"
+         e.fit_n0 e.slope_nav e.slope_n0 e.true_n0));
+  Buffer.contents buf

@@ -1,0 +1,1 @@
+lib/fab/defect.ml: Array Dist_kind Hashtbl Stats Yield_model

@@ -1,0 +1,1 @@
+lib/fab/defect.mli: Stats Yield_model

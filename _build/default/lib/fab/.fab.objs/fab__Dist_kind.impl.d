@@ -1,0 +1,1 @@
+lib/fab/dist_kind.ml: Stats

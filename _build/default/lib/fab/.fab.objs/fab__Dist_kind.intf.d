@@ -1,0 +1,1 @@
+lib/fab/dist_kind.mli: Stats

@@ -1,0 +1,1 @@
+lib/fab/lot.ml: Array Defect List Stats

@@ -1,0 +1,1 @@
+lib/fab/lot.mli: Defect Stats

@@ -1,0 +1,1 @@
+lib/fab/wafer.ml: Array Buffer Defect List Lot Yield_model

@@ -1,0 +1,1 @@
+lib/fab/wafer.mli: Defect Lot Stats

@@ -1,0 +1,1 @@
+lib/fab/yield_model.ml: Dist_kind

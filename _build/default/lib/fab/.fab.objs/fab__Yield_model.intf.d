@@ -1,0 +1,1 @@
+lib/fab/yield_model.mli: Dist_kind

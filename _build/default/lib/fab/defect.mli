@@ -1,0 +1,54 @@
+(** Physical-defect process model: how many defects a chip gets and
+    which logical faults each defect turns into.
+
+    This is the reproduction's substitute for the paper's real wafer
+    line.  Two features matter for the paper's statistics and both are
+    modeled:
+
+    - {b Defect counts cluster}: per-chip counts follow the
+      negative-binomial law implied by the Stapper yield formula
+      (paper Eq. 3), not a bare Poisson.
+    - {b One defect, several faults}: a physical defect (a metallization
+      short, say) maps to [1 + Poisson(multiplicity - 1)] stuck-at
+      faults, clustered on structurally nearby lines.  The paper's
+      footnote stresses exactly this distinction between [n0] and the
+      physical-defect mean [D0·A], and its Section 8 predicts fine-line
+      shrinks raise multiplicity. *)
+
+type t
+
+val create :
+  yield_model:Yield_model.t ->
+  fault_multiplicity:float ->
+  universe_size:int ->
+  ?locality_window:int ->
+  unit -> t
+(** [fault_multiplicity] ≥ 1 is the mean number of logical faults per
+    physical defect; [locality_window] (default 16) is the half-width,
+    in fault-universe index space, of a defect's cluster — universe
+    order follows netlist construction order, so index proximity is a
+    proxy for physical adjacency. *)
+
+val yield_model : t -> Yield_model.t
+
+val model_yield : t -> float
+(** Probability of zero defects under the configured count law. *)
+
+val fault_multiplicity : t -> float
+
+val universe_size : t -> int
+
+val expected_n0 : t -> float
+(** First-order prediction of the paper's parameter: the mean number of
+    logical faults on a {e defective} chip,
+    [multiplicity · E(defects | defects > 0)], ignoring the (small)
+    collision correction from two defects hitting the same line. *)
+
+val sample_chip : t -> Stats.Rng.t -> int array
+(** Fault indices (sorted, distinct) present on one manufactured chip;
+    the empty array means a good chip. *)
+
+val shrink : t -> area_factor:float -> multiplicity_factor:float -> t
+(** The Section 8 "fine-line technology" transform: scale the chip area
+    (same defect density ⇒ higher yield) and the faults-per-defect
+    multiplicity (finer features ⇒ one defect clobbers more logic). *)

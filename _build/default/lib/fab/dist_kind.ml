@@ -1,0 +1,12 @@
+type t = Poisson of float | Neg_binomial of { mean : float; alpha : float }
+
+let mean = function Poisson m -> m | Neg_binomial { mean; _ } -> mean
+
+let sample t rng =
+  match t with
+  | Poisson m -> Stats.Rng.poisson rng m
+  | Neg_binomial { mean; alpha } -> Stats.Rng.neg_binomial rng ~mean ~alpha
+
+let zero_probability = function
+  | Poisson m -> exp (-.m)
+  | Neg_binomial { mean; alpha } -> (1.0 +. (mean /. alpha)) ** (-.alpha)

@@ -1,0 +1,11 @@
+(** Tagged per-chip count distribution, shared by the yield model and
+    the lot generator so they stay in sync by construction. *)
+
+type t =
+  | Poisson of float                             (** mean *)
+  | Neg_binomial of { mean : float; alpha : float }
+
+val mean : t -> float
+val sample : t -> Stats.Rng.t -> int
+val zero_probability : t -> float
+(** P(count = 0) — the model yield when counts are physical defects. *)

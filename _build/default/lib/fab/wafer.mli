@@ -1,0 +1,43 @@
+(** Spatial wafer model.
+
+    The paper's data came from whole-wafer probing on a Sentry tester.
+    Real wafers have radially varying defect density (edge dies fare
+    worse); this module lays dies out on a disc, scales the local defect
+    density with radius, and produces a {!Lot.t} whose chips carry die
+    coordinates.  Mixing Poisson counts over a spatially varying density
+    is precisely the mechanism that motivates the gamma-mixed (Stapper)
+    model, so the wafer simulation doubles as a physical justification
+    check for Eq. 3 in the test suite. *)
+
+type die = {
+  x : int;
+  y : int;
+  radius : float;        (** Normalized 0 (center) .. 1 (edge). *)
+  faults : int array;    (** As in {!Lot.chip}. *)
+}
+
+type t = {
+  diameter : int;        (** Wafer width in dies. *)
+  dies : die array;
+  universe_size : int;
+}
+
+val fabricate :
+  Defect.t ->
+  Stats.Rng.t ->
+  diameter:int ->
+  ?edge_factor:float ->
+  unit -> t
+(** Fabricate one wafer.  The local defect density at normalized radius
+    [r] is scaled by [1 + (edge_factor - 1)·r²] (default edge factor
+    3.0: edge dies see three times the center density). *)
+
+val to_lot : t -> Lot.t
+(** Forget geometry; chips in row-major die order. *)
+
+val yield_by_ring : t -> rings:int -> (float * float) array
+(** [(ring center radius, yield in ring)] — the radial yield profile. *)
+
+val render_map : t -> string
+(** ASCII wafer map: ['.'] good die, ['X'] defective die, space outside
+    the disc. *)

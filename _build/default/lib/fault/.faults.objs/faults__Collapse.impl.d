@@ -1,0 +1,1 @@
+lib/fault/collapse.ml: Array Circuit Fault Hashtbl List

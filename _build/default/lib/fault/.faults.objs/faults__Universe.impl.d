@@ -1,0 +1,1 @@
+lib/fault/universe.ml: Array Circuit Fault

@@ -1,0 +1,146 @@
+type t = {
+  universe : Fault.t array;
+  class_index : (Fault.t, int) Hashtbl.t;  (* fault -> class id *)
+  reps : Fault.t array;                    (* class id -> representative *)
+  members : Fault.t list array;            (* class id -> members *)
+}
+
+(* Union-find with path compression. *)
+let find parent i =
+  let rec chase i =
+    if parent.(i) = i then i
+    else begin
+      parent.(i) <- parent.(parent.(i));
+      chase parent.(i)
+    end
+  in
+  chase i
+
+let union parent a b =
+  let ra = find parent a and rb = find parent b in
+  if ra <> rb then parent.(max ra rb) <- min ra rb
+
+let equivalence (c : Circuit.Netlist.t) universe =
+  let index = Hashtbl.create (Array.length universe) in
+  Array.iteri (fun i fault -> Hashtbl.replace index fault i) universe;
+  let parent = Array.init (Array.length universe) (fun i -> i) in
+  let merge fa fb =
+    match (Hashtbl.find_opt index fa, Hashtbl.find_opt index fb) with
+    | Some a, Some b -> union parent a b
+    | None, _ | _, None -> ()
+    (* A reduced universe (e.g. checkpoint) may omit one side; the rule
+       then simply does not apply. *)
+  in
+  let n = Circuit.Netlist.num_nodes c in
+  for gate = 0 to n - 1 do
+    let fanins = c.fanins.(gate) in
+    (* Branch = stem of a fanout-1 driver.  The driver must not itself
+       be a primary output: a stem fault on a PO is directly observable
+       while the branch fault is not, so they are not equivalent. *)
+    Array.iteri
+      (fun pin src ->
+        if Array.length c.fanouts.(src) = 1 && not (Circuit.Netlist.is_output c src)
+        then begin
+          merge
+            { Fault.site = Branch { gate; pin }; polarity = Stuck_at_0 }
+            { Fault.site = Stem src; polarity = Stuck_at_0 };
+          merge
+            { Fault.site = Branch { gate; pin }; polarity = Stuck_at_1 }
+            { Fault.site = Stem src; polarity = Stuck_at_1 }
+        end)
+      fanins;
+    (* Gate-local controlling-value equivalences. *)
+    let merge_all_pins input_polarity output_polarity =
+      Array.iteri
+        (fun pin _src ->
+          merge
+            { Fault.site = Branch { gate; pin }; polarity = input_polarity }
+            { Fault.site = Stem gate; polarity = output_polarity })
+        fanins
+    in
+    (match c.kinds.(gate) with
+    | Circuit.Gate.And -> merge_all_pins Fault.Stuck_at_0 Fault.Stuck_at_0
+    | Circuit.Gate.Nand -> merge_all_pins Fault.Stuck_at_0 Fault.Stuck_at_1
+    | Circuit.Gate.Or -> merge_all_pins Fault.Stuck_at_1 Fault.Stuck_at_1
+    | Circuit.Gate.Nor -> merge_all_pins Fault.Stuck_at_1 Fault.Stuck_at_0
+    | Circuit.Gate.Buf ->
+      merge_all_pins Fault.Stuck_at_0 Fault.Stuck_at_0;
+      merge_all_pins Fault.Stuck_at_1 Fault.Stuck_at_1
+    | Circuit.Gate.Not ->
+      merge_all_pins Fault.Stuck_at_0 Fault.Stuck_at_1;
+      merge_all_pins Fault.Stuck_at_1 Fault.Stuck_at_0
+    | Circuit.Gate.Input | Circuit.Gate.Const0 | Circuit.Gate.Const1
+    | Circuit.Gate.Xor | Circuit.Gate.Xnor -> ())
+  done;
+  (* Number the classes in first-member order. *)
+  let class_of_root = Hashtbl.create 64 in
+  let class_index = Hashtbl.create (Array.length universe) in
+  let reps = ref [] in
+  let count = ref 0 in
+  Array.iteri
+    (fun i fault ->
+      let root = find parent i in
+      let cls =
+        match Hashtbl.find_opt class_of_root root with
+        | Some cls -> cls
+        | None ->
+          let cls = !count in
+          incr count;
+          Hashtbl.add class_of_root root cls;
+          reps := fault :: !reps;
+          cls
+      in
+      Hashtbl.replace class_index fault cls)
+    universe;
+  let reps = Array.of_list (List.rev !reps) in
+  let members = Array.make (Array.length reps) [] in
+  (* Collect members in reverse universe order, then restore order. *)
+  for i = Array.length universe - 1 downto 0 do
+    let fault = universe.(i) in
+    let cls = Hashtbl.find class_index fault in
+    members.(cls) <- fault :: members.(cls)
+  done;
+  { universe; class_index; reps; members }
+
+let representatives t = t.reps
+
+let class_count t = Array.length t.reps
+
+let class_of t fault =
+  match Hashtbl.find_opt t.class_index fault with
+  | Some cls -> cls
+  | None -> raise Not_found
+
+let class_members t cls = t.members.(cls)
+
+let collapse_ratio t =
+  float_of_int (Array.length t.reps) /. float_of_int (Array.length t.universe)
+
+(* A test for input pin j stuck-at-(not controlling) must put the
+   controlling value on pin j alone; the good output is then
+   [controlling XOR inverts] and the fault flips it — exactly the
+   condition that detects the output stuck at the complement of that
+   value.  Hence that output fault is dominated by every such input
+   fault and its whole equivalence class can be dropped. *)
+let dominance (c : Circuit.Netlist.t) t =
+  let dropped = Array.make (Array.length t.reps) false in
+  let n = Circuit.Netlist.num_nodes c in
+  for gate = 0 to n - 1 do
+    if Array.length c.fanins.(gate) >= 2 then begin
+      match Circuit.Gate.controlling_value c.kinds.(gate) with
+      | None -> ()
+      | Some controlling ->
+        let forced_output = controlling <> Circuit.Gate.inverts c.kinds.(gate) in
+        let dominated =
+          { Fault.site = Fault.Stem gate;
+            polarity =
+              (if forced_output then Fault.Stuck_at_0 else Fault.Stuck_at_1) }
+        in
+        (match Hashtbl.find_opt t.class_index dominated with
+        | Some cls -> dropped.(cls) <- true
+        | None -> ())
+    end
+  done;
+  Array.to_list t.reps
+  |> List.filteri (fun cls _ -> not dropped.(cls))
+  |> Array.of_list

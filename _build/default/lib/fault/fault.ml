@@ -1,0 +1,24 @@
+type site = Stem of int | Branch of { gate : int; pin : int }
+
+type polarity = Stuck_at_0 | Stuck_at_1
+
+type t = { site : site; polarity : polarity }
+
+let compare = Stdlib.compare
+
+let equal a b = compare a b = 0
+
+let polarity_bit = function Stuck_at_0 -> false | Stuck_at_1 -> true
+
+let opposite = function Stuck_at_0 -> Stuck_at_1 | Stuck_at_1 -> Stuck_at_0
+
+let polarity_string = function Stuck_at_0 -> "sa0" | Stuck_at_1 -> "sa1"
+
+let to_string (c : Circuit.Netlist.t) { site; polarity } =
+  match site with
+  | Stem id -> Printf.sprintf "%s/%s" c.node_names.(id) (polarity_string polarity)
+  | Branch { gate; pin } ->
+    Printf.sprintf "%s.in%d/%s" c.node_names.(gate) pin (polarity_string polarity)
+
+let site_node { site; _ } =
+  match site with Stem id -> id | Branch { gate; _ } -> gate

@@ -1,0 +1,30 @@
+(** Single stuck-at faults on netlist lines.
+
+    A fault lives on a {e line}: either the output stem of a node or a
+    specific input pin of a gate (a fanout branch).  Distinguishing the
+    two matters — with reconvergent fanout, a branch can be stuck while
+    its stem is healthy — and it is what makes the universe size match
+    the classical line count [N] that the paper's coverage fraction
+    [f = m/N] refers to. *)
+
+type site =
+  | Stem of int                          (** Output of node [id]. *)
+  | Branch of { gate : int; pin : int }  (** Input [pin] of node [gate]. *)
+
+type polarity = Stuck_at_0 | Stuck_at_1
+
+type t = { site : site; polarity : polarity }
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val polarity_bit : polarity -> bool
+(** The logic value the line is stuck at. *)
+
+val opposite : polarity -> polarity
+
+val to_string : Circuit.Netlist.t -> t -> string
+(** Human-readable form, e.g. ["G16/sa0"] or ["G22.in1/sa1"]. *)
+
+val site_node : t -> int
+(** The node the fault is attached to (the gate, for a branch fault). *)

@@ -1,0 +1,39 @@
+let both_polarities site =
+  [ { Fault.site; polarity = Fault.Stuck_at_0 };
+    { Fault.site; polarity = Fault.Stuck_at_1 } ]
+
+let all (c : Circuit.Netlist.t) =
+  let faults = ref [] in
+  let n = Circuit.Netlist.num_nodes c in
+  for id = n - 1 downto 0 do
+    Array.iteri
+      (fun pin _src ->
+        faults := both_polarities (Fault.Branch { gate = id; pin }) @ !faults)
+      c.fanins.(id);
+    faults := both_polarities (Fault.Stem id) @ !faults
+  done;
+  Array.of_list !faults
+
+let checkpoint (c : Circuit.Netlist.t) =
+  let faults = ref [] in
+  let n = Circuit.Netlist.num_nodes c in
+  for id = n - 1 downto 0 do
+    Array.iteri
+      (fun pin src ->
+        if Array.length c.fanouts.(src) > 1 then
+          faults := both_polarities (Fault.Branch { gate = id; pin }) @ !faults)
+      c.fanins.(id);
+    if c.kinds.(id) = Circuit.Gate.Input then
+      faults := both_polarities (Fault.Stem id) @ !faults
+  done;
+  Array.of_list !faults
+
+let stems_only (c : Circuit.Netlist.t) =
+  let n = Circuit.Netlist.num_nodes c in
+  let faults = ref [] in
+  for id = n - 1 downto 0 do
+    faults := both_polarities (Fault.Stem id) @ !faults
+  done;
+  Array.of_list !faults
+
+let count c = 2 * Circuit.Netlist.line_count c

@@ -1,0 +1,22 @@
+(** Enumeration of the stuck-at fault universe.
+
+    [all] is the classical uncollapsed universe — two faults per line,
+    one line per node stem plus one per gate input pin — whose size is
+    [2 * Netlist.line_count].  [checkpoint] is the reduced set justified
+    by the checkpoint theorem (primary inputs and fanout branches
+    suffice for fanout-free-region coverage in irredundant circuits). *)
+
+val all : Circuit.Netlist.t -> Fault.t array
+(** Every line, both polarities.  Order is deterministic: stems in node
+    order, then branches in (gate, pin) order; sa0 before sa1. *)
+
+val checkpoint : Circuit.Netlist.t -> Fault.t array
+(** Faults on primary-input stems and on fanout branches (input pins
+    whose driver has fanout > 1), both polarities. *)
+
+val stems_only : Circuit.Netlist.t -> Fault.t array
+(** Faults on node outputs only — the coarse universe some early fault
+    simulators used; kept for ablation comparisons. *)
+
+val count : Circuit.Netlist.t -> int
+(** [Array.length (all c)], without allocating the array. *)

@@ -1,0 +1,1 @@
+lib/fsim/concurrent.ml: Array Circuit Fault_lists List

@@ -1,0 +1,1 @@
+lib/fsim/concurrent.mli: Circuit Faults

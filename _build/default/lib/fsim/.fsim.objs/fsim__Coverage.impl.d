@@ -1,0 +1,1 @@
+lib/fsim/coverage.ml: Array Concurrent Deductive List Ppsfp Serial

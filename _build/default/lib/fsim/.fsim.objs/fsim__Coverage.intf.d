@@ -1,0 +1,1 @@
+lib/fsim/coverage.mli: Circuit Faults

@@ -1,0 +1,1 @@
+lib/fsim/deductive.ml: Array Circuit Fault_lists

@@ -1,0 +1,1 @@
+lib/fsim/deductive.mli: Circuit Faults

@@ -1,0 +1,1 @@
+lib/fsim/diagnosis.ml: Array Circuit Hashtbl Int64 List Logicsim Serial

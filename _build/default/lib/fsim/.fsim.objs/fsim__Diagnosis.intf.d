@@ -1,0 +1,1 @@
+lib/fsim/diagnosis.mli: Circuit Faults

@@ -1,0 +1,1 @@
+lib/fsim/fault_lists.ml: Array Circuit Faults Hashtbl Int List Option Set

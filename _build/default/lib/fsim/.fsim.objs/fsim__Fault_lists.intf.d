@@ -1,0 +1,1 @@
+lib/fsim/fault_lists.mli: Circuit Faults Set

@@ -1,0 +1,1 @@
+lib/fsim/ppsfp.ml: Array Circuit Faults Int64 List Logicsim

@@ -1,0 +1,1 @@
+lib/fsim/ppsfp.mli: Circuit Faults

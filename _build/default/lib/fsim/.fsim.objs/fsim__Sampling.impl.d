@@ -1,0 +1,1 @@
+lib/fsim/sampling.ml: Array Ppsfp Stats

@@ -1,0 +1,1 @@
+lib/fsim/sampling.mli: Circuit Faults Stats

@@ -1,0 +1,1 @@
+lib/fsim/serial.ml: Array Circuit Faults Hashtbl Int64 List Logicsim

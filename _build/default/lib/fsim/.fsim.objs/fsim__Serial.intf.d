@@ -1,0 +1,1 @@
+lib/fsim/serial.mli: Circuit Faults Logicsim

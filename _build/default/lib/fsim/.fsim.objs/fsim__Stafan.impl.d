@@ -1,0 +1,1 @@
+lib/fsim/stafan.ml: Array Circuit Faults Int64 List Logicsim

@@ -1,0 +1,1 @@
+lib/fsim/stafan.mli: Circuit Faults

@@ -1,0 +1,26 @@
+(** Concurrent-style fault simulation — the fourth engine.
+
+    Production simulators of the LAMP era (Ulrich–Baker concurrent
+    simulation) kept per-gate lists of fault machines that diverge from
+    the good machine and updated them {e event-driven}: when a new
+    pattern changes only a few inputs, work happens only where good
+    values or divergence lists actually change.  This implementation is
+    the combinational, single-stuck-at specialization: each node
+    carries its deductive flip list, and both the value and the list
+    are re-evaluated only inside the cone of activity, through a
+    level-ordered event wheel.
+
+    On the random-walk "functional" programs used by the pipeline (one
+    input flip per pattern) this beats the per-pattern full sweep of
+    {!Deductive}; on independent random patterns activity is global and
+    the advantage disappears — the micro bench shows both regimes.
+    Results are identical to {!Serial.run} / {!Ppsfp.run} /
+    {!Deductive.run} (differential-tested). *)
+
+val run :
+  Circuit.Netlist.t -> Faults.Fault.t array -> bool array array -> int option array
+(** Same contract as {!Serial.run}: per-fault first detecting pattern.
+
+    Note on dropping: detected faults are removed from all lists
+    lazily (a dead fault may linger in an unchanged cone's lists but is
+    never re-reported and never causes extra events of its own). *)

@@ -1,0 +1,60 @@
+type engine = Serial | Parallel | Deductive | Concurrent
+
+type profile = {
+  universe_size : int;
+  pattern_count : int;
+  first_detection : int option array;
+}
+
+let profile ?(engine = Parallel) c faults patterns =
+  let first_detection =
+    match engine with
+    | Serial -> Serial.run c faults patterns
+    | Parallel -> Ppsfp.run c faults patterns
+    | Deductive -> Deductive.run c faults patterns
+    | Concurrent -> Concurrent.run c faults patterns
+  in
+  { universe_size = Array.length faults;
+    pattern_count = Array.length patterns;
+    first_detection }
+
+let detected_count p =
+  Array.fold_left
+    (fun acc d -> match d with Some _ -> acc + 1 | None -> acc)
+    0 p.first_detection
+
+let final_coverage p =
+  if p.universe_size = 0 then 0.0
+  else float_of_int (detected_count p) /. float_of_int p.universe_size
+
+let coverage_after p k =
+  if p.universe_size = 0 then 0.0
+  else begin
+    let detected =
+      Array.fold_left
+        (fun acc d -> match d with Some i when i < k -> acc + 1 | Some _ | None -> acc)
+        0 p.first_detection
+    in
+    float_of_int detected /. float_of_int p.universe_size
+  end
+
+let curve p =
+  (* Histogram of first detections, then a running sum: O(F + P). *)
+  let new_detections = Array.make (p.pattern_count + 1) 0 in
+  Array.iter
+    (function
+      | Some i -> new_detections.(i + 1) <- new_detections.(i + 1) + 1
+      | None -> ())
+    p.first_detection;
+  let total = float_of_int (max 1 p.universe_size) in
+  let running = ref 0 in
+  Array.init p.pattern_count (fun k ->
+      running := !running + new_detections.(k + 1);
+      (k + 1, float_of_int !running /. total))
+
+let undetected p faults =
+  let misses = ref [] in
+  Array.iteri
+    (fun i d -> if d = None then misses := faults.(i) :: !misses)
+    p.first_detection;
+  List.rev !misses

@@ -1,0 +1,39 @@
+(** Fault-coverage bookkeeping on top of the fault simulators.
+
+    The paper's characterization procedure needs the cumulative fault
+    coverage as a function of the number of applied patterns (its
+    Section 5), and the per-fault first-detection index doubles as the
+    virtual tester's lookup table (a chip containing fault [j] fails
+    first at pattern [first_detection.(j)]). *)
+
+type engine = Serial | Parallel | Deductive | Concurrent
+
+type profile = {
+  universe_size : int;                (** Faults simulated. *)
+  pattern_count : int;                (** Patterns applied. *)
+  first_detection : int option array; (** Per fault, first detecting pattern. *)
+}
+
+val profile :
+  ?engine:engine ->
+  Circuit.Netlist.t -> Faults.Fault.t array -> bool array array -> profile
+(** Run fault simulation (default {!Parallel}; {!Serial} and
+    {!Deductive} give identical results at different costs) and package
+    the result. *)
+
+val detected_count : profile -> int
+(** Number of detected faults. *)
+
+val final_coverage : profile -> float
+(** Detected / universe size after all patterns. *)
+
+val coverage_after : profile -> int -> float
+(** [coverage_after p k] is the coverage achieved by the first [k]
+    patterns. *)
+
+val curve : profile -> (int * float) array
+(** [(k, coverage after k patterns)] for k = 1 .. pattern_count —
+    exactly the simulator-supplied curve of the paper's Fig. 5 x-axis. *)
+
+val undetected : profile -> Faults.Fault.t array -> Faults.Fault.t list
+(** Faults never detected by the pattern set (redundant or hard). *)

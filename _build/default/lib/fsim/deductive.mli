@@ -1,0 +1,26 @@
+(** Deductive fault simulation (Armstrong, 1972) — the third engine.
+
+    One true-value simulation per pattern, during which a {e fault
+    list} is deduced for every node: the set of faults whose presence
+    would complement that node under the current pattern.  List
+    propagation rules per gate:
+
+    - no input at the controlling value: any single flipping input
+      flips the output → union of the input lists;
+    - some inputs at the controlling value: the output flips iff every
+      controlling input flips and no non-controlling input does →
+      (∩ lists of controlling inputs) minus (∪ lists of the others);
+    - XOR-class gates: an odd number of flips flips the output →
+      fold of symmetric differences.
+
+    A stem (branch) fault is inserted into / removed from its own
+    line's list according to whether the stuck value differs from the
+    line's good value.  Faults whose list reaches a primary output are
+    detected.  Produces results identical to {!Serial.run} and
+    {!Ppsfp.run} (differential-tested); the bench compares the three
+    engines' cost profiles. *)
+
+val run :
+  Circuit.Netlist.t -> Faults.Fault.t array -> bool array array -> int option array
+(** Same contract as {!Serial.run}: per fault, the first detecting
+    pattern index, with detected faults dropped from later patterns. *)

@@ -1,0 +1,112 @@
+type response = { pattern : int; failing_outputs : int array }
+
+type signature = response list
+
+type t = {
+  signatures : signature array;
+  (* Set of (pattern, output) pairs per fault, for distance queries. *)
+  pair_sets : (int * int, unit) Hashtbl.t array;
+}
+
+let responses_of_output_diffs ~block_start ~live diffs_per_output =
+  (* [diffs_per_output]: per primary output, the 64-bit pattern mask of
+     mismatches within the block.  Regroup by pattern. *)
+  let responses = ref [] in
+  for bit = 63 downto 0 do
+    if Logicsim.Packed.bit live bit then begin
+      let failing = ref [] in
+      Array.iteri
+        (fun out_index word ->
+          if Logicsim.Packed.bit word bit then failing := out_index :: !failing)
+        diffs_per_output;
+      match !failing with
+      | [] -> ()
+      | outs ->
+        responses :=
+          { pattern = block_start + bit;
+            failing_outputs = Array.of_list (List.sort compare outs) }
+          :: !responses
+    end
+  done;
+  !responses
+
+let signature_of_simulation c blocks ~faulty_values_of_block =
+  let _, responses =
+    List.fold_left
+      (fun (block_start, acc) block ->
+        let good = Logicsim.Packed.eval_block c block in
+        let good_outputs = Logicsim.Packed.output_words c good in
+        let faulty = faulty_values_of_block block in
+        let live = Logicsim.Packed.live_mask block in
+        let diffs =
+          Array.mapi
+            (fun i out ->
+              Int64.logand live (Int64.logxor good_outputs.(i) faulty.(out)))
+            c.Circuit.Netlist.outputs
+        in
+        ( block_start + block.Logicsim.Packed.pattern_count,
+          acc @ responses_of_output_diffs ~block_start ~live diffs ))
+      (0, []) blocks
+  in
+  List.sort (fun a b -> compare a.pattern b.pattern) responses
+
+let pair_set_of_signature signature =
+  let table = Hashtbl.create 32 in
+  List.iter
+    (fun { pattern; failing_outputs } ->
+      Array.iter (fun out -> Hashtbl.replace table (pattern, out) ()) failing_outputs)
+    signature;
+  table
+
+let build c faults patterns =
+  let blocks = Logicsim.Packed.blocks_of_patterns c patterns in
+  let signatures =
+    Array.map
+      (fun fault ->
+        signature_of_simulation c blocks ~faulty_values_of_block:(fun block ->
+            Serial.eval_with_fault c fault block))
+      faults
+  in
+  { signatures; pair_sets = Array.map pair_set_of_signature signatures }
+
+let fault_signature t i = t.signatures.(i)
+
+let observe c fault_set patterns =
+  let blocks = Logicsim.Packed.blocks_of_patterns c patterns in
+  signature_of_simulation c blocks ~faulty_values_of_block:(fun block ->
+      Serial.eval_with_fault_set c fault_set block)
+
+let exact_matches t observation =
+  let matches = ref [] in
+  Array.iteri
+    (fun i s -> if s = observation then matches := i :: !matches)
+    t.signatures;
+  List.rev !matches
+
+let signature_distance pair_set observation_set =
+  let missing = ref 0 in
+  Hashtbl.iter
+    (fun key () -> if not (Hashtbl.mem observation_set key) then incr missing)
+    pair_set;
+  let extra = ref 0 in
+  Hashtbl.iter
+    (fun key () -> if not (Hashtbl.mem pair_set key) then incr extra)
+    observation_set;
+  !missing + !extra
+
+let ranked_matches t observation ~count =
+  let observation_set = pair_set_of_signature observation in
+  Array.to_list (Array.mapi (fun i set -> (i, signature_distance set observation_set)) t.pair_sets)
+  |> List.sort (fun (_, a) (_, b) -> compare a b)
+  |> List.filteri (fun i _ -> i < count)
+
+let distinguishable_pairs t =
+  let n = Array.length t.signatures in
+  let distinguishable = ref 0 and total = ref 0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      incr total;
+      if t.signatures.(i) <> t.signatures.(j) then incr distinguishable
+    done
+  done;
+  (!distinguishable, !total)

@@ -1,0 +1,53 @@
+(** Fault dictionaries and cause-effect diagnosis.
+
+    The same fault-simulation machinery that grades a test program can
+    precompute, for every modeled fault, the {e signature} a chip
+    carrying that fault would produce on the tester — which patterns
+    fail, and on which outputs.  Matching an observed signature against
+    the dictionary localizes the defect (1981-era cause-effect
+    diagnosis; the paper's tester logged exactly this per-pattern
+    fail data).
+
+    Faults that are detection-equivalent on the given pattern set
+    necessarily share a signature; diagnosis returns the whole match
+    set, never an arbitrary member. *)
+
+type response = {
+  pattern : int;               (** Failing pattern index. *)
+  failing_outputs : int array; (** Output positions (sorted) that differ. *)
+}
+
+type signature = response list
+(** Failing patterns in increasing order; passing chips have []. *)
+
+type t
+(** A full-response fault dictionary. *)
+
+val build :
+  Circuit.Netlist.t -> Faults.Fault.t array -> bool array array -> t
+(** Simulate every fault against the full pattern set and record its
+    signature.  O(|faults| · |patterns| · |circuit|) — dictionaries are
+    precomputed once per test program. *)
+
+val fault_signature : t -> int -> signature
+(** Signature of fault [i] of the universe the dictionary was built
+    from. *)
+
+val observe :
+  Circuit.Netlist.t -> Faults.Fault.t array -> bool array array -> signature
+(** What the tester sees for a chip carrying the given fault {e set}
+    (multiple faults allowed — the realistic defective chip). *)
+
+val exact_matches : t -> signature -> int list
+(** Fault indices whose dictionary signature equals the observation;
+    [[]] means no single modeled fault explains the behaviour (e.g. a
+    multi-fault chip or an unmodeled defect). *)
+
+val ranked_matches : t -> signature -> count:int -> (int * int) list
+(** Best [count] candidates by signature distance (symmetric-difference
+    cardinality over (pattern, output) pairs), closest first.  Useful
+    when {!exact_matches} is empty. *)
+
+val distinguishable_pairs : t -> int * int
+(** (distinguishable, total) over all fault pairs — the diagnostic
+    resolution of the pattern set. *)

@@ -1,0 +1,61 @@
+module Int_set = Set.Make (Int)
+
+type site_index = {
+  stem : (int, (int * bool) list) Hashtbl.t;
+  branch : (int * int, (int * bool) list) Hashtbl.t;
+}
+
+let index faults =
+  let t = { stem = Hashtbl.create 64; branch = Hashtbl.create 64 } in
+  Array.iteri
+    (fun i fault ->
+      let stuck = Faults.Fault.polarity_bit fault.Faults.Fault.polarity in
+      match fault.Faults.Fault.site with
+      | Faults.Fault.Stem v ->
+        Hashtbl.replace t.stem v
+          ((i, stuck) :: Option.value ~default:[] (Hashtbl.find_opt t.stem v))
+      | Faults.Fault.Branch { gate; pin } ->
+        Hashtbl.replace t.branch (gate, pin)
+          ((i, stuck)
+          :: Option.value ~default:[] (Hashtbl.find_opt t.branch (gate, pin))))
+    faults;
+  t
+
+let stem_faults t node = Option.value ~default:[] (Hashtbl.find_opt t.stem node)
+
+let branch_faults t ~gate ~pin =
+  Option.value ~default:[] (Hashtbl.find_opt t.branch (gate, pin))
+
+let adjust_for_site site_list ~good ~alive list =
+  List.fold_left
+    (fun acc (fault_index, stuck) ->
+      if not alive.(fault_index) then acc
+      else if good <> stuck then Int_set.add fault_index acc
+      else Int_set.remove fault_index acc)
+    list site_list
+
+let symmetric_difference a b = Int_set.union (Int_set.diff a b) (Int_set.diff b a)
+
+let gate_flip_list kind ~pin_values ~pin_lists =
+  match Circuit.Gate.controlling_value kind with
+  | None ->
+    (match kind with
+    | Circuit.Gate.Const0 | Circuit.Gate.Const1 -> Int_set.empty
+    | Circuit.Gate.Buf | Circuit.Gate.Not -> pin_lists.(0)
+    | Circuit.Gate.Xor | Circuit.Gate.Xnor ->
+      Array.fold_left symmetric_difference Int_set.empty pin_lists
+    | Circuit.Gate.Input -> Int_set.empty
+    | Circuit.Gate.And | Circuit.Gate.Nand | Circuit.Gate.Or | Circuit.Gate.Nor ->
+      assert false)
+  | Some controlling ->
+    let controlling_pins = ref [] in
+    let noncontrolling_union = ref Int_set.empty in
+    Array.iteri
+      (fun pin v ->
+        if v = controlling then controlling_pins := pin_lists.(pin) :: !controlling_pins
+        else noncontrolling_union := Int_set.union !noncontrolling_union pin_lists.(pin))
+      pin_values;
+    (match !controlling_pins with
+    | [] -> !noncontrolling_union
+    | first :: rest ->
+      Int_set.diff (List.fold_left Int_set.inter first rest) !noncontrolling_union)

@@ -1,0 +1,31 @@
+(** Shared fault-list machinery for the deductive and concurrent
+    engines: site-indexed fault lookup, the stuck-at insertion/removal
+    rule, and the per-gate flip-list propagation rules. *)
+
+module Int_set : Set.S with type elt = int
+
+type site_index
+(** Faults of a universe, indexed by the line they sit on. *)
+
+val index : Faults.Fault.t array -> site_index
+
+val stem_faults : site_index -> int -> (int * bool) list
+(** [(fault index, stuck value)] pairs on a node's stem. *)
+
+val branch_faults : site_index -> gate:int -> pin:int -> (int * bool) list
+
+val adjust_for_site :
+  (int * bool) list -> good:bool -> alive:bool array -> Int_set.t -> Int_set.t
+(** Insert each live site fault whose stuck value differs from the
+    line's good value; remove the ones that agree (they force the line
+    to its good value, overriding any upstream flip). *)
+
+val gate_flip_list :
+  Circuit.Gate.kind ->
+  pin_values:bool array ->
+  pin_lists:Int_set.t array ->
+  Int_set.t
+(** The set of faults that complement the gate output, given per-pin
+    good values and flip lists:
+    controlling-value analysis for AND/OR families, parity
+    (symmetric-difference fold) for XOR families. *)

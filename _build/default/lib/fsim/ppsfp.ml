@@ -1,0 +1,165 @@
+type state = {
+  circuit : Circuit.Netlist.t;
+  is_output : bool array;
+  (* Copy-on-write faulty values: fval.(u) is meaningful only when
+     stamp.(u) = generation. *)
+  fval : int64 array;
+  stamp : int array;
+  sched : int array;
+  buckets : int list array;
+  mutable generation : int;
+}
+
+let make_state (c : Circuit.Netlist.t) =
+  let n = Circuit.Netlist.num_nodes c in
+  let is_output = Array.make n false in
+  Array.iter (fun id -> is_output.(id) <- true) c.outputs;
+  { circuit = c; is_output; fval = Array.make n 0L; stamp = Array.make n (-1);
+    sched = Array.make n (-1); buckets = Array.make (Circuit.Netlist.depth c + 1) [];
+    generation = 0 }
+
+let eval_faulty st good u =
+  let c = st.circuit in
+  let srcs = c.fanins.(u) in
+  let value src = if st.stamp.(src) = st.generation then st.fval.(src) else good.(src) in
+  let fold op =
+    let acc = ref (value srcs.(0)) in
+    for i = 1 to Array.length srcs - 1 do
+      acc := op !acc (value srcs.(i))
+    done;
+    !acc
+  in
+  match c.kinds.(u) with
+  | Circuit.Gate.Input -> good.(u)
+  | Circuit.Gate.Const0 -> 0L
+  | Circuit.Gate.Const1 -> -1L
+  | Circuit.Gate.Buf -> value srcs.(0)
+  | Circuit.Gate.Not -> Int64.lognot (value srcs.(0))
+  | Circuit.Gate.And -> fold Int64.logand
+  | Circuit.Gate.Nand -> Int64.lognot (fold Int64.logand)
+  | Circuit.Gate.Or -> fold Int64.logor
+  | Circuit.Gate.Nor -> Int64.lognot (fold Int64.logor)
+  | Circuit.Gate.Xor -> fold Int64.logxor
+  | Circuit.Gate.Xnor -> Int64.lognot (fold Int64.logxor)
+
+let seed_word st good fault =
+  let forced =
+    match fault.Faults.Fault.polarity with Faults.Fault.Stuck_at_0 -> 0L | Faults.Fault.Stuck_at_1 -> -1L
+  in
+  match fault.Faults.Fault.site with
+  | Faults.Fault.Stem v -> (v, forced)
+  | Faults.Fault.Branch { gate; pin } ->
+    let c = st.circuit in
+    let srcs = c.fanins.(gate) in
+    let value i = if i = pin then forced else good.(srcs.(i)) in
+    let fold op =
+      let acc = ref (value 0) in
+      for i = 1 to Array.length srcs - 1 do
+        acc := op !acc (value i)
+      done;
+      !acc
+    in
+    let w =
+      match c.kinds.(gate) with
+      | Circuit.Gate.Input | Circuit.Gate.Const0 | Circuit.Gate.Const1 ->
+        invalid_arg "Ppsfp: branch fault on a node without input pins"
+      | Circuit.Gate.Buf -> value 0
+      | Circuit.Gate.Not -> Int64.lognot (value 0)
+      | Circuit.Gate.And -> fold Int64.logand
+      | Circuit.Gate.Nand -> Int64.lognot (fold Int64.logand)
+      | Circuit.Gate.Or -> fold Int64.logor
+      | Circuit.Gate.Nor -> Int64.lognot (fold Int64.logor)
+      | Circuit.Gate.Xor -> fold Int64.logxor
+      | Circuit.Gate.Xnor -> Int64.lognot (fold Int64.logxor)
+    in
+    (gate, w)
+
+(* Propagate one fault through its cone; returns the mask of patterns
+   (within [live]) on which some primary output diverges. *)
+let propagate st good ~live fault =
+  st.generation <- st.generation + 1;
+  let c = st.circuit in
+  let node, w = seed_word st good fault in
+  if Int64.logand (Int64.logxor w good.(node)) live = 0L then 0L
+  else begin
+    st.fval.(node) <- w;
+    st.stamp.(node) <- st.generation;
+    let out_diff = ref 0L in
+    if st.is_output.(node) then
+      out_diff := Int64.logand (Int64.logxor w good.(node)) live;
+    let max_level = ref c.levels.(node) in
+    let schedule u =
+      if st.sched.(u) <> st.generation then begin
+        st.sched.(u) <- st.generation;
+        let l = c.levels.(u) in
+        st.buckets.(l) <- u :: st.buckets.(l);
+        if l > !max_level then max_level := l
+      end
+    in
+    Array.iter schedule c.fanouts.(node);
+    let level = ref (c.levels.(node) + 1) in
+    while !level <= !max_level do
+      let bucket = st.buckets.(!level) in
+      st.buckets.(!level) <- [];
+      List.iter
+        (fun u ->
+          let fresh = eval_faulty st good u in
+          if Int64.logand (Int64.logxor fresh good.(u)) live <> 0L then begin
+            st.fval.(u) <- fresh;
+            st.stamp.(u) <- st.generation;
+            if st.is_output.(u) then
+              out_diff :=
+                Int64.logor !out_diff
+                  (Int64.logand (Int64.logxor fresh good.(u)) live);
+            Array.iter schedule c.fanouts.(u)
+          end)
+        bucket;
+      incr level
+    done;
+    !out_diff
+  end
+
+let lowest_set_bit w =
+  if w = 0L then invalid_arg "lowest_set_bit: zero word";
+  let rec loop i = if Logicsim.Packed.bit w i then i else loop (i + 1) in
+  loop 0
+
+let run_general c faults patterns ~on_block =
+  let st = make_state c in
+  let blocks = Logicsim.Packed.blocks_of_patterns c patterns in
+  let results = Array.make (Array.length faults) None in
+  let alive = ref (List.init (Array.length faults) (fun i -> i)) in
+  let detected = ref 0 in
+  let block_start = ref 0 in
+  List.iter
+    (fun block ->
+      if !alive <> [] then begin
+        let good = Logicsim.Packed.eval_block c block in
+        let live = Logicsim.Packed.live_mask block in
+        let survivors = ref [] in
+        List.iter
+          (fun fi ->
+            let mask = propagate st good ~live faults.(fi) in
+            if mask = 0L then survivors := fi :: !survivors
+            else begin
+              results.(fi) <- Some (!block_start + lowest_set_bit mask);
+              incr detected
+            end)
+          !alive;
+        alive := List.rev !survivors
+      end;
+      block_start := !block_start + block.Logicsim.Packed.pattern_count;
+      on_block ~patterns_applied:!block_start ~detected:!detected)
+    blocks;
+  results
+
+let run c faults patterns =
+  run_general c faults patterns ~on_block:(fun ~patterns_applied:_ ~detected:_ -> ())
+
+let run_curve c faults patterns =
+  let checkpoints = ref [] in
+  let results =
+    run_general c faults patterns ~on_block:(fun ~patterns_applied ~detected ->
+        checkpoints := (patterns_applied, detected) :: !checkpoints)
+  in
+  (results, List.rev !checkpoints)

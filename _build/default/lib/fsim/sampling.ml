@@ -1,0 +1,40 @@
+type estimate = {
+  coverage : float;
+  std_error : float;
+  lower_95 : float;
+  upper_95 : float;
+  sample_size : int;
+  universe_size : int;
+}
+
+let estimate_coverage rng c universe ~sample_size patterns =
+  let universe_size = Array.length universe in
+  if universe_size = 0 then invalid_arg "Sampling.estimate_coverage: empty universe";
+  if sample_size <= 0 then invalid_arg "Sampling.estimate_coverage: nonpositive sample";
+  let sample_size = min sample_size universe_size in
+  let sample =
+    if sample_size = universe_size then universe
+    else
+      Stats.Rng.sample_without_replacement rng ~k:sample_size ~n:universe_size
+      |> Array.map (fun i -> universe.(i))
+  in
+  let results = Ppsfp.run c sample patterns in
+  let detected =
+    Array.fold_left (fun acc d -> if d <> None then acc + 1 else acc) 0 results
+  in
+  let k = float_of_int sample_size in
+  let coverage = float_of_int detected /. k in
+  let fpc =
+    if universe_size <= 1 then 0.0
+    else
+      float_of_int (universe_size - sample_size)
+      /. float_of_int (universe_size - 1)
+  in
+  let std_error = sqrt (coverage *. (1.0 -. coverage) /. k *. fpc) in
+  let margin = 1.959963984540054 *. std_error in
+  { coverage;
+    std_error;
+    lower_95 = max 0.0 (coverage -. margin);
+    upper_95 = min 1.0 (coverage +. margin);
+    sample_size;
+    universe_size }

@@ -1,0 +1,31 @@
+(** Statistical fault sampling.
+
+    Grading a full LSI fault universe was expensive on 1981 hardware,
+    so production flows graded a random {e sample} of faults and
+    reported the sampled coverage with a confidence interval — the
+    fault-coverage figure entering the paper's model is itself often a
+    sample estimate.  Sampling without replacement from a universe of
+    [N] faults makes the detected count hypergeometric; the interval
+    below uses the normal approximation with the finite-population
+    correction. *)
+
+type estimate = {
+  coverage : float;        (** Sample fault coverage. *)
+  std_error : float;       (** With finite-population correction. *)
+  lower_95 : float;        (** Clamped to [0, 1]. *)
+  upper_95 : float;
+  sample_size : int;
+  universe_size : int;
+}
+
+val estimate_coverage :
+  Stats.Rng.t ->
+  Circuit.Netlist.t ->
+  Faults.Fault.t array ->
+  sample_size:int ->
+  bool array array ->
+  estimate
+(** Draw [sample_size] faults without replacement, fault-simulate only
+    those, and report the estimated coverage of the full universe.  If
+    [sample_size >= Array.length universe] the answer is exact with a
+    zero-width interval. *)

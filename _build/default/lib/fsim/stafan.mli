@@ -1,0 +1,46 @@
+(** STAFAN-style statistical fault analysis (Jain & Agrawal 1985 — the
+    follow-up line of work by this paper's own authors).
+
+    Estimates per-fault detection probabilities and the expected fault
+    coverage of a pattern set {e without simulating any fault}: one
+    good-machine simulation of the patterns collects per-line signal
+    statistics, from which
+
+    - controllabilities [C1(l), C0(l)] — observed fraction of patterns
+      with the line at 1 / 0;
+    - observabilities [B(l)] — estimated fraction of patterns on which
+      a change at the line would reach a primary output, propagated
+      backwards with the standard STAFAN sensitization ratios;
+    - per-fault detection probability per pattern
+      [d(sa0) = C1·B, d(sa1) = C0·B];
+    - expected coverage of [n] patterns: mean of [1 - (1-d)^n].
+
+    The estimate is approximate (reconvergent fanout breaks the
+    independence assumptions), which is precisely what makes it cheap;
+    the ablation tests quantify the gap against exact fault
+    simulation. *)
+
+type t
+
+val analyze : Circuit.Netlist.t -> bool array array -> t
+(** One pass of good-machine simulation over the patterns plus a
+    backward observability sweep. *)
+
+val controllability_one : t -> int -> float
+(** C1 of a node's stem: fraction of analyzed patterns with value 1. *)
+
+val observability : t -> int -> float
+(** B of a node's stem. *)
+
+val detection_probability : t -> Faults.Fault.t -> float
+(** Estimated per-pattern detection probability of a stuck-at fault. *)
+
+val expected_coverage :
+  t -> Faults.Fault.t array -> pattern_count:int -> float
+(** Predicted coverage of [pattern_count] patterns drawn like the
+    analyzed ones, over the given universe. *)
+
+val predicted_curve :
+  t -> Faults.Fault.t array -> counts:int array -> (int * float) array
+(** [(n, predicted coverage)] rows — comparable to
+    {!Coverage.curve} from real fault simulation. *)

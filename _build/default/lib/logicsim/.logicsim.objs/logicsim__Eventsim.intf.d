@@ -1,0 +1,1 @@
+lib/logicsim/eventsim.mli: Circuit

@@ -1,0 +1,1 @@
+lib/logicsim/packed.ml: Array Circuit Int64 List

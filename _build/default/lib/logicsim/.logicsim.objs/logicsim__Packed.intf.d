@@ -1,0 +1,1 @@
+lib/logicsim/packed.mli: Circuit

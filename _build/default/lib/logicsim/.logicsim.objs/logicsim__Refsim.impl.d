@@ -1,0 +1,1 @@
+lib/logicsim/refsim.ml: Array Circuit Hashtbl List

@@ -1,0 +1,1 @@
+lib/logicsim/refsim.mli: Circuit

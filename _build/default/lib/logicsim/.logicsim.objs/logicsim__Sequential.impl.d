@@ -1,0 +1,1 @@
+lib/logicsim/sequential.ml: Array Circuit Hashtbl List Printf Refsim String

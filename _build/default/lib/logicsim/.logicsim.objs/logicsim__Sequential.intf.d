@@ -1,0 +1,1 @@
+lib/logicsim/sequential.mli: Circuit

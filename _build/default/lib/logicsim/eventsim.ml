@@ -1,0 +1,80 @@
+type t = {
+  circuit : Circuit.Netlist.t;
+  values : bool array;
+  (* Level-indexed buckets of scheduled nodes; [queued] deduplicates. *)
+  wheel : int list array;
+  queued : bool array;
+}
+
+let circuit t = t.circuit
+
+let eval_gate t id =
+  let c = t.circuit in
+  let fanin_values = Array.map (fun src -> t.values.(src)) c.fanins.(id) in
+  Circuit.Gate.eval c.kinds.(id) fanin_values
+
+let schedule t id =
+  if not t.queued.(id) then begin
+    t.queued.(id) <- true;
+    let level = t.circuit.levels.(id) in
+    t.wheel.(level) <- id :: t.wheel.(level)
+  end
+
+let propagate t =
+  let c = t.circuit in
+  let evaluations = ref 0 in
+  let depth = Array.length t.wheel in
+  for level = 0 to depth - 1 do
+    (* Processing strictly by level guarantees each gate is evaluated at
+       most once per pattern: all its fanins are final by then. *)
+    let bucket = t.wheel.(level) in
+    t.wheel.(level) <- [];
+    List.iter
+      (fun id ->
+        t.queued.(id) <- false;
+        incr evaluations;
+        let fresh = eval_gate t id in
+        if fresh <> t.values.(id) then begin
+          t.values.(id) <- fresh;
+          Array.iter (fun dst -> schedule t dst) c.fanouts.(id)
+        end)
+      bucket
+  done;
+  !evaluations
+
+let create c =
+  let n = Circuit.Netlist.num_nodes c in
+  let t =
+    { circuit = c; values = Array.make n false;
+      wheel = Array.make (Circuit.Netlist.depth c + 1) [];
+      queued = Array.make n false }
+  in
+  (* Settle the all-zero state: schedule every gate once. *)
+  Array.iter
+    (fun id ->
+      match c.kinds.(id) with
+      | Circuit.Gate.Input -> ()
+      | Circuit.Gate.Const0 | Circuit.Gate.Const1 | Circuit.Gate.Buf
+      | Circuit.Gate.Not | Circuit.Gate.And | Circuit.Gate.Nand
+      | Circuit.Gate.Or | Circuit.Gate.Nor | Circuit.Gate.Xor
+      | Circuit.Gate.Xnor -> schedule t id)
+    c.topo_order;
+  ignore (propagate t);
+  t
+
+let set_pattern t pattern =
+  let c = t.circuit in
+  if Array.length pattern <> Array.length c.inputs then
+    invalid_arg "Eventsim.set_pattern: width mismatch";
+  Array.iteri
+    (fun i id ->
+      if t.values.(id) <> pattern.(i) then begin
+        t.values.(id) <- pattern.(i);
+        Array.iter (fun dst -> schedule t dst) c.fanouts.(id)
+      end)
+    c.inputs;
+  propagate t
+
+let value t id = t.values.(id)
+
+let output_values t = Array.map (fun id -> t.values.(id)) t.circuit.outputs

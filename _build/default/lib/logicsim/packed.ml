@@ -1,0 +1,124 @@
+type block = { pattern_count : int; input_words : int64 array }
+
+let block_of_patterns (c : Circuit.Netlist.t) patterns =
+  let count = Array.length patterns in
+  if count = 0 || count > 64 then
+    invalid_arg "Packed.block_of_patterns: need 1..64 patterns";
+  let width = Array.length c.inputs in
+  let input_words = Array.make width 0L in
+  Array.iteri
+    (fun pattern_index pattern ->
+      if Array.length pattern <> width then
+        invalid_arg "Packed.block_of_patterns: pattern width mismatch";
+      Array.iteri
+        (fun input_index value ->
+          if value then
+            input_words.(input_index) <-
+              Int64.logor input_words.(input_index)
+                (Int64.shift_left 1L pattern_index))
+        pattern)
+    patterns;
+  { pattern_count = count; input_words }
+
+let blocks_of_patterns c patterns =
+  let total = Array.length patterns in
+  let rec loop start acc =
+    if start >= total then List.rev acc
+    else begin
+      let len = min 64 (total - start) in
+      let chunk = Array.sub patterns start len in
+      loop (start + len) (block_of_patterns c chunk :: acc)
+    end
+  in
+  loop 0 []
+
+let live_mask { pattern_count; _ } =
+  if pattern_count = 64 then -1L
+  else Int64.sub (Int64.shift_left 1L pattern_count) 1L
+
+let eval_into (c : Circuit.Netlist.t) values =
+  let fanins = c.fanins and kinds = c.kinds in
+  Array.iter
+    (fun id ->
+      match kinds.(id) with
+      | Circuit.Gate.Input -> ()
+      | Circuit.Gate.Const0 -> values.(id) <- 0L
+      | Circuit.Gate.Const1 -> values.(id) <- -1L
+      | Circuit.Gate.Buf -> values.(id) <- values.(fanins.(id).(0))
+      | Circuit.Gate.Not -> values.(id) <- Int64.lognot values.(fanins.(id).(0))
+      | Circuit.Gate.And ->
+        let srcs = fanins.(id) in
+        let acc = ref values.(srcs.(0)) in
+        for i = 1 to Array.length srcs - 1 do
+          acc := Int64.logand !acc values.(srcs.(i))
+        done;
+        values.(id) <- !acc
+      | Circuit.Gate.Nand ->
+        let srcs = fanins.(id) in
+        let acc = ref values.(srcs.(0)) in
+        for i = 1 to Array.length srcs - 1 do
+          acc := Int64.logand !acc values.(srcs.(i))
+        done;
+        values.(id) <- Int64.lognot !acc
+      | Circuit.Gate.Or ->
+        let srcs = fanins.(id) in
+        let acc = ref values.(srcs.(0)) in
+        for i = 1 to Array.length srcs - 1 do
+          acc := Int64.logor !acc values.(srcs.(i))
+        done;
+        values.(id) <- !acc
+      | Circuit.Gate.Nor ->
+        let srcs = fanins.(id) in
+        let acc = ref values.(srcs.(0)) in
+        for i = 1 to Array.length srcs - 1 do
+          acc := Int64.logor !acc values.(srcs.(i))
+        done;
+        values.(id) <- Int64.lognot !acc
+      | Circuit.Gate.Xor ->
+        let srcs = fanins.(id) in
+        let acc = ref values.(srcs.(0)) in
+        for i = 1 to Array.length srcs - 1 do
+          acc := Int64.logxor !acc values.(srcs.(i))
+        done;
+        values.(id) <- !acc
+      | Circuit.Gate.Xnor ->
+        let srcs = fanins.(id) in
+        let acc = ref values.(srcs.(0)) in
+        for i = 1 to Array.length srcs - 1 do
+          acc := Int64.logxor !acc values.(srcs.(i))
+        done;
+        values.(id) <- Int64.lognot !acc)
+    c.topo_order
+
+let eval_node (c : Circuit.Netlist.t) id values =
+  let srcs = c.fanins.(id) in
+  let fold op =
+    let acc = ref values.(srcs.(0)) in
+    for i = 1 to Array.length srcs - 1 do
+      acc := op !acc values.(srcs.(i))
+    done;
+    !acc
+  in
+  match c.kinds.(id) with
+  | Circuit.Gate.Input -> values.(id)
+  | Circuit.Gate.Const0 -> 0L
+  | Circuit.Gate.Const1 -> -1L
+  | Circuit.Gate.Buf -> values.(srcs.(0))
+  | Circuit.Gate.Not -> Int64.lognot values.(srcs.(0))
+  | Circuit.Gate.And -> fold Int64.logand
+  | Circuit.Gate.Nand -> Int64.lognot (fold Int64.logand)
+  | Circuit.Gate.Or -> fold Int64.logor
+  | Circuit.Gate.Nor -> Int64.lognot (fold Int64.logor)
+  | Circuit.Gate.Xor -> fold Int64.logxor
+  | Circuit.Gate.Xnor -> Int64.lognot (fold Int64.logxor)
+
+let eval_block c block =
+  let values = Array.make (Circuit.Netlist.num_nodes c) 0L in
+  Array.iteri (fun i id -> values.(id) <- block.input_words.(i)) c.Circuit.Netlist.inputs;
+  eval_into c values;
+  values
+
+let output_words (c : Circuit.Netlist.t) values =
+  Array.map (fun id -> values.(id)) c.outputs
+
+let bit w i = Int64.logand (Int64.shift_right_logical w i) 1L = 1L

@@ -1,0 +1,39 @@
+(** Bit-parallel (64 patterns per word) logic simulation.
+
+    This is the workhorse behind fault simulation and coverage curves:
+    one pass over the netlist evaluates 64 input patterns at once, one
+    [int64] per node.  Bit [i] of a word is pattern [i] of the block. *)
+
+type block = {
+  pattern_count : int;       (** 1..64 live patterns in this block. *)
+  input_words : int64 array; (** One word per primary input. *)
+}
+
+val block_of_patterns : Circuit.Netlist.t -> bool array array -> block
+(** Pack up to 64 patterns (each one boolean per primary input). *)
+
+val blocks_of_patterns : Circuit.Netlist.t -> bool array array -> block list
+(** Split an arbitrary pattern list into 64-wide blocks, in order. *)
+
+val live_mask : block -> int64
+(** Mask with bit [i] set iff pattern [i] exists in the block; compare
+    output words under this mask only. *)
+
+val eval_block : Circuit.Netlist.t -> block -> int64 array
+(** Evaluate every node for all patterns of the block; result is indexed
+    by node id. *)
+
+val eval_into : Circuit.Netlist.t -> int64 array -> unit
+(** Lower-level entry point for the fault simulator: [values] must
+    already hold the input words at the input node slots; every other
+    slot is (re)computed in topological order. *)
+
+val eval_node : Circuit.Netlist.t -> int -> int64 array -> int64
+(** [eval_node c id values] recomputes just node [id] from the fanin
+    words in [values] (no store). *)
+
+val output_words : Circuit.Netlist.t -> int64 array -> int64 array
+(** Extract the primary-output words from a node-value array. *)
+
+val bit : int64 -> int -> bool
+(** [bit w i] reads pattern [i]'s value from word [w]. *)

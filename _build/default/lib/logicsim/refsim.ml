@@ -1,0 +1,38 @@
+let eval (c : Circuit.Netlist.t) inputs =
+  if Array.length inputs <> Array.length c.inputs then
+    invalid_arg "Refsim.eval: input vector width mismatch";
+  let values = Array.make (Circuit.Netlist.num_nodes c) false in
+  Array.iteri (fun i id -> values.(id) <- inputs.(i)) c.inputs;
+  Array.iter
+    (fun id ->
+      match c.kinds.(id) with
+      | Circuit.Gate.Input -> ()
+      | kind ->
+        let fanin_values = Array.map (fun src -> values.(src)) c.fanins.(id) in
+        values.(id) <- Circuit.Gate.eval kind fanin_values)
+    c.topo_order;
+  values
+
+let outputs c inputs =
+  let values = eval c inputs in
+  Array.map (fun id -> values.(id)) c.outputs
+
+let eval_with_overrides (c : Circuit.Netlist.t) ~overrides inputs =
+  if Array.length inputs <> Array.length c.inputs then
+    invalid_arg "Refsim.eval_with_overrides: input vector width mismatch";
+  let values = Array.make (Circuit.Netlist.num_nodes c) false in
+  let forced = Hashtbl.create (List.length overrides) in
+  List.iter (fun (id, v) -> Hashtbl.replace forced id v) overrides;
+  let apply id computed =
+    match Hashtbl.find_opt forced id with Some v -> v | None -> computed
+  in
+  Array.iteri (fun i id -> values.(id) <- apply id inputs.(i)) c.inputs;
+  Array.iter
+    (fun id ->
+      match c.kinds.(id) with
+      | Circuit.Gate.Input -> ()
+      | kind ->
+        let fanin_values = Array.map (fun src -> values.(src)) c.fanins.(id) in
+        values.(id) <- apply id (Circuit.Gate.eval kind fanin_values))
+    c.topo_order;
+  values

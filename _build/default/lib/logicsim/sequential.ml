@@ -1,0 +1,168 @@
+type t = {
+  core : Circuit.Netlist.t;
+  primary_input_positions : int array;
+  state_input_positions : int array;
+  primary_output_positions : int array;
+  state_output_positions : int array;
+}
+
+let is_partition ~size a b =
+  let seen = Array.make size false in
+  let mark i =
+    if i < 0 || i >= size || seen.(i) then false
+    else begin
+      seen.(i) <- true;
+      true
+    end
+  in
+  Array.for_all mark a && Array.for_all mark b && Array.for_all (fun s -> s) seen
+
+let create ~core ~primary_input_positions ~state_input_positions
+    ~primary_output_positions ~state_output_positions =
+  if Array.length state_input_positions <> Array.length state_output_positions then
+    invalid_arg "Sequential.create: Q and D counts differ";
+  if
+    not
+      (is_partition
+         ~size:(Array.length core.Circuit.Netlist.inputs)
+         primary_input_positions state_input_positions)
+  then invalid_arg "Sequential.create: input positions do not partition the inputs";
+  if
+    not
+      (is_partition
+         ~size:(Array.length core.Circuit.Netlist.outputs)
+         primary_output_positions state_output_positions)
+  then invalid_arg "Sequential.create: output positions do not partition the outputs";
+  { core; primary_input_positions; state_input_positions;
+    primary_output_positions; state_output_positions }
+
+let flop_count t = Array.length t.state_input_positions
+let primary_input_count t = Array.length t.primary_input_positions
+let primary_output_count t = Array.length t.primary_output_positions
+
+let simulate t ?initial_state inputs =
+  let flops = flop_count t in
+  let state =
+    match initial_state with
+    | Some s ->
+      if Array.length s <> flops then
+        invalid_arg "Sequential.simulate: initial state width mismatch";
+      Array.copy s
+    | None -> Array.make flops false
+  in
+  let width = Array.length t.core.Circuit.Netlist.inputs in
+  let outputs =
+    Array.map
+      (fun primary ->
+        if Array.length primary <> primary_input_count t then
+          invalid_arg "Sequential.simulate: input width mismatch";
+        let vector = Array.make width false in
+        Array.iteri (fun i pos -> vector.(pos) <- primary.(i)) t.primary_input_positions;
+        Array.iteri (fun i pos -> vector.(pos) <- state.(i)) t.state_input_positions;
+        let all_outputs = Refsim.outputs t.core vector in
+        Array.iteri
+          (fun i pos -> state.(i) <- all_outputs.(pos))
+          t.state_output_positions;
+        Array.map (fun pos -> all_outputs.(pos)) t.primary_output_positions)
+      inputs
+  in
+  (outputs, state)
+
+let scan_view t = t.core
+
+let scan_test_cycles t ~patterns =
+  if patterns < 0 then invalid_arg "Sequential.scan_test_cycles: negative count";
+  if patterns = 0 then 0 else (patterns * (flop_count t + 1)) + flop_count t
+
+let of_bench source =
+  let core = Circuit.Bench_format.parse_string ~name:"sequential" source in
+  (* Recover the flop structure from the DFF statements: targets are
+     pseudo (Q) inputs, arguments pseudo (D) outputs. *)
+  let pseudo_inputs = Hashtbl.create 8 and pseudo_outputs = Hashtbl.create 8 in
+  String.split_on_char '\n' source
+  |> List.iter (fun line ->
+         let line =
+           match String.index_opt line '#' with
+           | Some i -> String.sub line 0 i
+           | None -> line
+         in
+         match String.index_opt line '=' with
+         | None -> ()
+         | Some eq ->
+           let target = String.trim (String.sub line 0 eq) in
+           let rhs = String.trim (String.sub line (eq + 1) (String.length line - eq - 1)) in
+           if String.length rhs >= 4 && String.uppercase_ascii (String.sub rhs 0 4) = "DFF("
+           then begin
+             let arg =
+               match String.rindex_opt rhs ')' with
+               | Some close -> String.trim (String.sub rhs 4 (close - 4))
+               | None -> ""
+             in
+             Hashtbl.replace pseudo_inputs target ();
+             if arg <> "" then Hashtbl.replace pseudo_outputs arg ()
+           end);
+  let split positions names_of =
+    let primary = ref [] and state = ref [] in
+    Array.iteri
+      (fun position id ->
+        if Hashtbl.mem names_of core.Circuit.Netlist.node_names.(id) then
+          state := position :: !state
+        else primary := position :: !primary)
+      positions;
+    (Array.of_list (List.rev !primary), Array.of_list (List.rev !state))
+  in
+  let primary_input_positions, state_input_positions =
+    split core.Circuit.Netlist.inputs pseudo_inputs
+  in
+  let primary_output_positions, state_output_positions =
+    split core.Circuit.Netlist.outputs pseudo_outputs
+  in
+  create ~core ~primary_input_positions ~state_input_positions
+    ~primary_output_positions ~state_output_positions
+
+let accumulator ~bits =
+  if bits <= 0 then invalid_arg "Sequential.accumulator: bits must be positive";
+  let b = Circuit.Netlist.Builder.create ~name:(Printf.sprintf "acc%d" bits) in
+  let data = Array.init bits (fun i -> Circuit.Netlist.Builder.add_input b (Printf.sprintf "d%d" i)) in
+  let enable = Circuit.Netlist.Builder.add_input b "en" in
+  let state = Array.init bits (fun i -> Circuit.Netlist.Builder.add_input b (Printf.sprintf "q%d" i)) in
+  (* sum = q + d; next = enable ? sum : q. *)
+  let sums = Array.make bits (-1) in
+  let carry = ref None in
+  for i = 0 to bits - 1 do
+    let axb = Circuit.Netlist.Builder.add_gate b Circuit.Gate.Xor [ state.(i); data.(i) ] in
+    let sum, cout =
+      match !carry with
+      | None ->
+        (axb, Circuit.Netlist.Builder.add_gate b Circuit.Gate.And [ state.(i); data.(i) ])
+      | Some c ->
+        let s = Circuit.Netlist.Builder.add_gate b Circuit.Gate.Xor [ axb; c ] in
+        let ab = Circuit.Netlist.Builder.add_gate b Circuit.Gate.And [ state.(i); data.(i) ] in
+        let c_axb = Circuit.Netlist.Builder.add_gate b Circuit.Gate.And [ c; axb ] in
+        (s, Circuit.Netlist.Builder.add_gate b Circuit.Gate.Or [ ab; c_axb ])
+    in
+    sums.(i) <- sum;
+    carry := Some cout
+  done;
+  let nen = Circuit.Netlist.Builder.add_gate b Circuit.Gate.Not [ enable ] in
+  let next =
+    Array.init bits (fun i ->
+        let keep = Circuit.Netlist.Builder.add_gate b Circuit.Gate.And [ state.(i); nen ] in
+        let take = Circuit.Netlist.Builder.add_gate b Circuit.Gate.And [ sums.(i); enable ] in
+        Circuit.Netlist.Builder.add_gate b Circuit.Gate.Or [ keep; take ])
+  in
+  let carry_out =
+    match !carry with
+    | Some c -> Circuit.Netlist.Builder.add_gate b ~name:"cout" Circuit.Gate.And [ c; enable ]
+    | None -> assert false
+  in
+  (* Primary outputs first (register bits + carry), then state (D). *)
+  Array.iter (Circuit.Netlist.Builder.mark_output b) state;
+  Circuit.Netlist.Builder.mark_output b carry_out;
+  Array.iter (Circuit.Netlist.Builder.mark_output b) next;
+  let core = Circuit.Netlist.Builder.build b in
+  create ~core
+    ~primary_input_positions:(Array.init (bits + 1) (fun i -> i))
+    ~state_input_positions:(Array.init bits (fun i -> bits + 1 + i))
+    ~primary_output_positions:(Array.init (bits + 1) (fun i -> i))
+    ~state_output_positions:(Array.init bits (fun i -> bits + 1 + i))

@@ -1,0 +1,67 @@
+(** Sequential circuits: a combinational core plus D flip-flops.
+
+    The paper's 25,000-transistor chip was sequential; its tester
+    applied an initialization sequence before the first strobe.  This
+    module closes that gap: a sequential machine is represented by its
+    combinational core with the flops cut — each flop contributes a
+    pseudo input (its Q output) and a pseudo output (its D input) — the
+    exact representation full-scan test generation uses.
+
+    Three things can then be done with one object:
+    - {!simulate}: cycle-accurate sequential simulation (Q fed from the
+      previous cycle's D);
+    - {!scan_view}: the combinational core itself, on which the whole
+      fault-simulation/ATPG machinery of this library applies directly
+      (scan design assumption);
+    - {!scan_test_cycles}: tester-time accounting for scan shifting,
+      the term that makes per-pattern cost grow with flop count. *)
+
+type t = {
+  core : Circuit.Netlist.t;
+  (* Positions into [core.inputs] / [core.outputs]: *)
+  primary_input_positions : int array;
+  state_input_positions : int array;   (** Q pseudo inputs, flop order. *)
+  primary_output_positions : int array;
+  state_output_positions : int array;  (** D pseudo outputs, flop order. *)
+}
+
+val create :
+  core:Circuit.Netlist.t ->
+  primary_input_positions:int array ->
+  state_input_positions:int array ->
+  primary_output_positions:int array ->
+  state_output_positions:int array ->
+  t
+(** Validates that the positions partition the core's inputs and
+    outputs and that the two state arrays have equal length. *)
+
+val flop_count : t -> int
+val primary_input_count : t -> int
+val primary_output_count : t -> int
+
+val simulate :
+  t -> ?initial_state:bool array -> bool array array ->
+  bool array array * bool array
+(** [simulate m inputs] clocks the machine once per row of [inputs]
+    (each row one value per primary input).  Returns the per-cycle
+    primary-output vectors and the final flop state.  Default initial
+    state: all zeros. *)
+
+val scan_view : t -> Circuit.Netlist.t
+(** The combinational core — what a full-scan tester exercises. *)
+
+val scan_test_cycles : t -> patterns:int -> int
+(** Tester cycles to apply [patterns] scan patterns: shift in
+    [flops] bits, one capture cycle, with the final unload overlapped
+    with the next load, plus one trailing unload. *)
+
+val of_bench : string -> t
+(** Parse a [.bench] netlist {e keeping} its DFF structure (unlike
+    {!Circuit.Bench_format.parse_string}, whose flat view discards which inputs
+    are pseudo). *)
+
+val accumulator : bits:int -> t
+(** A sequential generator for tests and demos: an accumulator machine
+    with inputs d0..d{n-1} and [enable]; each cycle, if [enable] the
+    register gains [d] (mod 2^n); primary outputs are the register bits
+    and the adder carry. *)

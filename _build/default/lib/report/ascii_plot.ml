@@ -1,0 +1,79 @@
+type scale = Linear | Log10
+
+let glyphs = [| '*'; '+'; 'o'; 'x'; '#'; '@'; '%'; '&'; '='; '~' |]
+
+let render ?(width = 72) ?(height = 24) ?(y_scale = Linear) ?(x_label = "")
+    ?(y_label = "") ?(title = "") series =
+  if width < 8 || height < 4 then invalid_arg "Ascii_plot.render: canvas too small";
+  let transform y =
+    match y_scale with
+    | Linear -> Some y
+    | Log10 -> if y > 0.0 then Some (log10 y) else None
+  in
+  let visible =
+    List.map
+      (fun s ->
+        { s with
+          Series.points =
+            Array.to_list s.Series.points
+            |> List.filter_map (fun (x, y) ->
+                   Option.map (fun ty -> (x, ty)) (transform y))
+            |> Array.of_list })
+      series
+  in
+  let x_lo, x_hi = Series.x_range visible in
+  let y_lo, y_hi = Series.y_range visible in
+  let x_span = if x_hi > x_lo then x_hi -. x_lo else 1.0 in
+  let y_span = if y_hi > y_lo then y_hi -. y_lo else 1.0 in
+  let grid = Array.make_matrix height width ' ' in
+  List.iteri
+    (fun si s ->
+      let glyph = glyphs.(si mod Array.length glyphs) in
+      Array.iter
+        (fun (x, y) ->
+          let col =
+            int_of_float (Float.round ((x -. x_lo) /. x_span *. float_of_int (width - 1)))
+          in
+          let row =
+            int_of_float (Float.round ((y -. y_lo) /. y_span *. float_of_int (height - 1)))
+          in
+          let col = max 0 (min (width - 1) col) in
+          let row = max 0 (min (height - 1) row) in
+          grid.(height - 1 - row).(col) <- glyph)
+        s.Series.points)
+    visible;
+  let buf = Buffer.create ((width + 12) * (height + 4)) in
+  if title <> "" then Buffer.add_string buf (title ^ "\n");
+  let format_tick v =
+    match y_scale with
+    | Linear -> Printf.sprintf "%8.3g" v
+    | Log10 -> Printf.sprintf "%8.2g" (10.0 ** v)
+  in
+  Array.iteri
+    (fun i row ->
+      let y_here = y_hi -. (float_of_int i /. float_of_int (height - 1) *. y_span) in
+      let tick =
+        if i = 0 || i = height - 1 || i = (height - 1) / 2 then format_tick y_here
+        else String.make 8 ' '
+      in
+      Buffer.add_string buf tick;
+      Buffer.add_string buf " |";
+      Array.iter (Buffer.add_char buf) row;
+      Buffer.add_char buf '\n')
+    grid;
+  Buffer.add_string buf (String.make 9 ' ');
+  Buffer.add_char buf '+';
+  Buffer.add_string buf (String.make width '-');
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (Printf.sprintf "%9s %-8.3g%*s%8.3g\n" "" x_lo (width - 8) "" x_hi);
+  if x_label <> "" || y_label <> "" then
+    Buffer.add_string buf (Printf.sprintf "x: %s   y: %s\n" x_label y_label);
+  Buffer.add_string buf "legend:";
+  List.iteri
+    (fun si s ->
+      Buffer.add_string buf
+        (Printf.sprintf " [%c] %s" glyphs.(si mod Array.length glyphs) s.Series.label))
+    visible;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf

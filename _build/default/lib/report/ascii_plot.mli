@@ -1,0 +1,14 @@
+(** Terminal line plots, enough to eyeball the paper's figures.
+
+    Each series is drawn with its own glyph; overlapping cells show the
+    later series.  Y can be linear or log (Fig. 1 and Fig. 6 are
+    semi-log in the paper). *)
+
+type scale = Linear | Log10
+
+val render :
+  ?width:int -> ?height:int -> ?y_scale:scale ->
+  ?x_label:string -> ?y_label:string -> ?title:string ->
+  Series.t list -> string
+(** Render to a string ending in a legend line.  Default 72x24 cells.
+    With [Log10], nonpositive y values are dropped. *)

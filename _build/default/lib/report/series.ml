@@ -1,0 +1,30 @@
+type t = { label : string; points : (float * float) array }
+
+let make ~label points = { label; points }
+
+let of_fn ~label ~f ~lo ~hi ~steps =
+  if steps < 1 then invalid_arg "Series.of_fn: need at least one step";
+  let points =
+    Array.init (steps + 1) (fun i ->
+        let x = lo +. ((hi -. lo) *. float_of_int i /. float_of_int steps) in
+        (x, f x))
+  in
+  { label; points }
+
+let map_y g t = { t with points = Array.map (fun (x, y) -> (x, g y)) t.points }
+
+let fold_range get series =
+  let lo = ref infinity and hi = ref neg_infinity in
+  List.iter
+    (fun s ->
+      Array.iter
+        (fun p ->
+          let v = get p in
+          if v < !lo then lo := v;
+          if v > !hi then hi := v)
+        s.points)
+    series;
+  if !lo > !hi then (0.0, 1.0) else (!lo, !hi)
+
+let x_range series = fold_range fst series
+let y_range series = fold_range snd series

@@ -1,0 +1,17 @@
+(** Labelled (x, y) series — the common currency between experiment
+    generators, the plotter and the CSV writer. *)
+
+type t = {
+  label : string;
+  points : (float * float) array;
+}
+
+val make : label:string -> (float * float) array -> t
+
+val of_fn : label:string -> f:(float -> float) -> lo:float -> hi:float -> steps:int -> t
+(** Sample a function uniformly on [lo, hi] ([steps] + 1 points). *)
+
+val map_y : (float -> float) -> t -> t
+
+val x_range : t list -> float * float
+val y_range : t list -> float * float

@@ -1,0 +1,37 @@
+type align = Left | Right
+
+let cell_at row i = match List.nth_opt row i with Some c -> c | None -> ""
+
+let render ?(aligns = []) ~headers rows =
+  let columns = List.length headers in
+  let width i =
+    List.fold_left
+      (fun acc row -> max acc (String.length (cell_at row i)))
+      (String.length (cell_at headers i))
+      rows
+  in
+  let widths = List.init columns width in
+  let align_at i =
+    match List.nth_opt aligns i with Some a -> a | None -> Right
+  in
+  let pad i text =
+    let w = List.nth widths i in
+    let gap = w - String.length text in
+    if gap <= 0 then text
+    else
+      match align_at i with
+      | Left -> text ^ String.make gap ' '
+      | Right -> String.make gap ' ' ^ text
+  in
+  let render_row row =
+    String.concat "  " (List.mapi (fun i _ -> pad i (cell_at row i)) headers)
+  in
+  let separator =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  String.concat "\n" (render_row headers :: separator :: List.map render_row rows)
+  ^ "\n"
+
+let float_cell ?(decimals = 3) v = Printf.sprintf "%.*f" decimals v
+
+let percent_cell ?(decimals = 1) v = Printf.sprintf "%.*f%%" decimals (100.0 *. v)

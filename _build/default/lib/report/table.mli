@@ -1,0 +1,15 @@
+(** Aligned plain-text tables for experiment output. *)
+
+type align = Left | Right
+
+val render :
+  ?aligns:align list -> headers:string list -> string list list -> string
+(** Render rows under headers with per-column width computed from the
+    content.  [aligns] defaults to right-aligned everywhere.  Rows may
+    be ragged; missing cells render empty. *)
+
+val float_cell : ?decimals:int -> float -> string
+(** Fixed-point cell helper (default 3 decimals). *)
+
+val percent_cell : ?decimals:int -> float -> string
+(** [0.95] -> ["95.0%"] (default 1 decimal). *)

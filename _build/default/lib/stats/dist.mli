@@ -1,0 +1,126 @@
+(** Probability distributions.
+
+    Each sub-module packages the density/mass, cumulative distribution,
+    moments and a sampler for one family.  Discrete distributions expose
+    [pmf]/[cdf] over [int]; continuous ones expose [pdf]/[cdf] over
+    [float].  Samplers take an explicit {!Rng.t}. *)
+
+module Poisson : sig
+  type t = { lambda : float }
+
+  val create : float -> t
+  val pmf : t -> int -> float
+  val log_pmf : t -> int -> float
+  val cdf : t -> int -> float
+  val mean : t -> float
+  val variance : t -> float
+  val sample : t -> Rng.t -> int
+end
+
+module Shifted_poisson : sig
+  (** The paper's Eq. 1 conditional law: the number of faults on a chip
+      {e known to be defective}.  Support is n = 1, 2, 3, ...; the law is
+      1 + Poisson(n0 - 1), so the mean is [n0]. *)
+
+  type t = { n0 : float }
+
+  val create : float -> t
+  (** [create n0] requires [n0 >= 1]. *)
+
+  val pmf : t -> int -> float
+  val cdf : t -> int -> float
+  val mean : t -> float
+  val variance : t -> float
+  val sample : t -> Rng.t -> int
+end
+
+module Binomial : sig
+  type t = { n : int; p : float }
+
+  val create : n:int -> p:float -> t
+  val pmf : t -> int -> float
+  val log_pmf : t -> int -> float
+  val cdf : t -> int -> float
+  val mean : t -> float
+  val variance : t -> float
+  val sample : t -> Rng.t -> int
+end
+
+module Hypergeometric : sig
+  (** Drawing [m] balls without replacement from an urn of [total] balls
+      of which [marked] are marked; the count of marked balls drawn.
+      This is the paper's Eq. 4 with [total = N] possible faults,
+      [marked = n] actual faults, and [m] covered faults. *)
+
+  type t = { total : int; marked : int; draws : int }
+
+  val create : total:int -> marked:int -> draws:int -> t
+  val pmf : t -> int -> float
+  val log_pmf : t -> int -> float
+  val cdf : t -> int -> float
+  val mean : t -> float
+  val variance : t -> float
+  val sample : t -> Rng.t -> int
+end
+
+module Geometric : sig
+  (** Number of failures before the first success, support 0, 1, 2, ... *)
+
+  type t = { p : float }
+
+  val create : float -> t
+  val pmf : t -> int -> float
+  val cdf : t -> int -> float
+  val mean : t -> float
+  val variance : t -> float
+  val sample : t -> Rng.t -> int
+end
+
+module Neg_binomial : sig
+  (** Gamma-mixed Poisson with mean [mean] and clustering [alpha]
+      (variance = mean + mean^2/alpha).  This is the count law behind the
+      Stapper yield formula (paper Eq. 3 with [alpha = 1/X]). *)
+
+  type t = { mean : float; alpha : float }
+
+  val create : mean:float -> alpha:float -> t
+  val pmf : t -> int -> float
+  val log_pmf : t -> int -> float
+  val cdf : t -> int -> float
+  val variance : t -> float
+  val sample : t -> Rng.t -> int
+end
+
+module Exponential : sig
+  type t = { mean : float }
+
+  val create : float -> t
+  val pdf : t -> float -> float
+  val cdf : t -> float -> float
+  val mean : t -> float
+  val variance : t -> float
+  val sample : t -> Rng.t -> float
+end
+
+module Gamma_dist : sig
+  type t = { shape : float; scale : float }
+
+  val create : shape:float -> scale:float -> t
+  val pdf : t -> float -> float
+  val cdf : t -> float -> float
+  val mean : t -> float
+  val variance : t -> float
+  val sample : t -> Rng.t -> float
+end
+
+module Normal : sig
+  type t = { mu : float; sigma : float }
+
+  val create : mu:float -> sigma:float -> t
+  val pdf : t -> float -> float
+  val cdf : t -> float -> float
+  val quantile : t -> float -> float
+  val mean : t -> float
+  val variance : t -> float
+  val sample : t -> Rng.t -> float
+end

@@ -1,0 +1,46 @@
+(** Curve fitting for the model-characterization step.
+
+    The paper determines its parameter [n0] by comparing an experimental
+    cumulative-fail curve against the analytic family P(f); this module
+    supplies the generic machinery: scalar least-squares fits by grid
+    search plus golden-section refinement, and simple linear regression
+    for the initial-slope estimator. *)
+
+type linear_fit = {
+  slope : float;
+  intercept : float;
+  r_squared : float;  (** Coefficient of determination. *)
+}
+
+val linear_regression : (float * float) list -> linear_fit
+(** Ordinary least squares through a point cloud.  Needs at least two
+    distinct abscissae. *)
+
+val linear_regression_through_origin : (float * float) list -> float
+(** Least-squares slope of y = s·x (no intercept), as used for the
+    P'(0) slope estimate from early test data. *)
+
+val sum_squared_error : model:(float -> float) -> (float * float) list -> float
+(** Σ (model x - y)². *)
+
+val bootstrap :
+  resamples:int -> Rng.t -> statistic:('a array -> float) -> 'a array ->
+  float array
+(** Nonparametric bootstrap: resample the data with replacement
+    [resamples] times and evaluate [statistic] on each resample.
+    Returns the statistic's bootstrap distribution (for standard errors
+    and percentile intervals).  Resamples on which [statistic] raises
+    are skipped (e.g. an n0 fit on a resample with no failures). *)
+
+val percentile_interval : float array -> level:float -> float * float
+(** Central percentile interval of a bootstrap distribution, e.g.
+    [level:0.95] returns the (2.5 %, 97.5 %) quantiles. *)
+
+val fit_scalar :
+  ?grid:int ->
+  loss:(float -> float) -> lo:float -> hi:float -> unit -> float * float
+(** [fit_scalar ~loss ~lo ~hi ()] minimizes [loss] over the parameter
+    interval by evaluating a [grid] (default 64) of candidates and then
+    refining the best bracket with golden-section search.  Returns
+    (argmin, loss at argmin).  Robust to mild non-unimodality, which a
+    pure golden-section search is not. *)

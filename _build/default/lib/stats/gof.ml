@@ -1,0 +1,78 @@
+type result = {
+  statistic : float;
+  degrees_of_freedom : int;
+  p_value : float;
+  cells : int;
+}
+
+let chi_square_p_value ~statistic ~degrees_of_freedom =
+  if degrees_of_freedom <= 0 then 1.0
+  else Special.gamma_q (float_of_int degrees_of_freedom /. 2.0) (statistic /. 2.0)
+
+(* Pool cells from the right until each pooled cell's expectation
+   reaches the floor; the tail of a count distribution is where the
+   expectations get thin. *)
+let pool ~min_expected observed expected =
+  let cells = ref [] in
+  let acc_observed = ref 0 and acc_expected = ref 0.0 in
+  for i = Array.length observed - 1 downto 0 do
+    acc_observed := !acc_observed + observed.(i);
+    acc_expected := !acc_expected +. expected.(i);
+    if !acc_expected >= min_expected then begin
+      cells := (!acc_observed, !acc_expected) :: !cells;
+      acc_observed := 0;
+      acc_expected := 0.0
+    end
+  done;
+  (* Leftover mass merges into the first cell. *)
+  (match !cells with
+  | (o, e) :: rest when !acc_expected > 0.0 || !acc_observed > 0 ->
+    cells := (o + !acc_observed, e +. !acc_expected) :: rest
+  | _ -> if !acc_expected > 0.0 || !acc_observed > 0 then cells := [ (!acc_observed, !acc_expected) ]);
+  !cells
+
+let chi_square ?(min_expected = 5.0) ~observed ~expected ?(estimated_parameters = 0) () =
+  if Array.length observed <> Array.length expected then
+    invalid_arg "Gof.chi_square: cell count mismatch";
+  if Array.length observed = 0 then invalid_arg "Gof.chi_square: no cells";
+  let total_observed = float_of_int (Array.fold_left ( + ) 0 observed) in
+  let total_expected = Array.fold_left ( +. ) 0.0 expected in
+  if total_observed = 0.0 || total_expected <= 0.0 then
+    invalid_arg "Gof.chi_square: empty data";
+  let scale = total_observed /. total_expected in
+  let scaled = Array.map (fun e -> e *. scale) expected in
+  let pooled = pool ~min_expected observed scaled in
+  let statistic =
+    List.fold_left
+      (fun acc (o, e) ->
+        if e <= 0.0 then acc
+        else begin
+          let d = float_of_int o -. e in
+          acc +. (d *. d /. e)
+        end)
+      0.0 pooled
+  in
+  let cells = List.length pooled in
+  let degrees_of_freedom = max 1 (cells - 1 - estimated_parameters) in
+  { statistic;
+    degrees_of_freedom;
+    p_value = chi_square_p_value ~statistic ~degrees_of_freedom;
+    cells }
+
+let fit_shifted_poisson ~counts ~n0 =
+  if Array.length counts = 0 then invalid_arg "Gof.fit_shifted_poisson: no data";
+  Array.iter
+    (fun n ->
+      if n < 1 then invalid_arg "Gof.fit_shifted_poisson: defective chips have >= 1 fault")
+    counts;
+  let max_count = Array.fold_left max 1 counts in
+  let cells = max_count + 10 in
+  let observed = Array.make cells 0 in
+  Array.iter (fun n -> observed.(min (cells - 1) (n - 1)) <- observed.(min (cells - 1) (n - 1)) + 1) counts;
+  let d = Dist.Shifted_poisson.create n0 in
+  let expected =
+    Array.init cells (fun i ->
+        if i = cells - 1 then 1.0 -. Dist.Shifted_poisson.cdf d (cells - 1)
+        else Dist.Shifted_poisson.pmf d (i + 1))
+  in
+  chi_square ~observed ~expected ~estimated_parameters:1 ()

@@ -1,0 +1,34 @@
+(** Goodness-of-fit testing.
+
+    Used to ask, of a manufactured lot, "does the defective-chip fault
+    count actually follow the paper's shifted Poisson (Eq. 1)?" — the
+    assumption behind the whole model.  Pearson's chi-square with
+    right-tail pooling so every cell keeps an adequate expected count. *)
+
+type result = {
+  statistic : float;        (** Pearson X². *)
+  degrees_of_freedom : int;
+  p_value : float;          (** Upper tail of the χ² distribution. *)
+  cells : int;              (** After pooling. *)
+}
+
+val chi_square :
+  ?min_expected:float ->
+  observed:int array ->
+  expected:float array ->
+  ?estimated_parameters:int ->
+  unit -> result
+(** [observed] and [expected] are parallel cell counts (the expected
+    array need not be normalized to the observed total — it is scaled).
+    Adjacent low-expectation cells (below [min_expected], default 5) are
+    pooled from the right.  [estimated_parameters] (default 0) reduces
+    the degrees of freedom for parameters fitted from the same data. *)
+
+val chi_square_p_value : statistic:float -> degrees_of_freedom:int -> float
+(** Q(k/2, x/2): the χ² upper tail. *)
+
+val fit_shifted_poisson :
+  counts:int array -> n0:float -> result
+(** Convenience wrapper for the Eq. 1 question: [counts] are fault
+    counts of {e defective} chips (all ≥ 1); tests them against
+    1 + Poisson(n0 - 1).  One estimated parameter (n0) is assumed. *)

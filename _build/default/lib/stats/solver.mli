@@ -1,0 +1,35 @@
+(** One-dimensional root finding and minimization.
+
+    The quality model's "required fault coverage" question is a root of a
+    monotone function (paper Eq. 8/11); the [n0] estimator is a 1-d
+    least-squares minimization.  Both are served here. *)
+
+exception No_bracket
+(** Raised when the supplied interval does not bracket a root. *)
+
+val bisect :
+  ?tol:float -> ?max_iter:int -> f:(float -> float) -> lo:float -> hi:float -> unit -> float
+(** [bisect ~f ~lo ~hi ()] finds a root of [f] in [lo, hi].  [f lo] and
+    [f hi] must have opposite (or zero) signs; raises {!No_bracket}
+    otherwise.  Default [tol] = 1e-12 on the abscissa. *)
+
+val brent :
+  ?tol:float -> ?max_iter:int -> f:(float -> float) -> lo:float -> hi:float -> unit -> float
+(** Brent's method: inverse quadratic interpolation with a bisection
+    safety net.  Same contract as {!bisect}, usually far fewer calls. *)
+
+val find_bracket :
+  ?grow:float -> ?max_iter:int -> f:(float -> float) -> lo:float -> hi:float -> unit ->
+  (float * float) option
+(** Geometrically expand [lo, hi] outward until it brackets a sign change. *)
+
+val golden_section_min :
+  ?tol:float -> ?max_iter:int -> f:(float -> float) -> lo:float -> hi:float -> unit -> float
+(** Golden-section search for a minimum of a unimodal [f] on [lo, hi].
+    Returns the abscissa of the minimum. *)
+
+val newton :
+  ?tol:float -> ?max_iter:int ->
+  f:(float -> float) -> df:(float -> float) -> x0:float -> unit -> float
+(** Newton-Raphson from [x0]; falls back on halving the step when an
+    iterate diverges.  Fails with [Failure] after [max_iter]. *)

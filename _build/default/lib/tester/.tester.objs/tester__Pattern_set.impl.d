@@ -1,0 +1,1 @@
+lib/tester/pattern_set.ml: Array Fsim

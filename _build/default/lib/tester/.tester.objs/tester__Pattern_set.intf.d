@@ -1,0 +1,1 @@
+lib/tester/pattern_set.mli: Circuit Faults Fsim

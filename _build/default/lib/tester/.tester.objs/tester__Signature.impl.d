@@ -1,0 +1,1 @@
+lib/tester/signature.ml: Array Circuit Fsim Int64 List Logicsim Quality

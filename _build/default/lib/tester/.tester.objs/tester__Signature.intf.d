@@ -1,0 +1,1 @@
+lib/tester/signature.mli: Circuit Faults

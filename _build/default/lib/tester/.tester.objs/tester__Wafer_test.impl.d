@@ -1,0 +1,1 @@
+lib/tester/wafer_test.ml: Array Fab Fsim List Option Pattern_set

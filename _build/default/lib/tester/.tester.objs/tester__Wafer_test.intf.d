@@ -1,0 +1,1 @@
+lib/tester/wafer_test.mli: Circuit Fab Faults Pattern_set

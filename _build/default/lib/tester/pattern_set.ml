@@ -1,0 +1,24 @@
+type t = { patterns : bool array array; profile : Fsim.Coverage.profile }
+
+let make patterns profile =
+  if Array.length patterns <> profile.Fsim.Coverage.pattern_count then
+    invalid_arg "Pattern_set.make: profile does not match pattern count";
+  { patterns; profile }
+
+let of_simulation c faults patterns =
+  { patterns; profile = Fsim.Coverage.profile c faults patterns }
+
+let pattern_count t = Array.length t.patterns
+
+let coverage_after t k = Fsim.Coverage.coverage_after t.profile k
+
+let final_coverage t = Fsim.Coverage.final_coverage t.profile
+
+let first_fail t chip_faults =
+  Array.fold_left
+    (fun acc fault_index ->
+      match t.profile.Fsim.Coverage.first_detection.(fault_index) with
+      | None -> acc
+      | Some k ->
+        (match acc with Some best when best <= k -> acc | Some _ | None -> Some k))
+    None chip_faults

@@ -1,0 +1,31 @@
+(** An ordered production test program.
+
+    Bundles the pattern sequence with its fault-simulation results: the
+    cumulative coverage curve (what the paper's Section 5 reads off the
+    fault simulator) and the per-fault first-detection index (what lets
+    the virtual tester find a defective chip's first failing pattern in
+    O(faults-on-chip) instead of re-simulating it). *)
+
+type t = {
+  patterns : bool array array;
+  profile : Fsim.Coverage.profile;
+}
+
+val make : bool array array -> Fsim.Coverage.profile -> t
+
+val of_simulation :
+  Circuit.Netlist.t -> Faults.Fault.t array -> bool array array -> t
+(** Fault-simulate the given ordered patterns and bundle the result. *)
+
+val pattern_count : t -> int
+
+val coverage_after : t -> int -> float
+(** Cumulative fault coverage after the first [k] patterns. *)
+
+val final_coverage : t -> float
+
+val first_fail : t -> int array -> int option
+(** [first_fail t chip_faults] is the index of the first pattern that
+    detects any of the chip's faults — the pattern at which the tester
+    rejects the chip — or [None] if the chip passes the whole program.
+    Fault indices refer to the universe the profile was built from. *)

@@ -1,0 +1,99 @@
+type t = { width : int; polynomial : int64 }
+
+(* Primitive polynomials (tap masks, excluding the x^w term) for common
+   widths; the LSB is the x^0 term. *)
+let standard_polynomials =
+  [ (4, 0b0011L);                 (* x^4 + x + 1 *)
+    (8, 0b0001_1101L);            (* x^8 + x^4 + x^3 + x^2 + 1 *)
+    (16, 0x100BL);                (* x^16 + x^12 + x^3 + x + 1 *)
+    (24, 0x5D_6DCBL);
+    (32, 0x04C1_1DB7L) ]          (* CRC-32 *)
+
+let create ~width =
+  if width < 2 || width > 63 then invalid_arg "Signature.create: width outside 2..63";
+  let polynomial =
+    match List.assoc_opt width standard_polynomials with
+    | Some p -> p
+    | None -> 0b11L (* x^w + x + 1 *)
+  in
+  { width; polynomial }
+
+let mask t = Int64.sub (Int64.shift_left 1L t.width) 1L
+
+let step t state inputs =
+  let feedback = Logicsim.Packed.bit state (t.width - 1) in
+  let shifted = Int64.logand (Int64.shift_left state 1) (mask t) in
+  let with_feedback =
+    if feedback then Int64.logxor shifted (Int64.logor t.polynomial 1L) else shifted
+  in
+  Int64.logand (Int64.logxor with_feedback inputs) (mask t)
+
+let fold_outputs t outputs =
+  let word = ref 0L in
+  Array.iteri
+    (fun i v ->
+      if v then
+        word := Int64.logxor !word (Int64.shift_left 1L (i mod t.width)))
+    outputs;
+  !word
+
+let signature_of_stream t output_stream =
+  Array.fold_left (fun state outputs -> step t state (fold_outputs t outputs)) 0L
+    output_stream
+
+let good_signature t c patterns =
+  signature_of_stream t (Array.map (fun p -> Logicsim.Refsim.outputs c p) patterns)
+
+let faulty_signature t (c : Circuit.Netlist.t) fault patterns =
+  let blocks = Logicsim.Packed.blocks_of_patterns c patterns in
+  let stream = ref [] in
+  List.iter
+    (fun block ->
+      let values = Fsim.Serial.eval_with_fault c fault block in
+      for bit = 0 to block.Logicsim.Packed.pattern_count - 1 do
+        let outputs =
+          Array.map (fun out -> Logicsim.Packed.bit values.(out) bit) c.outputs
+        in
+        stream := outputs :: !stream
+      done)
+    blocks;
+  signature_of_stream t (Array.of_list (List.rev !stream))
+
+type aliasing_report = {
+  detected_by_compare : int;
+  detected_by_signature : int;
+  aliased : int;
+  aliasing_rate : float;
+}
+
+let aliasing_study t c universe patterns =
+  let reference = good_signature t c patterns in
+  let first_detection = Fsim.Ppsfp.run c universe patterns in
+  let detected_by_compare = ref 0 in
+  let detected_by_signature = ref 0 in
+  let aliased = ref 0 in
+  Array.iteri
+    (fun i fault ->
+      if first_detection.(i) <> None then begin
+        incr detected_by_compare;
+        if faulty_signature t c fault patterns <> reference then
+          incr detected_by_signature
+        else incr aliased
+      end)
+    universe;
+  { detected_by_compare = !detected_by_compare;
+    detected_by_signature = !detected_by_signature;
+    aliased = !aliased;
+    aliasing_rate =
+      (if !detected_by_compare = 0 then 0.0
+       else float_of_int !aliased /. float_of_int !detected_by_compare) }
+
+let effective_reject_rate ~yield_ ~n0 ~signature_width f =
+  if signature_width < 2 || signature_width > 63 then
+    invalid_arg "Signature.effective_reject_rate: width outside 2..63";
+  let escape = Quality.Reject.ybg ~yield_ ~n0 f in
+  (* Defective chips the comparison would have caught, aliased back. *)
+  let caught = 1.0 -. yield_ -. escape in
+  let aliasing = 2.0 ** float_of_int (-signature_width) in
+  let shipped_bad = escape +. (caught *. aliasing) in
+  shipped_bad /. (yield_ +. shipped_bad)

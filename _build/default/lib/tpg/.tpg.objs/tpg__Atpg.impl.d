@@ -1,0 +1,1 @@
+lib/tpg/atpg.ml: Array Fsim Implication_atpg List Podem Random_tpg Stats

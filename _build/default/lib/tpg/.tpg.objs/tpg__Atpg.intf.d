@@ -1,0 +1,1 @@
+lib/tpg/atpg.mli: Circuit Faults Fsim

@@ -1,0 +1,1 @@
+lib/tpg/compact.ml: Array Fsim List

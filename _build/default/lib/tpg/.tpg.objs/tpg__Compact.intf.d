@@ -1,0 +1,1 @@
+lib/tpg/compact.mli: Circuit Faults

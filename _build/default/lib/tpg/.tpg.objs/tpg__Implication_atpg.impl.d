@@ -1,0 +1,1 @@
+lib/tpg/implication_atpg.ml: Array Circuit Faults Hashtbl List Queue

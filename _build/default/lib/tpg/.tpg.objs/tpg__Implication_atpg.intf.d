@@ -1,0 +1,1 @@
+lib/tpg/implication_atpg.mli: Circuit Faults

@@ -1,0 +1,1 @@
+lib/tpg/logic5.mli: Circuit

@@ -1,0 +1,1 @@
+lib/tpg/podem.ml: Array Circuit Faults Hashtbl List Logic5 Scoap

@@ -1,0 +1,1 @@
+lib/tpg/podem.mli: Circuit Faults Scoap

@@ -1,0 +1,1 @@
+lib/tpg/random_tpg.ml: Array Circuit Fsim List Stats

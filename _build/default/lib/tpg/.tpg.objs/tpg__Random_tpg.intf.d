@@ -1,0 +1,1 @@
+lib/tpg/random_tpg.mli: Circuit Faults Fsim Stats

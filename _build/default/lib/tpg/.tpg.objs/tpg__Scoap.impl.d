@@ -1,0 +1,1 @@
+lib/tpg/scoap.ml: Array Circuit Faults List

@@ -1,0 +1,1 @@
+lib/tpg/scoap.mli: Circuit Faults

@@ -1,0 +1,103 @@
+type engine = Podem_engine | Implication_engine
+
+type config = {
+  random_budget : int;
+  random_target : float;
+  backtrack_limit : int;
+  seed : int;
+  engine : engine;
+}
+
+let default_config =
+  { random_budget = 512; random_target = 0.90; backtrack_limit = 2000; seed = 7;
+    engine = Podem_engine }
+
+type report = {
+  patterns : bool array array;
+  profile : Fsim.Coverage.profile;
+  random_patterns : int;
+  deterministic_patterns : int;
+  untestable : int;
+  aborted : int;
+}
+
+let run ?(config = default_config) c faults =
+  let rng = Stats.Rng.create ~seed:config.seed () in
+  let random_patterns, random_profile =
+    Random_tpg.until_coverage rng c faults ~target:config.random_target
+      ~max_patterns:config.random_budget
+  in
+  let total = Array.length faults in
+  let first_detection = Array.copy random_profile.Fsim.Coverage.first_detection in
+  let remaining = ref [] in
+  Array.iteri
+    (fun i d -> if d = None then remaining := i :: !remaining)
+    first_detection;
+  let remaining = ref (List.rev !remaining) in
+  let extra = ref [] in
+  let extra_count = ref 0 in
+  let untestable = ref 0 in
+  let aborted = ref 0 in
+  let base = Array.length random_patterns in
+  let rec deterministic () =
+    match !remaining with
+    | [] -> ()
+    | target :: rest ->
+      remaining := rest;
+      if first_detection.(target) <> None then deterministic ()
+      else begin
+        let verdict =
+          match config.engine with
+          | Podem_engine ->
+            (match
+               Podem.generate ~backtrack_limit:config.backtrack_limit c
+                 faults.(target)
+             with
+            | Podem.Test pattern, _ -> `Test pattern
+            | Podem.Untestable, _ -> `Untestable
+            | Podem.Aborted, _ -> `Aborted)
+          | Implication_engine ->
+            (match
+               Implication_atpg.generate ~backtrack_limit:config.backtrack_limit c
+                 faults.(target)
+             with
+            | Implication_atpg.Test pattern, _ -> `Test pattern
+            | Implication_atpg.Untestable, _ -> `Untestable
+            | Implication_atpg.Aborted, _ -> `Aborted)
+        in
+        (match verdict with
+        | `Untestable -> incr untestable
+        | `Aborted -> incr aborted
+        | `Test pattern ->
+          let pattern_index = base + !extra_count in
+          extra := pattern :: !extra;
+          incr extra_count;
+          (* The fresh pattern usually detects a cloud of other faults:
+             simulate it against everything still undetected and drop. *)
+          let undetected =
+            List.filter (fun i -> first_detection.(i) = None) (target :: !remaining)
+          in
+          let subset = Array.map (fun i -> faults.(i)) (Array.of_list undetected) in
+          let results = Fsim.Ppsfp.run c subset [| pattern |] in
+          List.iteri
+            (fun k i ->
+              match results.(k) with
+              | Some _ -> first_detection.(i) <- Some pattern_index
+              | None -> ())
+            undetected;
+          assert (first_detection.(target) <> None));
+        deterministic ()
+      end
+  in
+  deterministic ();
+  let patterns = Array.append random_patterns (Array.of_list (List.rev !extra)) in
+  let profile =
+    { Fsim.Coverage.universe_size = total;
+      pattern_count = Array.length patterns;
+      first_detection }
+  in
+  { patterns; profile; random_patterns = Array.length random_patterns;
+    deterministic_patterns = !extra_count; untestable = !untestable;
+    aborted = !aborted }
+
+let coverage report = Fsim.Coverage.final_coverage report.profile

@@ -1,0 +1,35 @@
+(** Complete test-generation flow: random phase, then PODEM clean-up.
+
+    This is how the ordered pattern sets used in the paper's experiment
+    are produced.  The resulting pattern order (broad random detection
+    first, targeted patterns later) gives exactly the steeply-rising
+    coverage curve the paper describes for production test programs. *)
+
+type engine =
+  | Podem_engine        (** Forward-implication PODEM (default). *)
+  | Implication_engine  (** Bidirectional-implication search. *)
+
+type config = {
+  random_budget : int;     (** Max random patterns before the deterministic phase. *)
+  random_target : float;   (** Stop random phase at this coverage. *)
+  backtrack_limit : int;   (** Deterministic budget per fault. *)
+  seed : int;
+  engine : engine;
+}
+
+val default_config : config
+
+type report = {
+  patterns : bool array array;        (** Final ordered pattern set. *)
+  profile : Fsim.Coverage.profile;    (** Over the supplied universe. *)
+  random_patterns : int;              (** Patterns from the random phase. *)
+  deterministic_patterns : int;       (** Patterns from PODEM. *)
+  untestable : int;                   (** Proved redundant. *)
+  aborted : int;                      (** PODEM gave up. *)
+}
+
+val run :
+  ?config:config -> Circuit.Netlist.t -> Faults.Fault.t array -> report
+
+val coverage : report -> float
+(** Final fault coverage of the generated set. *)

@@ -1,0 +1,40 @@
+type result = {
+  patterns : bool array array;
+  kept : int array;
+  original_count : int;
+}
+
+(* Sweep the patterns in the given index order; pattern [k] is kept iff
+   it detects a fault no previously kept pattern detected. *)
+let sweep c faults patterns order =
+  let alive = ref (Array.to_list (Array.mapi (fun i _ -> i) faults)) in
+  let kept = ref [] in
+  List.iter
+    (fun pattern_index ->
+      if !alive <> [] then begin
+        let subset = Array.of_list (List.map (fun i -> faults.(i)) !alive) in
+        let detected = Fsim.Ppsfp.run c subset [| patterns.(pattern_index) |] in
+        let survivors =
+          List.filteri (fun k _ -> detected.(k) = None) !alive
+        in
+        if List.length survivors < List.length !alive then begin
+          kept := pattern_index :: !kept;
+          alive := survivors
+        end
+      end)
+    order;
+  let kept = List.sort compare !kept in
+  { patterns = Array.of_list (List.map (fun i -> patterns.(i)) kept);
+    kept = Array.of_list kept;
+    original_count = Array.length patterns }
+
+let reverse_order c faults patterns =
+  let order = List.init (Array.length patterns) (fun i -> Array.length patterns - 1 - i) in
+  sweep c faults patterns order
+
+let forward_order c faults patterns =
+  sweep c faults patterns (List.init (Array.length patterns) (fun i -> i))
+
+let compaction_ratio result =
+  if result.original_count = 0 then 1.0
+  else float_of_int (Array.length result.kept) /. float_of_int result.original_count

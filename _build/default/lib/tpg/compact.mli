@@ -1,0 +1,28 @@
+(** Static test-set compaction.
+
+    Test application time was precious on 1981 testers (the paper's
+    cost argument), so graded pattern sets were compacted before
+    release.  Two classical passes, both preserving the detected fault
+    set exactly (test-suite verified):
+
+    - {!reverse_order}: fault-simulate the patterns {e last-first} with
+      dropping; keep only patterns that detect something not already
+      detected by a later pattern.  Late ATPG patterns are sharply
+      targeted, so they subsume many early random ones.
+    - {!forward_order}: the same sweep in natural order (keeps the
+      early-steep coverage curve but usually removes fewer patterns). *)
+
+type result = {
+  patterns : bool array array;  (** Kept patterns, original order. *)
+  kept : int array;             (** Their indices in the input set. *)
+  original_count : int;
+}
+
+val reverse_order :
+  Circuit.Netlist.t -> Faults.Fault.t array -> bool array array -> result
+
+val forward_order :
+  Circuit.Netlist.t -> Faults.Fault.t array -> bool array array -> result
+
+val compaction_ratio : result -> float
+(** kept / original. *)

@@ -1,0 +1,496 @@
+type result = Test of bool array | Untestable | Aborted
+
+type stats = { backtracks : int; implications : int }
+
+type t3 = Unknown | Zero | One
+
+let t3_of_bool b = if b then One else Zero
+
+exception Conflict
+exception Abort_search
+
+type plane = Good | Faulty
+
+type state = {
+  circuit : Circuit.Netlist.t;
+  fault : Faults.Fault.t;
+  good : t3 array;
+  faulty : t3 array;
+  (* Trail of (plane, node) assignments for chronological backtracking;
+     values only ever move Unknown -> defined. *)
+  mutable trail : (plane * int) list;
+  queue : int Queue.t;          (* gates awaiting (re)implication *)
+  in_queue : bool array;
+  mutable implications : int;
+}
+
+let plane_array st = function Good -> st.good | Faulty -> st.faulty
+
+let value st plane node = (plane_array st plane).(node)
+
+(* The faulty-plane value seen by pin [pin] of gate [gate]: the branch
+   fault, if it sits right there, overrides the driver. *)
+let pin_value st plane gate pin =
+  let src = st.circuit.Circuit.Netlist.fanins.(gate).(pin) in
+  match (plane, st.fault.Faults.Fault.site) with
+  | Faulty, Faults.Fault.Branch { gate = fg; pin = fp } when fg = gate && fp = pin ->
+    t3_of_bool (Faults.Fault.polarity_bit st.fault.Faults.Fault.polarity)
+  | (Good | Faulty), (Faults.Fault.Branch _ | Faults.Fault.Stem _) -> value st plane src
+
+(* A stem fault disconnects the faulty-plane output of its gate from
+   the gate's inputs: no implication may cross it in that plane. *)
+let stem_fault_at st plane node =
+  match (plane, st.fault.Faults.Fault.site) with
+  | Faulty, Faults.Fault.Stem v -> v = node
+  | (Good | Faulty), (Faults.Fault.Stem _ | Faults.Fault.Branch _) -> false
+
+(* A branch fault blocks backward implication into its own pin. *)
+let branch_fault_at st plane gate pin =
+  match (plane, st.fault.Faults.Fault.site) with
+  | Faulty, Faults.Fault.Branch { gate = fg; pin = fp } -> fg = gate && fp = pin
+  | (Good | Faulty), (Faults.Fault.Stem _ | Faults.Fault.Branch _) -> false
+
+let enqueue st gate =
+  if not st.in_queue.(gate) then begin
+    st.in_queue.(gate) <- true;
+    Queue.add gate st.queue
+  end
+
+let touch st node =
+  (* A changed node affects its own producing gate (backward) and every
+     consumer (forward + sibling backward). *)
+  enqueue st node;
+  Array.iter (fun dst -> enqueue st dst) st.circuit.Circuit.Netlist.fanouts.(node)
+
+let set st plane node v =
+  let values = plane_array st plane in
+  match values.(node) with
+  | Unknown ->
+    values.(node) <- v;
+    st.trail <- (plane, node) :: st.trail;
+    (* Primary inputs are shared between the planes (the fault lives on
+       an internal line; even a PI stem fault only forces the faulty
+       plane, which [stem_fault_at] already decouples). *)
+    (match st.circuit.Circuit.Netlist.kinds.(node) with
+    | Circuit.Gate.Input when not (stem_fault_at st Faulty node) ->
+      let other = match plane with Good -> Faulty | Faulty -> Good in
+      let other_values = plane_array st other in
+      (match other_values.(node) with
+      | Unknown ->
+        other_values.(node) <- v;
+        st.trail <- (other, node) :: st.trail
+      | existing -> if existing <> v then raise Conflict)
+    | Circuit.Gate.Input
+    | Circuit.Gate.Const0 | Circuit.Gate.Const1 | Circuit.Gate.Buf
+    | Circuit.Gate.Not | Circuit.Gate.And | Circuit.Gate.Nand
+    | Circuit.Gate.Or | Circuit.Gate.Nor | Circuit.Gate.Xor
+    | Circuit.Gate.Xnor -> ());
+    touch st node
+  | existing -> if existing <> v then raise Conflict
+
+(* Three-valued forward evaluation over pin values. *)
+let eval3 kind inputs =
+  let all_defined = Array.for_all (fun v -> v <> Unknown) inputs in
+  let exists v = Array.exists (fun x -> x = v) inputs in
+  match kind with
+  | Circuit.Gate.Const0 -> Zero
+  | Circuit.Gate.Const1 -> One
+  | Circuit.Gate.Buf -> inputs.(0)
+  | Circuit.Gate.Not ->
+    (match inputs.(0) with Unknown -> Unknown | Zero -> One | One -> Zero)
+  | Circuit.Gate.And ->
+    if exists Zero then Zero else if all_defined then One else Unknown
+  | Circuit.Gate.Nand ->
+    if exists Zero then One else if all_defined then Zero else Unknown
+  | Circuit.Gate.Or ->
+    if exists One then One else if all_defined then Zero else Unknown
+  | Circuit.Gate.Nor ->
+    if exists One then Zero else if all_defined then One else Unknown
+  | Circuit.Gate.Xor | Circuit.Gate.Xnor ->
+    if not all_defined then Unknown
+    else begin
+      let parity =
+        Array.fold_left (fun acc v -> acc <> (v = One)) false inputs
+      in
+      let parity = if kind = Circuit.Gate.Xnor then not parity else parity in
+      if parity then One else Zero
+    end
+  | Circuit.Gate.Input -> Unknown
+
+(* Backward implication for one gate in one plane. *)
+let imply_backward st plane gate =
+  let c = st.circuit in
+  let kind = c.Circuit.Netlist.kinds.(gate) in
+  let out = value st plane gate in
+  if out = Unknown then ()
+  else begin
+    let srcs = c.Circuit.Netlist.fanins.(gate) in
+    let arity = Array.length srcs in
+    let pin_values = Array.init arity (fun pin -> pin_value st plane gate pin) in
+    let force pin v =
+      if not (branch_fault_at st plane gate pin) then set st plane srcs.(pin) v
+    in
+    match kind with
+    | Circuit.Gate.Input | Circuit.Gate.Const0 | Circuit.Gate.Const1 -> ()
+    | Circuit.Gate.Buf -> force 0 out
+    | Circuit.Gate.Not -> force 0 (if out = One then Zero else One)
+    | Circuit.Gate.And | Circuit.Gate.Nand | Circuit.Gate.Or | Circuit.Gate.Nor ->
+      let controlling =
+        match Circuit.Gate.controlling_value kind with
+        | Some v -> t3_of_bool v
+        | None -> assert false
+      in
+      let noncontrolling = if controlling = One then Zero else One in
+      let inverted = Circuit.Gate.inverts kind in
+      let controlled_output =
+        (* Output value when some input is controlling. *)
+        let base = controlling = One in
+        t3_of_bool (if inverted then not base else base)
+      in
+      if out <> controlled_output then
+        (* All inputs forced non-controlling. *)
+        Array.iteri
+          (fun pin v -> if v = Unknown then force pin noncontrolling)
+          pin_values
+      else begin
+        (* Need at least one controlling input: forced when unique. *)
+        let unknowns = ref [] and has_controlling = ref false in
+        Array.iteri
+          (fun pin v ->
+            if v = Unknown then unknowns := pin :: !unknowns
+            else if v = controlling then has_controlling := true)
+          pin_values;
+        if not !has_controlling then begin
+          match !unknowns with
+          | [] -> raise Conflict
+          | [ pin ] -> force pin controlling
+          | _ :: _ :: _ -> () (* genuinely unjustified: a J-frontier entry *)
+        end
+      end
+    | Circuit.Gate.Xor | Circuit.Gate.Xnor ->
+      (* Forced only when exactly one input is unknown. *)
+      let unknowns = ref [] in
+      let parity = ref (out = One) in
+      if kind = Circuit.Gate.Xnor then parity := not !parity;
+      Array.iteri
+        (fun pin v ->
+          match v with
+          | Unknown -> unknowns := pin :: !unknowns
+          | One -> parity := not !parity
+          | Zero -> ())
+        pin_values;
+      (match !unknowns with
+      | [ pin ] -> force pin (if !parity then One else Zero)
+      | [] | _ :: _ :: _ -> ())
+  end
+
+let imply_gate st plane gate =
+  if not (stem_fault_at st plane gate) then begin
+    let kind = st.circuit.Circuit.Netlist.kinds.(gate) in
+    match kind with
+    | Circuit.Gate.Input -> ()
+    | _ ->
+      let arity = Array.length st.circuit.Circuit.Netlist.fanins.(gate) in
+      let pin_values = Array.init arity (fun pin -> pin_value st plane gate pin) in
+      let forward = eval3 kind pin_values in
+      if forward <> Unknown then set st plane gate forward;
+      imply_backward st plane gate
+  end
+
+let run_implications st =
+  while not (Queue.is_empty st.queue) do
+    let gate = Queue.pop st.queue in
+    st.in_queue.(gate) <- false;
+    st.implications <- st.implications + 1;
+    imply_gate st Good gate;
+    imply_gate st Faulty gate
+  done
+
+(* Undo trail entries down to (and excluding) [mark]. *)
+let backtrack_to st mark =
+  let rec unwind trail =
+    if trail != mark then begin
+      match trail with
+      | (plane, node) :: rest ->
+        (plane_array st plane).(node) <- Unknown;
+        unwind rest
+      | [] -> assert false
+    end
+    else trail
+  in
+  st.trail <- unwind st.trail;
+  (* Drop any stale queue contents: implications restart from decisions. *)
+  Queue.clear st.queue;
+  Array.fill st.in_queue 0 (Array.length st.in_queue) false
+
+let divergent st node =
+  let g = st.good.(node) and f = st.faulty.(node) in
+  g <> Unknown && f <> Unknown && g <> f
+
+let has_unknown_plane st node =
+  st.good.(node) = Unknown || st.faulty.(node) = Unknown
+
+let po_divergent st =
+  Array.exists (fun out -> divergent st out) st.circuit.Circuit.Netlist.outputs
+
+(* Gates that might still pass the fault effect onward. *)
+let d_frontier st =
+  let c = st.circuit in
+  let frontier = ref [] in
+  Array.iter
+    (fun gate ->
+      match c.Circuit.Netlist.kinds.(gate) with
+      | Circuit.Gate.Input | Circuit.Gate.Const0 | Circuit.Gate.Const1 -> ()
+      | _ ->
+        if has_unknown_plane st gate then begin
+          let arity = Array.length c.Circuit.Netlist.fanins.(gate) in
+          let any_divergent_pin = ref false in
+          for pin = 0 to arity - 1 do
+            let g = pin_value st Good gate pin and f = pin_value st Faulty gate pin in
+            if g <> Unknown && f <> Unknown && g <> f then any_divergent_pin := true
+          done;
+          if !any_divergent_pin then frontier := gate :: !frontier
+        end)
+      c.Circuit.Netlist.topo_order;
+  List.rev !frontier
+
+let x_path_exists st frontier =
+  let c = st.circuit in
+  let visited = Array.make (Circuit.Netlist.num_nodes c) false in
+  let rec bfs = function
+    | [] -> false
+    | node :: rest ->
+      if visited.(node) then bfs rest
+      else begin
+        visited.(node) <- true;
+        if Circuit.Netlist.is_output c node then true
+        else
+          bfs
+            (Array.fold_left
+               (fun acc dst ->
+                 if (not visited.(dst)) && has_unknown_plane st dst then dst :: acc
+                 else acc)
+               rest c.Circuit.Netlist.fanouts.(node))
+      end
+  in
+  bfs frontier
+
+(* All defined non-input line values follow from their fanins — the
+   D-algorithm's "J-frontier empty". *)
+let fully_justified st =
+  let c = st.circuit in
+  let justified plane gate =
+    stem_fault_at st plane gate
+    ||
+    let out = value st plane gate in
+    out = Unknown
+    ||
+    let arity = Array.length c.Circuit.Netlist.fanins.(gate) in
+    let pin_values = Array.init arity (fun pin -> pin_value st plane gate pin) in
+    eval3 c.Circuit.Netlist.kinds.(gate) pin_values = out
+  in
+  Array.for_all
+    (fun gate ->
+      match c.Circuit.Netlist.kinds.(gate) with
+      | Circuit.Gate.Input -> true
+      | _ -> justified Good gate && justified Faulty gate)
+    c.Circuit.Netlist.topo_order
+
+(* An unjustified (plane, gate) to drive the justification decisions. *)
+let find_unjustified st =
+  let c = st.circuit in
+  let result = ref None in
+  Array.iter
+    (fun gate ->
+      if !result = None then
+        match c.Circuit.Netlist.kinds.(gate) with
+        | Circuit.Gate.Input -> ()
+        | kind ->
+          List.iter
+            (fun plane ->
+              if !result = None && not (stem_fault_at st plane gate) then begin
+                let out = value st plane gate in
+                if out <> Unknown then begin
+                  let arity = Array.length c.Circuit.Netlist.fanins.(gate) in
+                  let pins = Array.init arity (fun pin -> pin_value st plane gate pin) in
+                  if eval3 kind pins <> out then result := Some (plane, gate)
+                end
+              end)
+            [ Good; Faulty ])
+    c.Circuit.Netlist.topo_order;
+  !result
+
+let generate ?(backtrack_limit = 1000) (c : Circuit.Netlist.t) fault =
+  let num_nodes = Circuit.Netlist.num_nodes c in
+  let st =
+    { circuit = c; fault;
+      good = Array.make num_nodes Unknown;
+      faulty = Array.make num_nodes Unknown;
+      trail = [];
+      queue = Queue.create ();
+      in_queue = Array.make num_nodes false;
+      implications = 0 }
+  in
+  let backtracks = ref 0 in
+  let stuck = t3_of_bool (Faults.Fault.polarity_bit fault.Faults.Fault.polarity) in
+  let site_driver =
+    match fault.Faults.Fault.site with
+    | Faults.Fault.Stem v -> v
+    | Faults.Fault.Branch { gate; pin } -> c.Circuit.Netlist.fanins.(gate).(pin)
+  in
+  (* Activation constraints: the faulty plane holds the stuck value at
+     the site; the good plane must carry its complement on the driving
+     line (a hard requirement of detection, assert it up front). *)
+  let opposite = if stuck = One then Zero else One in
+  (match fault.Faults.Fault.site with
+  | Faults.Fault.Stem v -> set st Faulty v stuck
+  | Faults.Fault.Branch _ -> () (* injected through [pin_value] *));
+  set st Good site_driver opposite;
+  (match fault.Faults.Fault.site with
+  | Faults.Fault.Branch { gate; _ } -> enqueue st gate
+  | Faults.Fault.Stem v -> Array.iter (fun dst -> enqueue st dst) c.fanouts.(v));
+
+  (* Decision: a PI (plane Good; planes are linked at PIs) and a value. *)
+  let input_position = Hashtbl.create 16 in
+  Array.iteri (fun i id -> Hashtbl.replace input_position id i) c.inputs;
+
+  (* Backtrace an objective (node, value) to an unassigned PI. *)
+  let rec backtrace node v =
+    match c.Circuit.Netlist.kinds.(node) with
+    | Circuit.Gate.Input ->
+      if st.good.(node) = Unknown then Some (node, v) else None
+    | Circuit.Gate.Const0 | Circuit.Gate.Const1 -> None
+    | kind ->
+      let v = if Circuit.Gate.inverts kind then not v else v in
+      let srcs = c.Circuit.Netlist.fanins.(node) in
+      let candidate = ref None in
+      Array.iter
+        (fun src ->
+          if !candidate = None && has_unknown_plane st src then
+            candidate := backtrace src v)
+        srcs;
+      !candidate
+  in
+
+  let rec objective () =
+    if st.good.(site_driver) = Unknown then Some (site_driver, stuck = Zero)
+    else begin
+      match d_frontier st with
+      | [] -> find_justification_objective ()
+      | frontier ->
+        let gate = List.hd frontier in
+        let srcs = c.Circuit.Netlist.fanins.(gate) in
+        let pick = ref None in
+        Array.iter
+          (fun src -> if !pick = None && has_unknown_plane st src then pick := Some src)
+          srcs;
+        (match !pick with
+        | Some src ->
+          let v =
+            match Circuit.Gate.controlling_value c.Circuit.Netlist.kinds.(gate) with
+            | Some controlling -> not controlling
+            | None -> false
+          in
+          Some (src, v)
+        | None -> find_justification_objective ())
+    end
+  and find_justification_objective () =
+    match find_unjustified st with
+    | None -> None
+    | Some (plane, gate) ->
+      ignore plane;
+      let srcs = c.Circuit.Netlist.fanins.(gate) in
+      let pick = ref None in
+      Array.iter
+        (fun src -> if !pick = None && has_unknown_plane st src then pick := Some src)
+        srcs;
+      (match !pick with
+      | Some src ->
+        let v =
+          match Circuit.Gate.controlling_value c.Circuit.Netlist.kinds.(gate) with
+          | Some controlling -> controlling
+          | None -> false
+        in
+        Some (src, v)
+      | None -> None)
+  in
+
+  let success () =
+    Test
+      (Array.map
+         (fun id -> match st.good.(id) with One -> true | Zero | Unknown -> false)
+         c.Circuit.Netlist.inputs)
+  in
+
+  (* Depth-first search over PI assignments with chronological
+     backtracking; [mark] is the trail position to restore on failure. *)
+  let rec search () =
+    let consistent = try run_implications st; true with Conflict -> false in
+    if not consistent then false_result ()
+    else if po_divergent st && fully_justified st then Some (success ())
+    else begin
+      let frontier = d_frontier st in
+      if (not (po_divergent st)) && frontier = [] then false_result ()
+      else if (not (po_divergent st)) && not (x_path_exists st frontier) then
+        false_result ()
+      else begin
+        match objective () with
+        | None ->
+          (* No objective but not yet successful: assign any X input
+             reachable, or fail if none. *)
+          let free = ref None in
+          Array.iter
+            (fun id -> if !free = None && st.good.(id) = Unknown then free := Some id)
+            c.Circuit.Netlist.inputs;
+          (match !free with
+          | None -> false_result ()
+          | Some pi -> decide pi true)
+        | Some (node, v) ->
+          (match backtrace node v with
+          | Some (pi, v) -> decide pi v
+          | None ->
+            (* The objective is unreachable through X lines. *)
+            let free = ref None in
+            Array.iter
+              (fun id -> if !free = None && st.good.(id) = Unknown then free := Some id)
+              c.Circuit.Netlist.inputs;
+            (match !free with
+            | None -> false_result ()
+            | Some pi -> decide pi v))
+      end
+    end
+  and decide pi v =
+    let mark = st.trail in
+    let try_value v =
+      match (try set st Good pi (t3_of_bool v); true with Conflict -> false) with
+      | false ->
+        backtrack_to st mark;
+        None
+      | true ->
+        (match search () with
+        | Some r -> Some r
+        | None ->
+          backtrack_to st mark;
+          None)
+    in
+    match try_value v with
+    | Some r -> Some r
+    | None ->
+      incr backtracks;
+      if !backtracks > backtrack_limit then raise Abort_search;
+      (match try_value (not v) with
+      | Some r -> Some r
+      | None -> None)
+  and false_result () = None in
+
+  let verdict =
+    try
+      match
+        (try run_implications st; Some () with Conflict -> None)
+      with
+      | None -> Untestable
+      | Some () ->
+        (match search () with Some r -> r | None -> Untestable)
+    with Abort_search -> Aborted
+  in
+  (verdict, { backtracks = !backtracks; implications = st.implications })

@@ -1,0 +1,28 @@
+(** Deterministic ATPG with full bidirectional implication.
+
+    A second, independent test generator implementing the D-algorithm's
+    machinery — forward {e and backward} three-valued implication over
+    two circuit planes (good machine, faulty machine) with a trail-based
+    backtracking search — combined with PODEM's decision rule (branch on
+    primary inputs only, which makes completeness immediate).
+
+    Compared with {!Podem}, whose implication is forward-only, the
+    bidirectional closure derives forced values and detects conflicts
+    much earlier; the micro bench and tests compare backtrack counts.
+    Success requires the classical D-algorithm termination condition:
+    a primary output diverges between the planes {e and} every defined
+    line is justified by its fanins (so any completion of the remaining
+    don't-cares is consistent).
+
+    Verdicts (test found / untestable) agree with {!Podem} by
+    construction; the test suite verifies this on circuits small enough
+    for exhaustive ground truth. *)
+
+type result = Test of bool array | Untestable | Aborted
+
+type stats = { backtracks : int; implications : int }
+
+val generate :
+  ?backtrack_limit:int ->
+  Circuit.Netlist.t -> Faults.Fault.t -> result * stats
+(** Same contract as {!Podem.generate}. *)

@@ -1,0 +1,86 @@
+type t3 = F | T | U
+
+type t = { good : t3; faulty : t3 }
+
+let zero = { good = F; faulty = F }
+let one = { good = T; faulty = T }
+let x = { good = U; faulty = U }
+let d = { good = T; faulty = F }
+let dbar = { good = F; faulty = T }
+
+let of_bool b = if b then one else zero
+
+let is_x v = v.good = U && v.faulty = U
+
+let has_unknown v = v.good = U || v.faulty = U
+
+let is_fault_effect v =
+  match (v.good, v.faulty) with
+  | T, F | F, T -> true
+  | (F | T | U), (F | T | U) -> false
+
+let equal a b = a = b
+
+let to_string v =
+  match (v.good, v.faulty) with
+  | F, F -> "0"
+  | T, T -> "1"
+  | T, F -> "D"
+  | F, T -> "D'"
+  | U, U -> "X"
+  | _ -> "?"
+
+let and3 a b =
+  match (a, b) with
+  | F, _ | _, F -> F
+  | T, T -> T
+  | U, (T | U) | T, U -> U
+
+let or3 a b =
+  match (a, b) with
+  | T, _ | _, T -> T
+  | F, F -> F
+  | U, (F | U) | F, U -> U
+
+let not3 = function F -> T | T -> F | U -> U
+
+let xor3 a b =
+  match (a, b) with
+  | U, _ | _, U -> U
+  | T, T | F, F -> F
+  | T, F | F, T -> T
+
+let fold_components kind values component =
+  let get v = component v in
+  match kind with
+  | Circuit.Gate.Input -> invalid_arg "Logic5.eval_gate: Input"
+  | Circuit.Gate.Const0 -> F
+  | Circuit.Gate.Const1 -> T
+  | Circuit.Gate.Buf -> get values.(0)
+  | Circuit.Gate.Not -> not3 (get values.(0))
+  | Circuit.Gate.And ->
+    Array.fold_left (fun acc v -> and3 acc (get v)) T values
+  | Circuit.Gate.Nand ->
+    not3 (Array.fold_left (fun acc v -> and3 acc (get v)) T values)
+  | Circuit.Gate.Or ->
+    Array.fold_left (fun acc v -> or3 acc (get v)) F values
+  | Circuit.Gate.Nor ->
+    not3 (Array.fold_left (fun acc v -> or3 acc (get v)) F values)
+  | Circuit.Gate.Xor ->
+    Array.fold_left (fun acc v -> xor3 acc (get v)) F values
+  | Circuit.Gate.Xnor ->
+    not3 (Array.fold_left (fun acc v -> xor3 acc (get v)) F values)
+
+let eval_gate kind values =
+  { good = fold_components kind values (fun v -> v.good);
+    faulty = fold_components kind values (fun v -> v.faulty) }
+
+let eval_gate_with_pin kind values ~pin ~forced_faulty =
+  let faulty_component =
+    fold_components kind
+      (Array.mapi
+         (fun i v -> if i = pin then { v with faulty = forced_faulty } else v)
+         values)
+      (fun v -> v.faulty)
+  in
+  { good = fold_components kind values (fun v -> v.good); faulty = faulty_component }

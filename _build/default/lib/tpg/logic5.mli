@@ -1,0 +1,47 @@
+(** Roth's 5-valued logic for deterministic test generation.
+
+    A value tracks the good machine and the faulty machine together:
+    [D] means good 1 / faulty 0, [Dbar] good 0 / faulty 1, and [X] is
+    unassigned in both.  Internally a value is a pair of ternary
+    components, which makes gate evaluation uniform. *)
+
+type t3 = F | T | U
+(** Ternary component: false, true, unknown. *)
+
+type t = { good : t3; faulty : t3 }
+
+val zero : t
+val one : t
+val x : t
+val d : t
+val dbar : t
+
+val of_bool : bool -> t
+
+val is_x : t -> bool
+(** Both components unknown. *)
+
+val has_unknown : t -> bool
+(** At least one component unknown.  Unlike the classical 5-valued
+    calculus, this representation keeps values such as good=1/faulty=X;
+    frontier and X-path tests must use this predicate, not {!is_x}. *)
+
+val is_fault_effect : t -> bool
+(** Good and faulty defined and different (D or Dbar). *)
+
+val equal : t -> t -> bool
+val to_string : t -> string
+
+val and3 : t3 -> t3 -> t3
+val or3 : t3 -> t3 -> t3
+val not3 : t3 -> t3
+val xor3 : t3 -> t3 -> t3
+
+val eval_gate : Circuit.Gate.kind -> t array -> t
+(** Evaluate a gate over 5-valued fanins (good and faulty components
+    independently). *)
+
+val eval_gate_with_pin :
+  Circuit.Gate.kind -> t array -> pin:int -> forced_faulty:t3 -> t
+(** Same, but the faulty component of input [pin] is replaced by
+    [forced_faulty] — how a branch stuck-at is injected. *)

@@ -1,0 +1,254 @@
+type result = Test of bool array | Untestable | Aborted
+
+type stats = { backtracks : int; implications : int }
+
+type guidance = Level_based | Scoap_based of Scoap.t
+
+type decision = {
+  input_index : int;
+  mutable value : Logic5.t3;
+  mutable flipped : bool;
+}
+
+exception Abort_search
+
+let stuck_t3 polarity =
+  match polarity with Faults.Fault.Stuck_at_0 -> Logic5.F | Faults.Fault.Stuck_at_1 -> Logic5.T
+
+(* The line the fault sits on, seen from the good machine: the stem node
+   for a stem fault, the driving node for a branch fault. *)
+let fault_line_driver (c : Circuit.Netlist.t) fault =
+  match fault.Faults.Fault.site with
+  | Faults.Fault.Stem v -> v
+  | Faults.Fault.Branch { gate; pin } -> c.fanins.(gate).(pin)
+
+let generate ?(backtrack_limit = 1000) ?(guidance = Level_based)
+    (c : Circuit.Netlist.t) fault =
+  (* Cost of choosing [src] as the line to drive toward [value]; the
+     search is correct for any cost, guidance only shapes its order. *)
+  let choice_cost src value =
+    match guidance with
+    | Level_based -> c.Circuit.Netlist.levels.(src)
+    | Scoap_based scoap -> Scoap.cc scoap src value
+  in
+  let num_nodes = Circuit.Netlist.num_nodes c in
+  let num_inputs = Array.length c.inputs in
+  let input_position = Hashtbl.create num_inputs in
+  Array.iteri (fun i id -> Hashtbl.replace input_position id i) c.inputs;
+  let pi = Array.make num_inputs Logic5.U in
+  let values = Array.make num_nodes Logic5.x in
+  let stuck = stuck_t3 fault.Faults.Fault.polarity in
+  let implications = ref 0 in
+  let backtracks = ref 0 in
+
+  (* Forward implication: recompute every node from the PI assignment,
+     injecting the fault's faulty-machine component at its site. *)
+  let imply () =
+    incr implications;
+    Array.iter
+      (fun id ->
+        let v =
+          match c.kinds.(id) with
+          | Circuit.Gate.Input ->
+            let p = pi.(Hashtbl.find input_position id) in
+            { Logic5.good = p; faulty = p }
+          | kind ->
+            let fanin_values = Array.map (fun src -> values.(src)) c.fanins.(id) in
+            (match fault.Faults.Fault.site with
+            | Faults.Fault.Branch { gate; pin } when gate = id ->
+              Logic5.eval_gate_with_pin kind fanin_values ~pin ~forced_faulty:stuck
+            | Faults.Fault.Branch _ | Faults.Fault.Stem _ ->
+              Logic5.eval_gate kind fanin_values)
+        in
+        let v =
+          match fault.Faults.Fault.site with
+          | Faults.Fault.Stem s when s = id -> { v with Logic5.faulty = stuck }
+          | Faults.Fault.Stem _ | Faults.Fault.Branch _ -> v
+        in
+        values.(id) <- v)
+      c.topo_order
+  in
+
+  let po_has_effect () =
+    Array.exists (fun id -> Logic5.is_fault_effect values.(id)) c.outputs
+  in
+
+  (* Whether the faulty line currently carries D/D'. *)
+  let fault_effect_value () =
+    match fault.Faults.Fault.site with
+    | Faults.Fault.Stem v -> values.(v)
+    | Faults.Fault.Branch { gate; pin } ->
+      let src = c.fanins.(gate).(pin) in
+      { Logic5.good = values.(src).Logic5.good; faulty = stuck }
+  in
+
+  (* D-frontier: gates with an X output and a fault effect on some input
+     (taking the branch injection into account). *)
+  let d_frontier () =
+    let frontier = ref [] in
+    Array.iter
+      (fun id ->
+        match c.kinds.(id) with
+        | Circuit.Gate.Input | Circuit.Gate.Const0 | Circuit.Gate.Const1 -> ()
+        | Circuit.Gate.Buf | Circuit.Gate.Not | Circuit.Gate.And
+        | Circuit.Gate.Nand | Circuit.Gate.Or | Circuit.Gate.Nor
+        | Circuit.Gate.Xor | Circuit.Gate.Xnor ->
+          if Logic5.has_unknown values.(id) then begin
+            let has_effect = ref false in
+            Array.iteri
+              (fun pin src ->
+                let v =
+                  match fault.Faults.Fault.site with
+                  | Faults.Fault.Branch { gate; pin = fp } when gate = id && fp = pin ->
+                    { Logic5.good = values.(src).Logic5.good; faulty = stuck }
+                  | Faults.Fault.Branch _ | Faults.Fault.Stem _ -> values.(src)
+                in
+                if Logic5.is_fault_effect v then has_effect := true)
+              c.fanins.(id);
+            if !has_effect then frontier := id :: !frontier
+          end)
+      c.topo_order;
+    List.rev !frontier
+  in
+
+  (* Is some primary output reachable from the frontier through X nodes? *)
+  let x_path_exists frontier =
+    let visited = Array.make num_nodes false in
+    let rec bfs = function
+      | [] -> false
+      | id :: rest ->
+        if visited.(id) then bfs rest
+        else begin
+          visited.(id) <- true;
+          if Circuit.Netlist.is_output c id then true
+          else begin
+            let next =
+              Array.fold_left
+                (fun acc dst ->
+                  if (not visited.(dst)) && Logic5.has_unknown values.(dst) then dst :: acc
+                  else acc)
+                rest c.fanouts.(id)
+            in
+            bfs next
+          end
+        end
+    in
+    bfs frontier
+  in
+
+  (* Choose (node, boolean objective value). *)
+  let objective () =
+    let line = fault_line_driver c fault in
+    let activated = Logic5.is_fault_effect (fault_effect_value ()) in
+    if not activated then Some (line, stuck = Logic5.F)
+      (* Drive the line to the complement of the stuck value. *)
+    else begin
+      match d_frontier () with
+      | [] -> None
+      | frontier ->
+        (* Lowest-level frontier gate first: shortest remaining path. *)
+        let gate =
+          List.fold_left
+            (fun best g -> if c.levels.(g) < c.levels.(best) then g else best)
+            (List.hd frontier) frontier
+        in
+        let v =
+          match Circuit.Gate.controlling_value c.kinds.(gate) with
+          | Some controlling -> not controlling (* non-controlling value *)
+          | None -> false
+        in
+        let x_input = ref None in
+        Array.iter
+          (fun src ->
+            if Logic5.has_unknown values.(src) then
+              match !x_input with
+              | None -> x_input := Some src
+              | Some cur ->
+                if choice_cost src v < choice_cost cur v then x_input := Some src)
+          c.fanins.(gate);
+        (match !x_input with
+        | None -> None
+        | Some src -> Some (src, v))
+    end
+  in
+
+  (* Walk the objective back to a primary input through X lines. *)
+  let backtrace node value =
+    let rec walk node value =
+      match c.kinds.(node) with
+      | Circuit.Gate.Input -> Some (Hashtbl.find input_position node, value)
+      | Circuit.Gate.Const0 | Circuit.Gate.Const1 -> None
+      | kind ->
+        let value = if Circuit.Gate.inverts kind then not value else value in
+        let x_input = ref None in
+        Array.iter
+          (fun src ->
+            if Logic5.has_unknown values.(src) then
+              match !x_input with
+              | None -> x_input := Some src
+              | Some cur ->
+                if choice_cost src value < choice_cost cur value then x_input := Some src)
+          c.fanins.(node);
+        (match !x_input with None -> None | Some src -> walk src value)
+    in
+    walk node value
+  in
+
+  let stack = ref [] in
+
+  let rec attempt () =
+    imply ();
+    if po_has_effect () then finish ()
+    else begin
+      let line = fault_line_driver c fault in
+      let line_good = values.(line).Logic5.good in
+      if line_good <> Logic5.U && line_good = stuck then step_back ()
+        (* Activation is contradicted: the line settled at the stuck value. *)
+      else begin
+        let activated = Logic5.is_fault_effect (fault_effect_value ()) in
+        let frontier = d_frontier () in
+        if activated && frontier = [] then step_back ()
+        else if activated && not (x_path_exists frontier) then step_back ()
+        else begin
+          match objective () with
+          | None -> step_back ()
+          | Some (node, v) ->
+            (match backtrace node v with
+            | None -> step_back ()
+            | Some (input_index, bool_value) ->
+              let value = if bool_value then Logic5.T else Logic5.F in
+              let decision = { input_index; value; flipped = false } in
+              stack := decision :: !stack;
+              pi.(input_index) <- value;
+              attempt ())
+        end
+      end
+    end
+
+  and step_back () =
+    match !stack with
+    | [] -> Untestable
+    | top :: rest ->
+      if top.flipped then begin
+        pi.(top.input_index) <- Logic5.U;
+        stack := rest;
+        step_back ()
+      end
+      else begin
+        incr backtracks;
+        if !backtracks > backtrack_limit then raise Abort_search;
+        top.flipped <- true;
+        top.value <- Logic5.not3 top.value;
+        pi.(top.input_index) <- top.value;
+        attempt ()
+      end
+
+  and finish () =
+    let pattern =
+      Array.map (function Logic5.T -> true | Logic5.F | Logic5.U -> false) pi
+    in
+    Test pattern
+  in
+
+  let verdict = try attempt () with Abort_search -> Aborted in
+  (verdict, { backtracks = !backtracks; implications = !implications })

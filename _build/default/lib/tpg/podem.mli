@@ -1,0 +1,34 @@
+(** PODEM — path-oriented decision making (Goel, 1981).
+
+    Deterministic test generation for a single stuck-at fault: a
+    branch-and-bound search over primary-input assignments only, with
+    forward implication in 5-valued logic, D-frontier tracking and an
+    X-path check for early pruning.  Complete: with an unbounded
+    backtrack budget, [Untestable] is a proof of redundancy. *)
+
+type result =
+  | Test of bool array
+      (** Primary-input pattern (don't-cares filled with 0). *)
+  | Untestable
+      (** The search space is exhausted: the fault is redundant. *)
+  | Aborted
+      (** Backtrack limit hit before a verdict. *)
+
+type stats = { backtracks : int; implications : int }
+
+type guidance =
+  | Level_based
+      (** Choose the shallowest X input — cheap, reasonable default. *)
+  | Scoap_based of Scoap.t
+      (** Choose by SCOAP controllability; the ablation bench measures
+          the backtrack reduction this buys on resistant faults. *)
+
+val generate :
+  ?backtrack_limit:int ->
+  ?guidance:guidance ->
+  Circuit.Netlist.t -> Faults.Fault.t -> result * stats
+(** [generate c fault] searches for a test.  Default backtrack limit is
+    1000, default guidance {!Level_based}.  The returned pattern is
+    guaranteed (and test-suite verified) to detect the fault under the
+    fault simulator; the verdicts (test found / untestable) do not
+    depend on the guidance, only the search effort does. *)

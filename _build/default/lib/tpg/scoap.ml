@@ -1,0 +1,146 @@
+type t = {
+  circuit : Circuit.Netlist.t;
+  cc0 : int array;
+  cc1 : int array;
+  co_stem : int array;
+  (* Per-gate array of per-pin observabilities, indexed like fanins. *)
+  co_pins : int array array;
+}
+
+let infinite = max_int / 4
+
+let saturating_add a b = min infinite (a + b)
+
+let sum_saturating = Array.fold_left saturating_add 0
+
+(* Controllability of an XOR/XNOR tree is folded pairwise: the cost of
+   producing parity v from (a, b) is the cheaper of the two input
+   combinations with that parity. *)
+let xor_pair (a0, a1) (b0, b1) =
+  let zero = min (saturating_add a0 b0) (saturating_add a1 b1) in
+  let one = min (saturating_add a0 b1) (saturating_add a1 b0) in
+  (zero, one)
+
+let controllability (c : Circuit.Netlist.t) =
+  let n = Circuit.Netlist.num_nodes c in
+  let cc0 = Array.make n infinite and cc1 = Array.make n infinite in
+  Array.iter
+    (fun id ->
+      let pair src = (cc0.(src), cc1.(src)) in
+      let zero, one =
+        match c.kinds.(id) with
+        | Circuit.Gate.Input -> (1, 1)
+        | Circuit.Gate.Const0 -> (0, infinite)
+        | Circuit.Gate.Const1 -> (infinite, 0)
+        | Circuit.Gate.Buf -> pair c.fanins.(id).(0)
+        | Circuit.Gate.Not ->
+          let z, o = pair c.fanins.(id).(0) in
+          (o, z)
+        | Circuit.Gate.And ->
+          let zero = Array.fold_left (fun acc s -> min acc cc0.(s)) infinite c.fanins.(id) in
+          let one = sum_saturating (Array.map (fun s -> cc1.(s)) c.fanins.(id)) in
+          (zero, one)
+        | Circuit.Gate.Nand ->
+          let one = Array.fold_left (fun acc s -> min acc cc0.(s)) infinite c.fanins.(id) in
+          let zero = sum_saturating (Array.map (fun s -> cc1.(s)) c.fanins.(id)) in
+          (zero, one)
+        | Circuit.Gate.Or ->
+          let one = Array.fold_left (fun acc s -> min acc cc1.(s)) infinite c.fanins.(id) in
+          let zero = sum_saturating (Array.map (fun s -> cc0.(s)) c.fanins.(id)) in
+          (zero, one)
+        | Circuit.Gate.Nor ->
+          let zero = Array.fold_left (fun acc s -> min acc cc1.(s)) infinite c.fanins.(id) in
+          let one = sum_saturating (Array.map (fun s -> cc0.(s)) c.fanins.(id)) in
+          (zero, one)
+        | Circuit.Gate.Xor ->
+          let srcs = c.fanins.(id) in
+          let acc = ref (pair srcs.(0)) in
+          for i = 1 to Array.length srcs - 1 do
+            acc := xor_pair !acc (pair srcs.(i))
+          done;
+          !acc
+        | Circuit.Gate.Xnor ->
+          let srcs = c.fanins.(id) in
+          let acc = ref (pair srcs.(0)) in
+          for i = 1 to Array.length srcs - 1 do
+            acc := xor_pair !acc (pair srcs.(i))
+          done;
+          let z, o = !acc in
+          (o, z)
+      in
+      let bump v =
+        match c.kinds.(id) with
+        | Circuit.Gate.Input | Circuit.Gate.Const0 | Circuit.Gate.Const1 -> v
+        | _ -> if v >= infinite then infinite else v + 1
+      in
+      cc0.(id) <- bump zero;
+      cc1.(id) <- bump one)
+    c.topo_order;
+  (cc0, cc1)
+
+let observability (c : Circuit.Netlist.t) cc0 cc1 =
+  let n = Circuit.Netlist.num_nodes c in
+  let co_stem = Array.make n infinite in
+  let co_pins = Array.map (fun fanins -> Array.make (Array.length fanins) infinite) c.fanins in
+  Array.iter (fun id -> co_stem.(id) <- 0) c.outputs;
+  (* Reverse topological order: gate observabilities flow backwards. *)
+  for i = Array.length c.topo_order - 1 downto 0 do
+    let gate = c.topo_order.(i) in
+    let srcs = c.fanins.(gate) in
+    let side_cost pin =
+      (* Cost of making every *other* input transparent. *)
+      let acc = ref 0 in
+      Array.iteri
+        (fun j src ->
+          if j <> pin then begin
+            let cost =
+              match c.kinds.(gate) with
+              | Circuit.Gate.And | Circuit.Gate.Nand -> cc1.(src)
+              | Circuit.Gate.Or | Circuit.Gate.Nor -> cc0.(src)
+              | Circuit.Gate.Xor | Circuit.Gate.Xnor -> min cc0.(src) cc1.(src)
+              | Circuit.Gate.Buf | Circuit.Gate.Not -> 0
+              | Circuit.Gate.Input | Circuit.Gate.Const0 | Circuit.Gate.Const1 -> 0
+            in
+            acc := saturating_add !acc cost
+          end)
+        srcs;
+      !acc
+    in
+    Array.iteri
+      (fun pin src ->
+        let through = saturating_add (saturating_add co_stem.(gate) (side_cost pin)) 1 in
+        co_pins.(gate).(pin) <- through;
+        if through < co_stem.(src) then co_stem.(src) <- through)
+      srcs
+  done;
+  (co_stem, co_pins)
+
+let analyze circuit =
+  let cc0, cc1 = controllability circuit in
+  let co_stem, co_pins = observability circuit cc0 cc1 in
+  { circuit; cc0; cc1; co_stem; co_pins }
+
+let cc0 t id = t.cc0.(id)
+let cc1 t id = t.cc1.(id)
+let cc t id value = if value then t.cc1.(id) else t.cc0.(id)
+let co t id = t.co_stem.(id)
+let co_pin t ~gate ~pin = t.co_pins.(gate).(pin)
+
+let fault_difficulty t c fault =
+  let activation_node, observation =
+    match fault.Faults.Fault.site with
+    | Faults.Fault.Stem v -> (v, co t v)
+    | Faults.Fault.Branch { gate; pin } ->
+      (c.Circuit.Netlist.fanins.(gate).(pin), co_pin t ~gate ~pin)
+  in
+  let activation =
+    (* Drive the line opposite to the stuck value. *)
+    cc t activation_node (not (Faults.Fault.polarity_bit fault.Faults.Fault.polarity))
+  in
+  saturating_add activation observation
+
+let hardest_faults t c universe ~count =
+  Array.to_list universe
+  |> List.map (fun fault -> (fault, fault_difficulty t c fault))
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+  |> List.filteri (fun i _ -> i < count)

@@ -1,0 +1,43 @@
+(** SCOAP testability analysis (Goldstein 1979).
+
+    Combinational controllabilities CC0/CC1 (cost of driving a node to
+    0/1 from the primary inputs) and observability CO (cost of
+    propagating a node to a primary output), computed with the standard
+    additive rules.  Costs are saturating integers; unreachable
+    combinations (e.g. forcing a constant) saturate at {!infinite}.
+
+    Two consumers: PODEM's objective/backtrace guidance (an ablation
+    bench measures the backtrack savings) and hard-fault reporting. *)
+
+type t
+
+val infinite : int
+(** Saturation value for impossible goals. *)
+
+val analyze : Circuit.Netlist.t -> t
+
+val cc0 : t -> int -> int
+(** Cost of setting node [id] to 0. *)
+
+val cc1 : t -> int -> int
+(** Cost of setting node [id] to 1. *)
+
+val cc : t -> int -> bool -> int
+(** [cc t id value]: {!cc1} when [value], else {!cc0}. *)
+
+val co : t -> int -> int
+(** Observability of node [id]'s stem (min over its fanout branches;
+    0 on primary outputs). *)
+
+val co_pin : t -> gate:int -> pin:int -> int
+(** Observability of one gate input pin (a fanout branch). *)
+
+val fault_difficulty : t -> Circuit.Netlist.t -> Faults.Fault.t -> int
+(** Detection-cost estimate of a stuck-at fault: cost of driving its
+    line to the opposite value plus the line's observability — the
+    standard SCOAP testability figure of merit. *)
+
+val hardest_faults :
+  t -> Circuit.Netlist.t -> Faults.Fault.t array -> count:int ->
+  (Faults.Fault.t * int) list
+(** The [count] faults with the highest difficulty, hardest first. *)

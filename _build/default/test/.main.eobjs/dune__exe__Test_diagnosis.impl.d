@@ -1,0 +1,1 @@
+test/test_diagnosis.ml: Alcotest Array Circuit Experiments Faults Fsim Lazy List Printf QCheck QCheck_alcotest Stats Test Tpg

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Array Experiments Lazy List Printf Quality Report String Tester Tpg

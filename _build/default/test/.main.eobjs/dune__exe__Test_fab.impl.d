@@ -1,0 +1,1 @@
+test/test_fab.ml: Alcotest Array Fab List QCheck QCheck_alcotest Stats String Test

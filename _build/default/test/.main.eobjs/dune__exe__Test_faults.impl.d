@@ -1,0 +1,1 @@
+test/test_faults.ml: Alcotest Array Circuit Faults Fsim Hashtbl List Printf

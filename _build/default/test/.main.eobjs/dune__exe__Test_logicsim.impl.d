@@ -1,0 +1,1 @@
+test/test_logicsim.ml: Alcotest Array Circuit List Logicsim QCheck QCheck_alcotest Stats Test

@@ -1,0 +1,1 @@
+test/test_quality.ml: Alcotest Array Experiments Float List Printf QCheck QCheck_alcotest Quality Stats Test

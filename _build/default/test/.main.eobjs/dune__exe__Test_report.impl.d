@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Array Gen List QCheck QCheck_alcotest Report String Test

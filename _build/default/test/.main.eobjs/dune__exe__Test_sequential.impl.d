@@ -1,0 +1,1 @@
+test/test_sequential.ml: Alcotest Array Faults Gen List Logicsim Printf QCheck QCheck_alcotest Stats Test Tpg

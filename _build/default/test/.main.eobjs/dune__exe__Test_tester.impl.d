@@ -1,0 +1,1 @@
+test/test_tester.ml: Alcotest Array Circuit Experiments Fab Faults Fsim Lazy List Option Printf Quality Stats Tester Tpg

@@ -1,0 +1,1 @@
+test/test_tpg.ml: Alcotest Array Circuit Faults Fsim List Printf QCheck QCheck_alcotest Stats Test Tpg

@@ -1,0 +1,611 @@
+(* Tests for the netlist IR, the .bench format and the generators. *)
+
+module G = Circuit.Gate
+module N = Circuit.Netlist
+module Gen = Circuit.Generators
+
+let bits width v = Array.init width (fun i -> (v lsr i) land 1 = 1)
+
+(* ------------------------------- gate ------------------------------ *)
+
+let test_gate_truth_tables () =
+  let t = true and f = false in
+  let check name kind inputs expected =
+    Alcotest.(check bool) name expected (G.eval kind inputs)
+  in
+  check "and tt" G.And [| t; t |] t;
+  check "and tf" G.And [| t; f |] f;
+  check "nand tt" G.Nand [| t; t |] f;
+  check "nand ff" G.Nand [| f; f |] t;
+  check "or ff" G.Or [| f; f |] f;
+  check "or tf" G.Or [| t; f |] t;
+  check "nor ff" G.Nor [| f; f |] t;
+  check "xor tf" G.Xor [| t; f |] t;
+  check "xor tt" G.Xor [| t; t |] f;
+  check "xnor tt" G.Xnor [| t; t |] t;
+  check "not t" G.Not [| t |] f;
+  check "buf t" G.Buf [| t |] t;
+  check "const0" G.Const0 [||] f;
+  check "const1" G.Const1 [||] t;
+  check "and3" G.And [| t; t; f |] f;
+  check "xor3 parity" G.Xor [| t; t; t |] t
+
+let test_gate_string_roundtrip () =
+  List.iter
+    (fun kind ->
+      match G.of_string (G.to_string kind) with
+      | Some back -> Alcotest.(check bool) "roundtrip" true (back = kind)
+      | None -> Alcotest.failf "no parse for %s" (G.to_string kind))
+    G.all_kinds
+
+let test_gate_aliases () =
+  Alcotest.(check bool) "BUFF" true (G.of_string "BUFF" = Some G.Buf);
+  Alcotest.(check bool) "inv" true (G.of_string "inv" = Some G.Not);
+  Alcotest.(check bool) "nand lowercase" true (G.of_string "nand" = Some G.Nand);
+  Alcotest.(check bool) "junk" true (G.of_string "FROB" = None)
+
+let test_gate_controlling_values () =
+  Alcotest.(check bool) "and" true (G.controlling_value G.And = Some false);
+  Alcotest.(check bool) "nand" true (G.controlling_value G.Nand = Some false);
+  Alcotest.(check bool) "or" true (G.controlling_value G.Or = Some true);
+  Alcotest.(check bool) "nor" true (G.controlling_value G.Nor = Some true);
+  Alcotest.(check bool) "xor" true (G.controlling_value G.Xor = None)
+
+(* ----------------------------- builder ----------------------------- *)
+
+let test_builder_basic () =
+  let b = N.Builder.create ~name:"t" in
+  let a = N.Builder.add_input b "a" in
+  let c = N.Builder.add_input b "c" in
+  let g = N.Builder.add_gate b ~name:"g" G.And [ a; c ] in
+  N.Builder.mark_output b g;
+  let netlist = N.Builder.build b in
+  Alcotest.(check int) "nodes" 3 (N.num_nodes netlist);
+  Alcotest.(check int) "inputs" 2 (N.num_inputs netlist);
+  Alcotest.(check int) "outputs" 1 (N.num_outputs netlist);
+  Alcotest.(check int) "gates" 1 (N.num_gates netlist);
+  Alcotest.(check int) "depth" 1 (N.depth netlist)
+
+let test_builder_arity_checks () =
+  let b = N.Builder.create ~name:"t" in
+  let a = N.Builder.add_input b "a" in
+  Alcotest.(check bool) "not with 2 fanins rejected" true
+    (try
+       ignore (N.Builder.add_gate b G.Not [ a; a ]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "and with 1 fanin rejected" true
+    (try
+       ignore (N.Builder.add_gate b G.And [ a ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_builder_dangling_fanin () =
+  let b = N.Builder.create ~name:"t" in
+  Alcotest.(check bool) "unknown fanin rejected" true
+    (try
+       ignore (N.Builder.add_gate b G.Buf [ 42 ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_builder_mark_output_idempotent () =
+  let b = N.Builder.create ~name:"t" in
+  let a = N.Builder.add_input b "a" in
+  N.Builder.mark_output b a;
+  N.Builder.mark_output b a;
+  let netlist = N.Builder.build b in
+  Alcotest.(check int) "single output" 1 (N.num_outputs netlist)
+
+let test_topo_order_valid () =
+  let c = Gen.lsi_chip ~scale:4 () in
+  let position = Array.make (N.num_nodes c) (-1) in
+  Array.iteri (fun i id -> position.(id) <- i) c.N.topo_order;
+  Array.iteri
+    (fun id fanins ->
+      Array.iter
+        (fun src ->
+          Alcotest.(check bool) "fanin before fanout" true
+            (position.(src) < position.(id)))
+        fanins)
+    c.N.fanins
+
+let test_fanouts_consistent () =
+  let c = Gen.lsi_chip ~scale:4 () in
+  (* Every fanin edge appears exactly once in the fanout lists. *)
+  let count_in = ref 0 and count_out = ref 0 in
+  Array.iter (fun fanins -> count_in := !count_in + Array.length fanins) c.N.fanins;
+  Array.iter (fun fanouts -> count_out := !count_out + Array.length fanouts) c.N.fanouts;
+  Alcotest.(check int) "edge count" !count_in !count_out;
+  Array.iteri
+    (fun id fanins ->
+      Array.iter
+        (fun src ->
+          Alcotest.(check bool) "fanout back-edge" true
+            (Array.exists (fun dst -> dst = id) c.N.fanouts.(src)))
+        fanins)
+    c.N.fanins
+
+let test_levels_consistent () =
+  let c = Gen.random_circuit ~inputs:8 ~gates:200 ~outputs:6 ~seed:1 in
+  Array.iteri
+    (fun id fanins ->
+      Array.iter
+        (fun src ->
+          Alcotest.(check bool) "level increases" true
+            (c.N.levels.(src) < c.N.levels.(id)))
+        fanins)
+    c.N.fanins
+
+let test_cycle_detection () =
+  (* The builder API cannot create a cycle (fanins must already exist),
+     so drive the parser instead. *)
+  let source = "INPUT(a)\nOUTPUT(x)\nx = AND(a, y)\ny = BUF(x)\n" in
+  Alcotest.(check bool) "cycle raises" true
+    (try
+       ignore (Circuit.Bench_format.parse_string source);
+       false
+     with Circuit.Bench_format.Parse_error _ | N.Cycle _ -> true)
+
+let test_line_count () =
+  (* c17: 11 nodes (5 PI + 6 gates) and 12 gate input pins -> 23 lines. *)
+  let c = Gen.c17 () in
+  Alcotest.(check int) "c17 lines" 23 (N.line_count c)
+
+let test_find_node () =
+  let c = Gen.c17 () in
+  Alcotest.(check bool) "finds G16" true (N.find_node c "G16" <> None);
+  Alcotest.(check bool) "no bogus" true (N.find_node c "nope" = None)
+
+let test_gate_census () =
+  let c = Gen.c17 () in
+  Alcotest.(check int) "6 nands" 6
+    (match List.assoc_opt G.Nand (N.gate_census c) with Some n -> n | None -> 0);
+  Alcotest.(check int) "5 inputs" 5
+    (match List.assoc_opt G.Input (N.gate_census c) with Some n -> n | None -> 0)
+
+(* ---------------------------- generators ---------------------------- *)
+
+let outputs_of c inputs = Logicsim.Refsim.outputs c inputs
+
+let test_adder_exhaustive () =
+  let widths = [ 1; 2; 3; 4 ] in
+  List.iter
+    (fun w ->
+      let c = Gen.ripple_carry_adder ~bits:w in
+      for a = 0 to (1 lsl w) - 1 do
+        for b = 0 to (1 lsl w) - 1 do
+          for cin = 0 to 1 do
+            let ab = bits w a and bb = bits w b in
+            let inputs = Array.concat [ ab; bb; [| cin = 1 |] ] in
+            let outs = outputs_of c inputs in
+            let sum, cout = Gen.spec_adder ab bb (cin = 1) in
+            Array.iteri
+              (fun i expected ->
+                Alcotest.(check bool) "sum bit" expected outs.(i))
+              sum;
+            Alcotest.(check bool) "carry" cout outs.(w)
+          done
+        done
+      done)
+    widths
+
+let test_multiplier_exhaustive () =
+  List.iter
+    (fun w ->
+      let c = Gen.array_multiplier ~bits:w in
+      for a = 0 to (1 lsl w) - 1 do
+        for b = 0 to (1 lsl w) - 1 do
+          let ab = bits w a and bb = bits w b in
+          let outs = outputs_of c (Array.append ab bb) in
+          let expected = Gen.spec_multiplier ab bb in
+          Array.iteri
+            (fun i e -> Alcotest.(check bool) "product bit" e outs.(i))
+            expected
+        done
+      done)
+    [ 1; 2; 3; 4 ]
+
+let test_multiplier_spot_8bit () =
+  let c = Gen.array_multiplier ~bits:8 in
+  let rng = Stats.Rng.create ~seed:5 () in
+  for _ = 1 to 200 do
+    let a = Stats.Rng.int rng 256 and b = Stats.Rng.int rng 256 in
+    let outs = outputs_of c (Array.append (bits 8 a) (bits 8 b)) in
+    let expected = bits 16 (a * b) in
+    Alcotest.(check bool) "8-bit product" true (outs = expected)
+  done
+
+let test_parity_exhaustive () =
+  List.iter
+    (fun w ->
+      let c = Gen.parity_tree ~bits:w in
+      for v = 0 to (1 lsl w) - 1 do
+        let input = bits w v in
+        let outs = outputs_of c input in
+        Alcotest.(check bool) "parity" (Gen.spec_parity input) outs.(0)
+      done)
+    [ 1; 2; 3; 5; 8 ]
+
+let test_mux_exhaustive () =
+  List.iter
+    (fun k ->
+      let c = Gen.mux_tree ~select_bits:k in
+      let data_width = 1 lsl k in
+      for d = 0 to (1 lsl data_width) - 1 do
+        for s = 0 to data_width - 1 do
+          let data = bits data_width d and select = bits k s in
+          let outs = outputs_of c (Array.append data select) in
+          Alcotest.(check bool) "mux" (Gen.spec_mux ~data ~select) outs.(0)
+        done
+      done)
+    [ 1; 2; 3 ]
+
+let test_decoder_exhaustive () =
+  List.iter
+    (fun k ->
+      let c = Gen.decoder ~bits:k in
+      for en = 0 to 1 do
+        for s = 0 to (1 lsl k) - 1 do
+          let select = bits k s in
+          let inputs = Array.append [| en = 1 |] select in
+          let outs = outputs_of c inputs in
+          let expected = Gen.spec_decoder ~enable:(en = 1) ~select in
+          Alcotest.(check bool) "decoder row" true (outs = expected)
+        done
+      done)
+    [ 1; 2; 3; 4 ]
+
+let test_comparator_exhaustive () =
+  List.iter
+    (fun w ->
+      let c = Gen.comparator ~bits:w in
+      for a = 0 to (1 lsl w) - 1 do
+        for b = 0 to (1 lsl w) - 1 do
+          let ab = bits w a and bb = bits w b in
+          let outs = outputs_of c (Array.append ab bb) in
+          let eq, lt = Gen.spec_comparator ab bb in
+          Alcotest.(check bool) "eq" eq outs.(0);
+          Alcotest.(check bool) "lt" lt outs.(1)
+        done
+      done)
+    [ 1; 2; 3; 4 ]
+
+let test_alu_exhaustive () =
+  let w = 3 in
+  let c = Gen.alu ~bits:w in
+  for a = 0 to (1 lsl w) - 1 do
+    for b = 0 to (1 lsl w) - 1 do
+      for cin = 0 to 1 do
+        for op = 0 to 3 do
+          let ab = bits w a and bb = bits w b in
+          let inputs =
+            Array.concat
+              [ ab; bb; [| cin = 1 |]; [| op land 1 = 1 |]; [| op lsr 1 = 1 |] ]
+          in
+          let outs = outputs_of c inputs in
+          let expected, cout = Gen.spec_alu ~op ab bb (cin = 1) in
+          Array.iteri
+            (fun i e -> Alcotest.(check bool) "alu bit" e outs.(i))
+            expected;
+          Alcotest.(check bool) "alu cout" cout outs.(w)
+        done
+      done
+    done
+  done
+
+let test_carry_select_adder_exhaustive () =
+  List.iter
+    (fun (w, blk) ->
+      let c = Gen.carry_select_adder ~bits:w ~block:blk in
+      for a = 0 to (1 lsl w) - 1 do
+        for b = 0 to (1 lsl w) - 1 do
+          for cin = 0 to 1 do
+            let ab = bits w a and bb = bits w b in
+            let inputs = Array.concat [ ab; bb; [| cin = 1 |] ] in
+            let outs = outputs_of c inputs in
+            let sum, cout = Gen.spec_adder ab bb (cin = 1) in
+            Alcotest.(check bool) "csa matches adder spec" true
+              (outs = Array.append sum [| cout |])
+          done
+        done
+      done)
+    [ (4, 2); (5, 3); (6, 2); (4, 8) ]
+
+let test_carry_select_equals_ripple () =
+  (* Same function, different structure. *)
+  let w = 8 in
+  let rca = Gen.ripple_carry_adder ~bits:w in
+  let csa = Gen.carry_select_adder ~bits:w ~block:3 in
+  let rng = Stats.Rng.create ~seed:15 () in
+  for _ = 1 to 300 do
+    let input = Array.init ((2 * w) + 1) (fun _ -> Stats.Rng.bool rng) in
+    Alcotest.(check bool) "functionally identical" true
+      (outputs_of rca input = outputs_of csa input)
+  done
+
+let test_barrel_shifter_exhaustive () =
+  List.iter
+    (fun w ->
+      let c = Gen.barrel_shifter ~bits:w in
+      let stages =
+        let rec log2 v acc = if v = 1 then acc else log2 (v / 2) (acc + 1) in
+        log2 w 0
+      in
+      for d = 0 to (1 lsl w) - 1 do
+        for s = 0 to w - 1 do
+          let data = bits w d and select = bits stages s in
+          let outs = outputs_of c (Array.append data select) in
+          Alcotest.(check bool) "rotate" true
+            (outs = Gen.spec_rotate_left data select)
+        done
+      done)
+    [ 2; 4; 8 ]
+
+let test_barrel_shifter_rejects_non_power () =
+  Alcotest.(check bool) "width 6 rejected" true
+    (try
+       ignore (Gen.barrel_shifter ~bits:6);
+       false
+     with Invalid_argument _ -> true)
+
+let test_of_spec_builtins () =
+  List.iter
+    (fun (spec, expect_inputs) ->
+      let c = Gen.of_spec spec in
+      Alcotest.(check int) (spec ^ " inputs") expect_inputs (N.num_inputs c))
+    [ ("c17", 5); ("rca:4", 9); ("csa:6,2", 13); ("mul:3", 6); ("alu:4", 11);
+      ("parity:7", 7); ("mux:2", 6); ("dec:3", 4); ("cmp:5", 10); ("shift:4", 6);
+      ("rand:6,40,3,9", 6) ]
+
+let test_of_spec_rejects_garbage () =
+  List.iter
+    (fun spec ->
+      Alcotest.(check bool) (spec ^ " rejected") true
+        (try
+           ignore (Gen.of_spec spec);
+           false
+         with Failure _ -> true))
+    [ "nope"; "rca"; "rca:x"; "rand:1,2"; "" ]
+
+let test_c17_structure () =
+  let c = Gen.c17 () in
+  Alcotest.(check int) "inputs" 5 (N.num_inputs c);
+  Alcotest.(check int) "outputs" 2 (N.num_outputs c);
+  Alcotest.(check int) "gates" 6 (N.num_gates c);
+  Alcotest.(check int) "depth" 3 (N.depth c)
+
+let test_random_circuit_deterministic () =
+  let a = Gen.random_circuit ~inputs:10 ~gates:100 ~outputs:5 ~seed:7 in
+  let b = Gen.random_circuit ~inputs:10 ~gates:100 ~outputs:5 ~seed:7 in
+  Alcotest.(check string) "same netlist" (Circuit.Bench_format.to_string a)
+    (Circuit.Bench_format.to_string b)
+
+let test_random_circuit_no_dead_sinks () =
+  let c = Gen.random_circuit ~inputs:10 ~gates:150 ~outputs:5 ~seed:13 in
+  Array.iteri
+    (fun id fanouts ->
+      if Array.length fanouts = 0 && c.N.kinds.(id) <> G.Input then
+        Alcotest.(check bool) "sink is observable" true (N.is_output c id))
+    c.N.fanouts
+
+let test_lsi_chip_size () =
+  let c = Gen.lsi_chip ~scale:8 () in
+  Alcotest.(check bool) "hundreds of gates" true (N.num_gates c > 500);
+  Alcotest.(check bool) "no dead sinks" true
+    (Array.for_all
+       (fun id ->
+         Array.length c.N.fanouts.(id) > 0
+         || N.is_output c id
+         || c.N.kinds.(id) = G.Input)
+       (Array.init (N.num_nodes c) (fun i -> i)))
+
+(* --------------------------- bench format --------------------------- *)
+
+let test_bench_roundtrip_c17 () =
+  let c = Gen.c17 () in
+  let text = Circuit.Bench_format.to_string c in
+  let back = Circuit.Bench_format.parse_string ~name:"c17" text in
+  Alcotest.(check int) "nodes" (N.num_nodes c) (N.num_nodes back);
+  Alcotest.(check int) "inputs" (N.num_inputs c) (N.num_inputs back);
+  Alcotest.(check int) "outputs" (N.num_outputs c) (N.num_outputs back);
+  (* Functional equivalence over all 32 input patterns. *)
+  for v = 0 to 31 do
+    let input = bits 5 v in
+    Alcotest.(check bool) "same function" true
+      (outputs_of c input = outputs_of back input)
+  done
+
+let test_bench_roundtrip_random () =
+  let c = Gen.random_circuit ~inputs:9 ~gates:120 ~outputs:7 ~seed:2 in
+  let back = Circuit.Bench_format.parse_string (Circuit.Bench_format.to_string c) in
+  let rng = Stats.Rng.create ~seed:77 () in
+  for _ = 1 to 100 do
+    let input = Array.init 9 (fun _ -> Stats.Rng.bool rng) in
+    Alcotest.(check bool) "same function" true
+      (outputs_of c input = outputs_of back input)
+  done
+
+let test_bench_parse_out_of_order () =
+  (* Definitions before their operands are defined. *)
+  let source = "INPUT(a)\nINPUT(b)\nOUTPUT(z)\nz = AND(x, y)\nx = NOT(a)\ny = BUF(b)\n" in
+  let c = Circuit.Bench_format.parse_string source in
+  Alcotest.(check int) "gates" 3 (N.num_gates c);
+  let outs = outputs_of c [| false; true |] in
+  Alcotest.(check bool) "z = ~a & b" true outs.(0)
+
+let test_bench_parse_comments_whitespace () =
+  let source = "# a comment\n\n  INPUT( a )\nOUTPUT(z)\nz = NOT( a )\n# end\n" in
+  let c = Circuit.Bench_format.parse_string source in
+  Alcotest.(check int) "one gate" 1 (N.num_gates c)
+
+let test_bench_parse_dff_full_scan () =
+  let source =
+    "INPUT(clk_in)\nOUTPUT(q)\nq = DFF(d)\nd = NAND(clk_in, q)\n"
+  in
+  let c = Circuit.Bench_format.parse_string source in
+  (* q becomes a pseudo input; d becomes a pseudo output. *)
+  Alcotest.(check int) "two inputs" 2 (N.num_inputs c);
+  Alcotest.(check int) "two outputs" 2 (N.num_outputs c)
+
+let test_bench_parse_errors () =
+  let expect_error source =
+    Alcotest.(check bool) "rejected" true
+      (try
+         ignore (Circuit.Bench_format.parse_string source);
+         false
+       with Circuit.Bench_format.Parse_error _ -> true)
+  in
+  expect_error "INPUT(a)\nOUTPUT(z)\nz = FROBNICATE(a)\n";
+  expect_error "INPUT(a)\nz = AND(a\n";
+  expect_error "INPUT(a)\nINPUT(a)\n";
+  expect_error "OUTPUT(ghost)\n";
+  expect_error "INPUT(a)\nz = AND(a, ghost)\nOUTPUT(z)\n"
+
+let test_bench_duplicate_definition () =
+  Alcotest.(check bool) "duplicate rejected" true
+    (try
+       ignore
+         (Circuit.Bench_format.parse_string
+            "INPUT(a)\nOUTPUT(z)\nz = NOT(a)\nz = BUF(a)\n");
+       false
+     with Circuit.Bench_format.Parse_error _ -> true)
+
+(* ------------------------------ verilog ----------------------------- *)
+
+let test_verilog_structure () =
+  let c = Gen.c17 () in
+  let text = Circuit.Verilog.to_string c in
+  let contains needle =
+    let n = String.length needle and h = String.length text in
+    let rec find i = i + n <= h && (String.sub text i n = needle || find (i + 1)) in
+    find 0
+  in
+  Alcotest.(check bool) "module line" true (contains "module c17(");
+  Alcotest.(check bool) "endmodule" true (contains "endmodule");
+  Alcotest.(check bool) "inputs declared" true (contains "input G1;");
+  Alcotest.(check bool) "outputs declared" true (contains "output G22;");
+  Alcotest.(check bool) "nand instances" true (contains "nand g");
+  (* c17 has 6 gates -> 6 primitive instances. *)
+  let count needle =
+    let n = String.length needle in
+    let rec loop i acc =
+      if i + n > String.length text then acc
+      else if String.sub text i n = needle then loop (i + n) (acc + 1)
+      else loop (i + 1) acc
+    in
+    loop 0 0
+  in
+  Alcotest.(check int) "6 nands" 6 (count "nand ")
+
+let test_verilog_sanitization () =
+  let b = N.Builder.create ~name:"weird" in
+  let a = N.Builder.add_input b "3bad.name" in
+  let g = N.Builder.add_gate b ~name:"and" G.Not [ a ] in
+  N.Builder.mark_output b g;
+  let c = N.Builder.build b in
+  let text = Circuit.Verilog.to_string c in
+  (* The rename-map comments legitimately mention the original names;
+     the module body itself must be clean. *)
+  let body =
+    String.split_on_char '\n' text
+    |> List.filter (fun line ->
+           not (String.length line >= 2 && String.sub line 0 2 = "//"))
+    |> String.concat "\n"
+  in
+  Alcotest.(check bool) "no raw bad identifier in body" true
+    (not (String.contains body '.'));
+  Alcotest.(check bool) "keyword renamed" true
+    (let needle = "and_w" in
+     let n = String.length needle in
+     let rec find i =
+       i + n <= String.length text && (String.sub text i n = needle || find (i + 1))
+     in
+     find 0)
+
+let test_verilog_every_generator_emits () =
+  List.iter
+    (fun c ->
+      let text = Circuit.Verilog.to_string c in
+      Alcotest.(check bool) "nonempty" true (String.length text > 50))
+    [ Gen.ripple_carry_adder ~bits:4; Gen.array_multiplier ~bits:3;
+      Gen.alu ~bits:3; Gen.barrel_shifter ~bits:4;
+      Gen.lsi_chip ~scale:4 () ]
+
+let qcheck_props =
+  let open QCheck in
+  [ Test.make ~count:30 ~name:"generated circuits roundtrip through .bench"
+      (pair (int_range 2 10) (int_range 10 120))
+      (fun (inputs, gates) ->
+        let c =
+          Circuit.Generators.random_circuit ~inputs ~gates ~outputs:(max 1 (gates / 20))
+            ~seed:(inputs + (gates * 37))
+        in
+        let back = Circuit.Bench_format.parse_string (Circuit.Bench_format.to_string c) in
+        let rng = Stats.Rng.create ~seed:(gates + 1) () in
+        let ok = ref true in
+        for _ = 1 to 20 do
+          let input = Array.init inputs (fun _ -> Stats.Rng.bool rng) in
+          if outputs_of c input <> outputs_of back input then ok := false
+        done;
+        !ok);
+    Test.make ~count:30 ~name:"adder matches spec on random wide operands"
+      (triple (int_range 5 10) (int_bound 1000) (int_bound 1000))
+      (fun (w, a, b) ->
+        let a = a land ((1 lsl w) - 1) and b = b land ((1 lsl w) - 1) in
+        let c = Circuit.Generators.ripple_carry_adder ~bits:w in
+        let outs = outputs_of c (Array.concat [ bits w a; bits w b; [| false |] ]) in
+        let sum, cout = Circuit.Generators.spec_adder (bits w a) (bits w b) false in
+        outs = Array.append sum [| cout |]) ]
+
+let suite =
+  let tc name f = Alcotest.test_case name `Quick f in
+  [ ( "circuit.gate",
+      [ tc "truth tables" test_gate_truth_tables;
+        tc "string roundtrip" test_gate_string_roundtrip;
+        tc "aliases" test_gate_aliases;
+        tc "controlling values" test_gate_controlling_values ] );
+    ( "circuit.netlist",
+      [ tc "builder basics" test_builder_basic;
+        tc "arity checks" test_builder_arity_checks;
+        tc "dangling fanin" test_builder_dangling_fanin;
+        tc "mark_output idempotent" test_builder_mark_output_idempotent;
+        tc "topo order valid" test_topo_order_valid;
+        tc "fanouts consistent" test_fanouts_consistent;
+        tc "levels consistent" test_levels_consistent;
+        tc "cycle detection" test_cycle_detection;
+        tc "line count (c17 = 23)" test_line_count;
+        tc "find node" test_find_node;
+        tc "gate census" test_gate_census ] );
+    ( "circuit.generators",
+      [ tc "adders (exhaustive, widths 1-4)" test_adder_exhaustive;
+        tc "multipliers (exhaustive, widths 1-4)" test_multiplier_exhaustive;
+        tc "multiplier 8-bit spot checks" test_multiplier_spot_8bit;
+        tc "parity trees (exhaustive)" test_parity_exhaustive;
+        tc "mux trees (exhaustive)" test_mux_exhaustive;
+        tc "decoders (exhaustive)" test_decoder_exhaustive;
+        tc "comparators (exhaustive)" test_comparator_exhaustive;
+        tc "alu (exhaustive, 3-bit)" test_alu_exhaustive;
+        tc "carry-select adders (exhaustive)" test_carry_select_adder_exhaustive;
+        tc "carry-select = ripple" test_carry_select_equals_ripple;
+        tc "barrel shifters (exhaustive)" test_barrel_shifter_exhaustive;
+        tc "barrel shifter width check" test_barrel_shifter_rejects_non_power;
+        tc "of_spec builtins" test_of_spec_builtins;
+        tc "of_spec rejects garbage" test_of_spec_rejects_garbage;
+        tc "c17 structure" test_c17_structure;
+        tc "random circuit deterministic" test_random_circuit_deterministic;
+        tc "random circuit no dead sinks" test_random_circuit_no_dead_sinks;
+        tc "lsi chip size and sinks" test_lsi_chip_size ] );
+    ( "circuit.bench_format",
+      [ tc "roundtrip c17 (functional)" test_bench_roundtrip_c17;
+        tc "roundtrip random (functional)" test_bench_roundtrip_random;
+        tc "out-of-order definitions" test_bench_parse_out_of_order;
+        tc "comments and whitespace" test_bench_parse_comments_whitespace;
+        tc "DFF full-scan transform" test_bench_parse_dff_full_scan;
+        tc "parse errors rejected" test_bench_parse_errors;
+        tc "duplicate definition" test_bench_duplicate_definition ] );
+    ( "circuit.verilog",
+      [ tc "c17 structure" test_verilog_structure;
+        tc "identifier sanitization" test_verilog_sanitization;
+        tc "all generators emit" test_verilog_every_generator_emits ] );
+    ( "circuit.properties",
+      List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_props ) ]

@@ -1,0 +1,233 @@
+(* Tests for fault dictionaries/diagnosis, pattern compaction and the
+   drift study. *)
+
+module F = Faults.Fault
+
+let rig =
+  lazy
+    (let c = Circuit.Generators.alu ~bits:3 in
+     let classes = Faults.Collapse.equivalence c (Faults.Universe.all c) in
+     let universe = Faults.Collapse.representatives classes in
+     let rng = Stats.Rng.create ~seed:77 () in
+     let patterns = Tpg.Random_tpg.uniform rng c ~count:80 in
+     let dictionary = Fsim.Diagnosis.build c universe patterns in
+     (c, universe, patterns, dictionary))
+
+(* ----------------------------- diagnosis ---------------------------- *)
+
+let test_signature_consistent_with_fsim () =
+  let c, universe, patterns, dictionary = Lazy.force rig in
+  let first_detection = Fsim.Serial.run c universe patterns in
+  Array.iteri
+    (fun i fault ->
+      ignore fault;
+      let signature = Fsim.Diagnosis.fault_signature dictionary i in
+      match (first_detection.(i), signature) with
+      | None, [] -> ()
+      | None, _ :: _ -> Alcotest.fail "signature for an undetected fault"
+      | Some _, [] -> Alcotest.fail "empty signature for a detected fault"
+      | Some k, first :: _ ->
+        (* The first failing pattern of the signature is the fault's
+           first detection. *)
+        Alcotest.(check int) "first fail agrees" k first.Fsim.Diagnosis.pattern)
+    universe
+
+let test_exact_self_diagnosis () =
+  let c, universe, patterns, dictionary = Lazy.force rig in
+  (* Every detected fault's own observation must include itself among
+     the exact matches, and all matches must share its signature. *)
+  Array.iteri
+    (fun i fault ->
+      let observation = Fsim.Diagnosis.observe c [| fault |] patterns in
+      if observation <> [] then begin
+        let matches = Fsim.Diagnosis.exact_matches dictionary observation in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s self-match" (F.to_string c fault))
+          true (List.mem i matches);
+        List.iter
+          (fun j ->
+            Alcotest.(check bool) "matches share the signature" true
+              (Fsim.Diagnosis.fault_signature dictionary j = observation))
+          matches
+      end)
+    universe
+
+let test_ranked_matches_rank_self_first () =
+  let c, universe, patterns, dictionary = Lazy.force rig in
+  let fault_index = 17 in
+  let observation = Fsim.Diagnosis.observe c [| universe.(fault_index) |] patterns in
+  match Fsim.Diagnosis.ranked_matches dictionary observation ~count:3 with
+  | (best, distance) :: _ ->
+    Alcotest.(check int) "distance zero" 0 distance;
+    Alcotest.(check bool) "best shares signature" true
+      (Fsim.Diagnosis.fault_signature dictionary best = observation)
+  | [] -> Alcotest.fail "no candidates"
+
+let test_passing_chip_signature_empty () =
+  let c, universe, patterns, dictionary = Lazy.force rig in
+  ignore universe;
+  ignore dictionary;
+  Alcotest.(check bool) "fault-free chip passes" true
+    (Fsim.Diagnosis.observe c [||] patterns = [])
+
+let test_distinguishable_pairs_counts () =
+  let _, universe, _, dictionary = Lazy.force rig in
+  let distinguishable, total = Fsim.Diagnosis.distinguishable_pairs dictionary in
+  let n = Array.length universe in
+  Alcotest.(check int) "pair count" (n * (n - 1) / 2) total;
+  Alcotest.(check bool) "most pairs distinguishable" true
+    (float_of_int distinguishable /. float_of_int total > 0.9)
+
+let test_responses_sorted () =
+  let _, _, _, dictionary = Lazy.force rig in
+  let signature = Fsim.Diagnosis.fault_signature dictionary 3 in
+  let rec sorted = function
+    | a :: (b :: _ as rest) ->
+      a.Fsim.Diagnosis.pattern < b.Fsim.Diagnosis.pattern && sorted rest
+    | [ _ ] | [] -> true
+  in
+  Alcotest.(check bool) "patterns ascending" true (sorted signature)
+
+(* ----------------------------- compaction --------------------------- *)
+
+let compaction_rig =
+  lazy
+    (let c = Circuit.Generators.array_multiplier ~bits:4 in
+     let classes = Faults.Collapse.equivalence c (Faults.Universe.all c) in
+     let universe = Faults.Collapse.representatives classes in
+     let report = Tpg.Atpg.run c universe in
+     (c, universe, report.Tpg.Atpg.patterns))
+
+let detected_set c universe patterns =
+  Fsim.Ppsfp.run c universe patterns
+  |> Array.map (fun d -> d <> None)
+
+let test_compaction_preserves_coverage () =
+  let c, universe, patterns = Lazy.force compaction_rig in
+  let before = detected_set c universe patterns in
+  List.iter
+    (fun compact ->
+      let result = compact c universe patterns in
+      let after = detected_set c universe result.Tpg.Compact.patterns in
+      Alcotest.(check bool) "same detected set" true (before = after);
+      Alcotest.(check bool) "no growth" true
+        (Array.length result.Tpg.Compact.kept <= Array.length patterns))
+    [ Tpg.Compact.reverse_order; Tpg.Compact.forward_order ]
+
+let test_reverse_compaction_shrinks () =
+  let c, universe, patterns = Lazy.force compaction_rig in
+  let result = Tpg.Compact.reverse_order c universe patterns in
+  Alcotest.(check bool)
+    (Printf.sprintf "%d -> %d" (Array.length patterns)
+       (Array.length result.Tpg.Compact.kept))
+    true
+    (Array.length result.Tpg.Compact.kept < Array.length patterns)
+
+let test_compaction_preserves_order () =
+  let c, universe, patterns = Lazy.force compaction_rig in
+  let result = Tpg.Compact.reverse_order c universe patterns in
+  Array.iteri
+    (fun k index ->
+      if k > 0 then
+        Alcotest.(check bool) "indices ascending" true
+          (result.Tpg.Compact.kept.(k - 1) < index);
+      Alcotest.(check bool) "patterns match indices" true
+        (result.Tpg.Compact.patterns.(k) = patterns.(index)))
+    result.Tpg.Compact.kept
+
+let test_compaction_idempotent () =
+  let c, universe, patterns = Lazy.force compaction_rig in
+  let once = Tpg.Compact.reverse_order c universe patterns in
+  let twice = Tpg.Compact.reverse_order c universe once.Tpg.Compact.patterns in
+  Alcotest.(check int) "second pass removes nothing"
+    (Array.length once.Tpg.Compact.kept)
+    (Array.length twice.Tpg.Compact.kept)
+
+(* ------------------------------- drift ------------------------------- *)
+
+let test_drift_no_dispersion_recovers_n0 () =
+  let study =
+    Experiments.Drift.simulate ~lots:20 ~chips_per_lot:277 ~dispersion:1.0 ()
+  in
+  Alcotest.(check bool) "mean fit near 8" true
+    (abs_float (study.Experiments.Drift.mean_fitted_n0 -. 8.0) < 0.6);
+  Alcotest.(check bool) "per-lot RMSE modest" true
+    (study.Experiments.Drift.fit_rmse < 1.5)
+
+let test_drift_dispersion_tracked_per_lot () =
+  let study =
+    Experiments.Drift.simulate ~lots:30 ~chips_per_lot:400 ~dispersion:2.0 ()
+  in
+  (* Per-lot fits track per-lot truths: correlation across lots. *)
+  let truths =
+    Array.of_list (List.map (fun o -> o.Experiments.Drift.true_n0) study.Experiments.Drift.lots)
+  in
+  let fits =
+    Array.of_list
+      (List.map (fun o -> o.Experiments.Drift.fitted_n0) study.Experiments.Drift.lots)
+  in
+  Alcotest.(check bool) "correlated" true (Stats.Summary.correlation truths fits > 0.7)
+
+let test_drift_study_shape () =
+  let study = Experiments.Drift.simulate ~lots:5 ~chips_per_lot:100 () in
+  Alcotest.(check int) "5 lots" 5 (List.length study.Experiments.Drift.lots);
+  List.iter
+    (fun o ->
+      Alcotest.(check bool) "n0 sane" true
+        (o.Experiments.Drift.true_n0 >= 1.0 && o.Experiments.Drift.fitted_n0 >= 1.0))
+    study.Experiments.Drift.lots
+
+let qcheck_props =
+  let open QCheck in
+  [ Test.make ~count:12 ~name:"compaction preserves detected sets on random circuits"
+      (pair (int_range 4 9) (int_range 15 90))
+      (fun (inputs, gates) ->
+        let c =
+          Circuit.Generators.random_circuit ~inputs ~gates ~outputs:3
+            ~seed:(inputs * 91 + gates)
+        in
+        let universe = Faults.Universe.all c in
+        let rng = Stats.Rng.create ~seed:(gates + 7) () in
+        let patterns = Tpg.Random_tpg.uniform rng c ~count:48 in
+        let before = detected_set c universe patterns in
+        let reverse = Tpg.Compact.reverse_order c universe patterns in
+        let forward = Tpg.Compact.forward_order c universe patterns in
+        before = detected_set c universe reverse.Tpg.Compact.patterns
+        && before = detected_set c universe forward.Tpg.Compact.patterns);
+    Test.make ~count:12 ~name:"dictionary self-diagnosis on random circuits"
+      (int_range 1 500)
+      (fun seed ->
+        let c =
+          Circuit.Generators.random_circuit ~inputs:6 ~gates:40 ~outputs:3 ~seed
+        in
+        let universe = Faults.Universe.all c in
+        let rng = Stats.Rng.create ~seed () in
+        let patterns = Tpg.Random_tpg.uniform rng c ~count:32 in
+        let dictionary = Fsim.Diagnosis.build c universe patterns in
+        let fault_index = seed mod Array.length universe in
+        let observation =
+          Fsim.Diagnosis.observe c [| universe.(fault_index) |] patterns
+        in
+        observation = []
+        || List.mem fault_index (Fsim.Diagnosis.exact_matches dictionary observation)) ]
+
+let suite =
+  let tc name f = Alcotest.test_case name `Quick f in
+  [ ( "diagnosis",
+      [ tc "signatures consistent with fsim" test_signature_consistent_with_fsim;
+        tc "exact self-diagnosis" test_exact_self_diagnosis;
+        tc "ranked matches" test_ranked_matches_rank_self_first;
+        tc "passing chip" test_passing_chip_signature_empty;
+        tc "distinguishable pairs" test_distinguishable_pairs_counts;
+        tc "responses sorted" test_responses_sorted ] );
+    ( "tpg.compact",
+      [ tc "coverage preserved (both orders)" test_compaction_preserves_coverage;
+        tc "reverse order shrinks ATPG sets" test_reverse_compaction_shrinks;
+        tc "order preserved" test_compaction_preserves_order;
+        tc "idempotent" test_compaction_idempotent ] );
+    ( "experiments.drift",
+      [ tc "no dispersion recovers n0" test_drift_no_dispersion_recovers_n0;
+        tc "per-lot fits track truth" test_drift_dispersion_tracked_per_lot;
+        tc "study shape" test_drift_study_shape ] );
+    ( "diagnosis.properties",
+      List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_props ) ]

@@ -1,0 +1,269 @@
+(* Tests for the fault universe and equivalence collapsing. *)
+
+module F = Faults.Fault
+module N = Circuit.Netlist
+
+let exhaustive_patterns width =
+  Array.init (1 lsl width) (fun v ->
+      Array.init width (fun i -> (v lsr i) land 1 = 1))
+
+let test_universe_size () =
+  let c = Circuit.Generators.c17 () in
+  let universe = Faults.Universe.all c in
+  Alcotest.(check int) "2 x 23 lines" 46 (Array.length universe);
+  Alcotest.(check int) "count agrees" (Faults.Universe.count c)
+    (Array.length universe)
+
+let test_universe_distinct () =
+  let c = Circuit.Generators.lsi_chip ~scale:4 () in
+  let universe = Faults.Universe.all c in
+  let seen = Hashtbl.create (Array.length universe) in
+  Array.iter
+    (fun fault ->
+      Alcotest.(check bool) "no duplicates" false (Hashtbl.mem seen fault);
+      Hashtbl.replace seen fault ())
+    universe
+
+let test_universe_deterministic_order () =
+  let c = Circuit.Generators.c17 () in
+  let a = Faults.Universe.all c and b = Faults.Universe.all c in
+  Alcotest.(check bool) "same order" true (a = b)
+
+let test_stems_only_size () =
+  let c = Circuit.Generators.c17 () in
+  Alcotest.(check int) "2 per node" (2 * N.num_nodes c)
+    (Array.length (Faults.Universe.stems_only c))
+
+let test_checkpoint_subset () =
+  let c = Circuit.Generators.c17 () in
+  let all = Faults.Universe.all c in
+  let cp = Faults.Universe.checkpoint c in
+  Array.iter
+    (fun fault ->
+      Alcotest.(check bool) "checkpoint in universe" true
+        (Array.exists (fun g -> F.equal fault g) all))
+    cp;
+  (* c17 checkpoints: 5 PI stems + fanout branches. G3, G11, G16 have
+     fanout 2, so 6 branch lines -> (5 + 6) * 2 = 22 faults. *)
+  Alcotest.(check int) "c17 checkpoint count" 22 (Array.length cp)
+
+let test_fault_to_string () =
+  let c = Circuit.Generators.c17 () in
+  let g10 = match N.find_node c "G10" with Some id -> id | None -> assert false in
+  Alcotest.(check string) "stem" "G10/sa0"
+    (F.to_string c { F.site = F.Stem g10; polarity = F.Stuck_at_0 });
+  Alcotest.(check string) "branch" "G10.in1/sa1"
+    (F.to_string c { F.site = F.Branch { gate = g10; pin = 1 }; polarity = F.Stuck_at_1 })
+
+let test_polarity_helpers () =
+  Alcotest.(check bool) "sa0 bit" false (F.polarity_bit F.Stuck_at_0);
+  Alcotest.(check bool) "sa1 bit" true (F.polarity_bit F.Stuck_at_1);
+  Alcotest.(check bool) "opposite" true (F.opposite F.Stuck_at_0 = F.Stuck_at_1)
+
+(* --------------------------- collapsing ---------------------------- *)
+
+let test_collapse_counts_single_and2 () =
+  (* One AND2: universe = stems a,b,g + pins g.0,g.1 = 5 lines, 10 faults.
+     Equivalences: a/sa0 ~ g.0/sa0 ~ g/sa0 ~ g.1/sa1... no wait:
+     - fanout-1 drivers: a ~ g.in0, b ~ g.in1 (both polarities): merges 4 pairs.
+     - AND rule: in0/sa0 ~ out/sa0, in1/sa0 ~ out/sa0.
+     Classes: {a0, g.in0 sa0, g sa0, b0, g.in1 sa0} (all one class),
+     {a1, g.in0 sa1}, {b1, g.in1 sa1}, {g sa1} -> 4 classes. *)
+  let b = N.Builder.create ~name:"and2" in
+  let a = N.Builder.add_input b "a" in
+  let bb = N.Builder.add_input b "b" in
+  let g = N.Builder.add_gate b ~name:"g" Circuit.Gate.And [ a; bb ] in
+  N.Builder.mark_output b g;
+  let c = N.Builder.build b in
+  let universe = Faults.Universe.all c in
+  Alcotest.(check int) "10 faults" 10 (Array.length universe);
+  let classes = Faults.Collapse.equivalence c universe in
+  Alcotest.(check int) "4 classes" 4 (Faults.Collapse.class_count classes)
+
+let test_collapse_counts_inverter_chain () =
+  (* a -> NOT x -> NOT y (output). All 6 line-ends collapse into 2
+     classes (one per polarity seen from the output). *)
+  let b = N.Builder.create ~name:"chain" in
+  let a = N.Builder.add_input b "a" in
+  let x = N.Builder.add_gate b ~name:"x" Circuit.Gate.Not [ a ] in
+  let y = N.Builder.add_gate b ~name:"y" Circuit.Gate.Not [ x ] in
+  N.Builder.mark_output b y;
+  let c = N.Builder.build b in
+  let universe = Faults.Universe.all c in
+  Alcotest.(check int) "10 faults" 10 (Array.length universe);
+  let classes = Faults.Collapse.equivalence c universe in
+  Alcotest.(check int) "2 classes" 2 (Faults.Collapse.class_count classes)
+
+let test_collapse_xor_no_local_rule () =
+  (* XOR gates admit no controlling-value equivalence; only the
+     fanout-1 stem/branch merges apply. *)
+  let b = N.Builder.create ~name:"xor2" in
+  let a = N.Builder.add_input b "a" in
+  let bb = N.Builder.add_input b "b" in
+  let g = N.Builder.add_gate b ~name:"g" Circuit.Gate.Xor [ a; bb ] in
+  N.Builder.mark_output b g;
+  let c = N.Builder.build b in
+  let classes = Faults.Collapse.equivalence c (Faults.Universe.all c) in
+  (* 10 faults; merges: a~in0 (2), b~in1 (2) -> 6 classes. *)
+  Alcotest.(check int) "6 classes" 6 (Faults.Collapse.class_count classes)
+
+let test_collapse_ratio_bounds () =
+  let c = Circuit.Generators.lsi_chip ~scale:4 () in
+  let classes = Faults.Collapse.equivalence c (Faults.Universe.all c) in
+  let ratio = Faults.Collapse.collapse_ratio classes in
+  Alcotest.(check bool) "meaningful reduction" true (ratio > 0.3 && ratio < 0.9)
+
+let test_collapse_members_partition () =
+  let c = Circuit.Generators.c17 () in
+  let universe = Faults.Universe.all c in
+  let classes = Faults.Collapse.equivalence c universe in
+  let total =
+    List.init (Faults.Collapse.class_count classes) (fun i ->
+        List.length (Faults.Collapse.class_members classes i))
+    |> List.fold_left ( + ) 0
+  in
+  Alcotest.(check int) "members partition the universe" (Array.length universe) total;
+  (* Representatives belong to their own class. *)
+  Array.iteri
+    (fun i rep ->
+      Alcotest.(check int) "rep in own class" i (Faults.Collapse.class_of classes rep))
+    (Faults.Collapse.representatives classes)
+
+let test_collapse_class_of_unknown () =
+  let c = Circuit.Generators.c17 () in
+  let classes = Faults.Collapse.equivalence c (Faults.Universe.all c) in
+  Alcotest.check_raises "unknown fault" Not_found (fun () ->
+      ignore
+        (Faults.Collapse.class_of classes
+           { F.site = F.Stem 9999; polarity = F.Stuck_at_0 }))
+
+(* Soundness: all members of a class have identical detection sets
+   under exhaustive patterns. *)
+let detection_signature c fault patterns =
+  Array.map
+    (fun pattern ->
+      match Fsim.Serial.run c [| fault |] [| pattern |] with
+      | [| Some _ |] -> true
+      | [| None |] -> false
+      | _ -> assert false)
+    patterns
+
+let test_collapse_soundness_exhaustive () =
+  List.iter
+    (fun seed ->
+      let c =
+        Circuit.Generators.random_circuit ~inputs:6 ~gates:40 ~outputs:3 ~seed
+      in
+      let patterns = exhaustive_patterns 6 in
+      let universe = Faults.Universe.all c in
+      let classes = Faults.Collapse.equivalence c universe in
+      for cls = 0 to Faults.Collapse.class_count classes - 1 do
+        match Faults.Collapse.class_members classes cls with
+        | [] -> Alcotest.fail "empty class"
+        | first :: rest ->
+          let reference = detection_signature c first patterns in
+          List.iter
+            (fun fault ->
+              Alcotest.(check bool)
+                (Printf.sprintf "class %d member %s" cls (F.to_string c fault))
+                true
+                (detection_signature c fault patterns = reference))
+            rest
+      done)
+    [ 1; 2; 3 ]
+
+(* --------------------------- dominance ----------------------------- *)
+
+let test_dominance_reduces () =
+  let c = Circuit.Generators.c17 () in
+  let classes = Faults.Collapse.equivalence c (Faults.Universe.all c) in
+  let eq_reps = Faults.Collapse.representatives classes in
+  let dom_reps = Faults.Collapse.dominance c classes in
+  Alcotest.(check bool) "strictly smaller" true
+    (Array.length dom_reps < Array.length eq_reps);
+  (* Every dominance representative is an equivalence representative. *)
+  Array.iter
+    (fun fault ->
+      Alcotest.(check bool) "subset" true
+        (Array.exists (fun g -> F.equal fault g) eq_reps))
+    dom_reps
+
+let test_dominance_and2 () =
+  (* Single AND2: equivalence leaves 4 classes; dominance drops the
+     class of out/sa1?  No: out/sa1 is its own class and is dominated
+     by in_j/sa1 -> 3 classes remain. *)
+  let b = N.Builder.create ~name:"and2" in
+  let a = N.Builder.add_input b "a" in
+  let bb = N.Builder.add_input b "b" in
+  let g = N.Builder.add_gate b ~name:"g" Circuit.Gate.And [ a; bb ] in
+  N.Builder.mark_output b g;
+  let c = N.Builder.build b in
+  let classes = Faults.Collapse.equivalence c (Faults.Universe.all c) in
+  let dom = Faults.Collapse.dominance c classes in
+  Alcotest.(check int) "3 dominance classes" 3 (Array.length dom);
+  (* The dropped one is g/sa1's class. *)
+  Alcotest.(check bool) "out sa1 dropped" false
+    (Array.exists
+       (fun f -> F.equal f { F.site = F.Stem g; polarity = F.Stuck_at_1 })
+       dom)
+
+(* Completeness: a pattern set detecting all dominance representatives
+   detects every detectable fault of the full universe (irredundant
+   circuits). *)
+let test_dominance_detection_complete () =
+  List.iter
+    (fun seed ->
+      let c =
+        Circuit.Generators.random_circuit ~inputs:7 ~gates:50 ~outputs:4 ~seed
+      in
+      let universe = Faults.Universe.all c in
+      let classes = Faults.Collapse.equivalence c universe in
+      let dom = Faults.Collapse.dominance c classes in
+      let patterns = exhaustive_patterns 7 in
+      (* Build a minimal-ish pattern set covering the dominance reps:
+         take, for each dominance rep, its first detecting pattern. *)
+      let dom_first = Fsim.Serial.run c dom patterns in
+      let chosen = Hashtbl.create 16 in
+      Array.iter
+        (function Some k -> Hashtbl.replace chosen k () | None -> ())
+        dom_first;
+      let subset =
+        Hashtbl.fold (fun k () acc -> k :: acc) chosen []
+        |> List.sort compare
+        |> List.map (fun k -> patterns.(k))
+        |> Array.of_list
+      in
+      (* Every fault detectable under exhaustive patterns must be
+         detected by the subset. *)
+      let full_exhaustive = Fsim.Serial.run c universe patterns in
+      let full_subset = Fsim.Serial.run c universe subset in
+      Array.iteri
+        (fun i d ->
+          if d <> None && full_subset.(i) = None then
+            Alcotest.failf "dominance lost %s (seed %d)"
+              (F.to_string c universe.(i)) seed)
+        full_exhaustive)
+    [ 11; 12; 13 ]
+
+let suite =
+  let tc name f = Alcotest.test_case name `Quick f in
+  [ ( "faults.universe",
+      [ tc "size = 2 x lines" test_universe_size;
+        tc "no duplicates" test_universe_distinct;
+        tc "deterministic order" test_universe_deterministic_order;
+        tc "stems-only size" test_stems_only_size;
+        tc "checkpoint subset" test_checkpoint_subset;
+        tc "to_string" test_fault_to_string;
+        tc "polarity helpers" test_polarity_helpers ] );
+    ( "faults.collapse",
+      [ tc "AND2 classes" test_collapse_counts_single_and2;
+        tc "inverter chain classes" test_collapse_counts_inverter_chain;
+        tc "XOR keeps pins separate" test_collapse_xor_no_local_rule;
+        tc "ratio in sane band" test_collapse_ratio_bounds;
+        tc "classes partition universe" test_collapse_members_partition;
+        tc "unknown fault raises" test_collapse_class_of_unknown;
+        tc "soundness (exhaustive detection sets)" test_collapse_soundness_exhaustive ] );
+    ( "faults.dominance",
+      [ tc "reduces below equivalence" test_dominance_reduces;
+        tc "AND2 drops out/sa1" test_dominance_and2;
+        tc "detection-complete on irredundant circuits" test_dominance_detection_complete ] ) ]

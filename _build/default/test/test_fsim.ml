@@ -1,0 +1,464 @@
+(* Tests for the fault simulators: serial, PPSFP, coverage bookkeeping,
+   and the multiple-fault machine. *)
+
+module F = Faults.Fault
+module N = Circuit.Netlist
+
+let exhaustive_patterns width =
+  Array.init (1 lsl width) (fun v ->
+      Array.init width (fun i -> (v lsr i) land 1 = 1))
+
+let random_patterns ~seed ~count c =
+  let rng = Stats.Rng.create ~seed () in
+  Tpg.Random_tpg.uniform rng c ~count
+
+(* Brute-force oracle for a stem fault: per-pattern faulty simulation
+   via the reference simulator with an override. *)
+let stem_detected_oracle c node polarity pattern =
+  let forced = F.polarity_bit polarity in
+  let good = Logicsim.Refsim.eval c pattern in
+  let faulty = Logicsim.Refsim.eval_with_overrides c ~overrides:[ (node, forced) ] pattern in
+  Array.exists (fun out -> good.(out) <> faulty.(out)) c.N.outputs
+
+let test_serial_matches_oracle_on_stems () =
+  let c = Circuit.Generators.c17 () in
+  let patterns = exhaustive_patterns 5 in
+  for node = 0 to N.num_nodes c - 1 do
+    List.iter
+      (fun polarity ->
+        let fault = { F.site = F.Stem node; polarity } in
+        let results = Fsim.Serial.run c [| fault |] patterns in
+        let expected =
+          Array.to_list patterns
+          |> List.mapi (fun i p -> (i, stem_detected_oracle c node polarity p))
+          |> List.find_opt (fun (_, d) -> d)
+          |> Option.map fst
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s first detection" (F.to_string c fault))
+          true
+          (results.(0) = expected))
+      [ F.Stuck_at_0; F.Stuck_at_1 ]
+  done
+
+let test_ppsfp_equals_serial_c17 () =
+  let c = Circuit.Generators.c17 () in
+  let universe = Faults.Universe.all c in
+  let patterns = exhaustive_patterns 5 in
+  Alcotest.(check bool) "identical results" true
+    (Fsim.Serial.run c universe patterns = Fsim.Ppsfp.run c universe patterns)
+
+let test_ppsfp_equals_serial_random () =
+  List.iter
+    (fun seed ->
+      let c = Circuit.Generators.random_circuit ~inputs:10 ~gates:150 ~outputs:8 ~seed in
+      let universe = Faults.Universe.all c in
+      let patterns = random_patterns ~seed:(seed * 11) ~count:100 c in
+      let serial = Fsim.Serial.run c universe patterns in
+      let ppsfp = Fsim.Ppsfp.run c universe patterns in
+      Array.iteri
+        (fun i a ->
+          if a <> ppsfp.(i) then
+            Alcotest.failf "disagreement on %s" (F.to_string c universe.(i)))
+        serial)
+    [ 1; 2; 3; 4 ]
+
+let test_ppsfp_equals_serial_arithmetic () =
+  let c = Circuit.Generators.array_multiplier ~bits:4 in
+  let universe = Faults.Universe.all c in
+  let patterns = random_patterns ~seed:9 ~count:96 c in
+  Alcotest.(check bool) "mul4 identical" true
+    (Fsim.Serial.run c universe patterns = Fsim.Ppsfp.run c universe patterns)
+
+let test_c17_full_coverage_exhaustive () =
+  (* c17 is irredundant: exhaustive patterns detect everything. *)
+  let c = Circuit.Generators.c17 () in
+  let universe = Faults.Universe.all c in
+  let profile = Fsim.Coverage.profile c universe (exhaustive_patterns 5) in
+  Alcotest.(check int) "all detected" (Array.length universe)
+    (Fsim.Coverage.detected_count profile);
+  Alcotest.(check (float 1e-12)) "coverage 1" 1.0 (Fsim.Coverage.final_coverage profile)
+
+let test_first_detection_is_minimal () =
+  (* The reported index must be the first detecting pattern: re-running
+     with the pattern prefix up to (but excluding) it finds nothing. *)
+  let c = Circuit.Generators.ripple_carry_adder ~bits:3 in
+  let universe = Faults.Universe.all c in
+  let patterns = random_patterns ~seed:3 ~count:40 c in
+  let results = Fsim.Ppsfp.run c universe patterns in
+  Array.iteri
+    (fun i result ->
+      match result with
+      | None -> ()
+      | Some k ->
+        if k > 0 && i mod 7 = 0 then begin
+          let prefix = Array.sub patterns 0 k in
+          let again = Fsim.Ppsfp.run c [| universe.(i) |] prefix in
+          Alcotest.(check bool) "undetected by prefix" true (again.(0) = None);
+          let upto = Array.sub patterns 0 (k + 1) in
+          let again = Fsim.Ppsfp.run c [| universe.(i) |] upto in
+          Alcotest.(check bool) "detected at k" true (again.(0) = Some k)
+        end)
+    results
+
+let test_coverage_curve_monotone () =
+  let c = Circuit.Generators.alu ~bits:4 in
+  let universe = Faults.Universe.all c in
+  let patterns = random_patterns ~seed:21 ~count:80 c in
+  let profile = Fsim.Coverage.profile c universe patterns in
+  let curve = Fsim.Coverage.curve profile in
+  Alcotest.(check int) "one point per pattern" 80 (Array.length curve);
+  Array.iteri
+    (fun i (k, f) ->
+      Alcotest.(check int) "pattern index" (i + 1) k;
+      Alcotest.(check bool) "coverage in [0,1]" true (f >= 0.0 && f <= 1.0);
+      if i > 0 then
+        Alcotest.(check bool) "monotone" true (snd curve.(i - 1) <= f))
+    curve;
+  Alcotest.(check (float 1e-12)) "curve end = final coverage"
+    (Fsim.Coverage.final_coverage profile)
+    (snd curve.(79))
+
+let test_coverage_after_consistent () =
+  let c = Circuit.Generators.parity_tree ~bits:8 in
+  let universe = Faults.Universe.all c in
+  let patterns = random_patterns ~seed:5 ~count:50 c in
+  let profile = Fsim.Coverage.profile c universe patterns in
+  let curve = Fsim.Coverage.curve profile in
+  Array.iter
+    (fun (k, f) ->
+      Alcotest.(check (float 1e-12)) "coverage_after agrees" f
+        (Fsim.Coverage.coverage_after profile k))
+    curve
+
+let test_run_curve_checkpoints () =
+  let c = Circuit.Generators.comparator ~bits:4 in
+  let universe = Faults.Universe.all c in
+  let patterns = random_patterns ~seed:6 ~count:130 c in
+  let results, checkpoints = Fsim.Ppsfp.run_curve c universe patterns in
+  Alcotest.(check int) "3 blocks" 3 (List.length checkpoints);
+  let detected =
+    Array.fold_left (fun acc d -> if d <> None then acc + 1 else acc) 0 results
+  in
+  (match List.rev checkpoints with
+  | (patterns_applied, total) :: _ ->
+    Alcotest.(check int) "final total" detected total;
+    Alcotest.(check int) "all patterns applied" 130 patterns_applied
+  | [] -> Alcotest.fail "no checkpoints");
+  (* Checkpoints are cumulative and non-decreasing. *)
+  let rec check_monotone = function
+    | (_, a) :: ((_, b) :: _ as rest) ->
+      Alcotest.(check bool) "monotone" true (a <= b);
+      check_monotone rest
+    | [ _ ] | [] -> ()
+  in
+  check_monotone checkpoints
+
+let test_undetected_listing () =
+  let c = Circuit.Generators.c17 () in
+  let universe = Faults.Universe.all c in
+  (* One constant pattern cannot detect everything. *)
+  let profile = Fsim.Coverage.profile c universe [| Array.make 5 false |] in
+  let missing = Fsim.Coverage.undetected profile universe in
+  Alcotest.(check int) "count consistent"
+    (Array.length universe - Fsim.Coverage.detected_count profile)
+    (List.length missing)
+
+(* ----------------------------- deductive ---------------------------- *)
+
+let test_deductive_equals_serial_c17 () =
+  let c = Circuit.Generators.c17 () in
+  let universe = Faults.Universe.all c in
+  let patterns = exhaustive_patterns 5 in
+  Alcotest.(check bool) "identical results" true
+    (Fsim.Serial.run c universe patterns = Fsim.Deductive.run c universe patterns)
+
+let test_deductive_equals_serial_random () =
+  List.iter
+    (fun seed ->
+      let c = Circuit.Generators.random_circuit ~inputs:9 ~gates:120 ~outputs:6 ~seed in
+      let universe = Faults.Universe.all c in
+      let patterns = random_patterns ~seed:(seed * 3) ~count:80 c in
+      let serial = Fsim.Serial.run c universe patterns in
+      let deductive = Fsim.Deductive.run c universe patterns in
+      Array.iteri
+        (fun i a ->
+          if a <> deductive.(i) then
+            Alcotest.failf "deductive disagrees on %s (serial %s, deductive %s)"
+              (F.to_string c universe.(i))
+              (match a with Some k -> string_of_int k | None -> "-")
+              (match deductive.(i) with Some k -> string_of_int k | None -> "-"))
+        serial)
+    [ 5; 6; 7 ]
+
+let test_deductive_equals_serial_arithmetic () =
+  let c = Circuit.Generators.alu ~bits:3 in
+  let universe = Faults.Universe.all c in
+  let patterns = random_patterns ~seed:17 ~count:64 c in
+  Alcotest.(check bool) "alu identical" true
+    (Fsim.Serial.run c universe patterns = Fsim.Deductive.run c universe patterns)
+
+let test_concurrent_equals_serial () =
+  List.iter
+    (fun seed ->
+      let c = Circuit.Generators.random_circuit ~inputs:9 ~gates:120 ~outputs:6 ~seed in
+      let universe = Faults.Universe.all c in
+      let rng = Stats.Rng.create ~seed:(seed * 5) () in
+      let rand = Tpg.Random_tpg.uniform rng c ~count:70 in
+      let walk = Tpg.Random_tpg.random_walk rng c ~count:70 () in
+      List.iter
+        (fun patterns ->
+          Alcotest.(check bool) "concurrent = serial" true
+            (Fsim.Serial.run c universe patterns
+            = Fsim.Concurrent.run c universe patterns))
+        [ rand; walk ])
+    [ 8; 9; 10 ]
+
+let test_concurrent_dropping_across_patterns () =
+  (* Faults detected early must not be re-reported nor disturb later
+     detections, even though dead entries linger in unchanged cones. *)
+  let c = Circuit.Generators.alu ~bits:3 in
+  let universe = Faults.Universe.all c in
+  let rng = Stats.Rng.create ~seed:12 () in
+  let walk = Tpg.Random_tpg.random_walk rng c ~count:120 () in
+  let serial = Fsim.Serial.run c universe walk in
+  let concurrent = Fsim.Concurrent.run c universe walk in
+  Alcotest.(check bool) "identical with dropping" true (serial = concurrent)
+
+let test_deductive_via_coverage_engine () =
+  let c = Circuit.Generators.parity_tree ~bits:6 in
+  let universe = Faults.Universe.all c in
+  let patterns = random_patterns ~seed:23 ~count:32 c in
+  let a = Fsim.Coverage.profile ~engine:Fsim.Coverage.Deductive c universe patterns in
+  let b = Fsim.Coverage.profile ~engine:Fsim.Coverage.Serial c universe patterns in
+  Alcotest.(check bool) "profiles equal" true
+    (a.Fsim.Coverage.first_detection = b.Fsim.Coverage.first_detection)
+
+(* ------------------------------- stafan ------------------------------ *)
+
+let test_stafan_controllabilities () =
+  (* On exhaustive patterns of c17, input C1 is exactly 1/2. *)
+  let c = Circuit.Generators.c17 () in
+  let st = Fsim.Stafan.analyze c (exhaustive_patterns 5) in
+  Array.iter
+    (fun id ->
+      Alcotest.(check (float 1e-9)) "C1(PI) = 0.5" 0.5
+        (Fsim.Stafan.controllability_one st id))
+    c.N.inputs
+
+let test_stafan_po_observability () =
+  let c = Circuit.Generators.c17 () in
+  let st = Fsim.Stafan.analyze c (exhaustive_patterns 5) in
+  Array.iter
+    (fun out ->
+      Alcotest.(check (float 1e-9)) "B(PO) = 1" 1.0 (Fsim.Stafan.observability st out))
+    c.N.outputs
+
+let test_stafan_detection_probability_bounds () =
+  let c = Circuit.Generators.alu ~bits:3 in
+  let rng = Stats.Rng.create ~seed:5 () in
+  let patterns = Tpg.Random_tpg.uniform rng c ~count:64 in
+  let st = Fsim.Stafan.analyze c patterns in
+  Array.iter
+    (fun fault ->
+      let d = Fsim.Stafan.detection_probability st fault in
+      Alcotest.(check bool) "d in [0,1]" true (d >= -1e-9 && d <= 1.0 +. 1e-9))
+    (Faults.Universe.all c)
+
+let test_stafan_predicts_coverage () =
+  (* The estimate should land within ~10 points of real fault
+     simulation at moderate pattern counts. *)
+  List.iter
+    (fun (c, seed) ->
+      let classes = Faults.Collapse.equivalence c (Faults.Universe.all c) in
+      let universe = Faults.Collapse.representatives classes in
+      let rng = Stats.Rng.create ~seed () in
+      let patterns = Tpg.Random_tpg.uniform rng c ~count:128 in
+      let st = Fsim.Stafan.analyze c patterns in
+      let profile = Fsim.Coverage.profile c universe patterns in
+      List.iter
+        (fun k ->
+          let actual = Fsim.Coverage.coverage_after profile k in
+          let predicted = Fsim.Stafan.expected_coverage st universe ~pattern_count:k in
+          Alcotest.(check bool)
+            (Printf.sprintf "n=%d actual=%.3f predicted=%.3f" k actual predicted)
+            true
+            (abs_float (actual -. predicted) < 0.12))
+        [ 32; 64; 128 ])
+    [ (Circuit.Generators.array_multiplier ~bits:4, 3);
+      (Circuit.Generators.random_circuit ~inputs:12 ~gates:300 ~outputs:8 ~seed:5, 4) ]
+
+let test_stafan_curve_monotone () =
+  let c = Circuit.Generators.parity_tree ~bits:8 in
+  let rng = Stats.Rng.create ~seed:6 () in
+  let patterns = Tpg.Random_tpg.uniform rng c ~count:64 in
+  let st = Fsim.Stafan.analyze c patterns in
+  let universe = Faults.Universe.all c in
+  let curve = Fsim.Stafan.predicted_curve st universe ~counts:[| 1; 4; 16; 64 |] in
+  Array.iteri
+    (fun i (_, f) ->
+      if i > 0 then Alcotest.(check bool) "monotone" true (snd curve.(i - 1) <= f +. 1e-12))
+    curve
+
+(* ------------------------------ sampling ----------------------------- *)
+
+let test_sampling_full_sample_is_exact () =
+  let c = Circuit.Generators.ripple_carry_adder ~bits:4 in
+  let universe = Faults.Universe.all c in
+  let patterns = random_patterns ~seed:44 ~count:64 c in
+  let rng = Stats.Rng.create ~seed:44 () in
+  let est =
+    Fsim.Sampling.estimate_coverage rng c universe
+      ~sample_size:(Array.length universe) patterns
+  in
+  let profile = Fsim.Coverage.profile c universe patterns in
+  Alcotest.(check (float 1e-12)) "exact" (Fsim.Coverage.final_coverage profile)
+    est.Fsim.Sampling.coverage;
+  Alcotest.(check (float 1e-12)) "zero error" 0.0 est.Fsim.Sampling.std_error
+
+let test_sampling_estimate_near_truth () =
+  let c = Circuit.Generators.lsi_chip ~scale:4 () in
+  let universe = Faults.Universe.all c in
+  let patterns = random_patterns ~seed:45 ~count:64 c in
+  let profile = Fsim.Coverage.profile c universe patterns in
+  let truth = Fsim.Coverage.final_coverage profile in
+  let rng = Stats.Rng.create ~seed:46 () in
+  let hits = ref 0 in
+  let trials = 20 in
+  for _ = 1 to trials do
+    let est = Fsim.Sampling.estimate_coverage rng c universe ~sample_size:300 patterns in
+    if est.Fsim.Sampling.lower_95 <= truth && truth <= est.Fsim.Sampling.upper_95 then
+      incr hits
+  done;
+  (* 95% interval: allow a couple of misses in 20 trials. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "interval covers truth in %d/%d trials" !hits trials)
+    true (!hits >= 16)
+
+let test_sampling_interval_bounds () =
+  let c = Circuit.Generators.c17 () in
+  let universe = Faults.Universe.all c in
+  let patterns = exhaustive_patterns 5 in
+  let rng = Stats.Rng.create ~seed:47 () in
+  let est = Fsim.Sampling.estimate_coverage rng c universe ~sample_size:10 patterns in
+  Alcotest.(check bool) "bounds ordered" true
+    (0.0 <= est.Fsim.Sampling.lower_95
+    && est.Fsim.Sampling.lower_95 <= est.Fsim.Sampling.coverage
+    && est.Fsim.Sampling.coverage <= est.Fsim.Sampling.upper_95
+    && est.Fsim.Sampling.upper_95 <= 1.0)
+
+(* ----------------------- multiple-fault machine --------------------- *)
+
+let test_multifault_single_matches () =
+  let c = Circuit.Generators.c17 () in
+  let universe = Faults.Universe.all c in
+  let patterns = exhaustive_patterns 5 in
+  let single = Fsim.Serial.run c universe patterns in
+  Array.iteri
+    (fun i fault ->
+      let multi = Fsim.Serial.first_fail_with_fault_set c [| fault |] patterns in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s singleton set" (F.to_string c fault))
+        true (multi = single.(i)))
+    universe
+
+let test_multifault_masking_example () =
+  (* Two inverters in a chain: y = NOT(NOT a).  a/sa0 alone flips y;
+     stuck faults on both inverter outputs... instead build the classic
+     masking pair: g = AND(a,b); faults a-pin/sa1 AND output sa1: the
+     output fault dominates, the pair behaves like output sa1. *)
+  let b = N.Builder.create ~name:"mask" in
+  let a = N.Builder.add_input b "a" in
+  let bb = N.Builder.add_input b "b" in
+  let g = N.Builder.add_gate b ~name:"g" Circuit.Gate.And [ a; bb ] in
+  N.Builder.mark_output b g;
+  let c = N.Builder.build b in
+  let pin_fault = { F.site = F.Branch { gate = g; pin = 0 }; polarity = F.Stuck_at_1 } in
+  let out_fault = { F.site = F.Stem g; polarity = F.Stuck_at_1 } in
+  let patterns = exhaustive_patterns 2 in
+  let pair = Fsim.Serial.first_fail_with_fault_set c [| pin_fault; out_fault |] patterns in
+  let alone = Fsim.Serial.first_fail_with_fault_set c [| out_fault |] patterns in
+  Alcotest.(check bool) "pair behaves as dominating fault" true (pair = alone)
+
+let test_multifault_polarity_clash_deterministic () =
+  let c = Circuit.Generators.c17 () in
+  let g10 = match N.find_node c "G10" with Some id -> id | None -> assert false in
+  let sa0 = { F.site = F.Stem g10; polarity = F.Stuck_at_0 } in
+  let sa1 = { F.site = F.Stem g10; polarity = F.Stuck_at_1 } in
+  let patterns = exhaustive_patterns 5 in
+  (* Documented rule: sa1 wins. *)
+  let clash = Fsim.Serial.first_fail_with_fault_set c [| sa0; sa1 |] patterns in
+  let sa1_only = Fsim.Serial.first_fail_with_fault_set c [| sa1 |] patterns in
+  Alcotest.(check bool) "sa1 wins" true (clash = sa1_only)
+
+let test_multifault_empty_set_passes () =
+  let c = Circuit.Generators.c17 () in
+  Alcotest.(check bool) "no faults, no fail" true
+    (Fsim.Serial.first_fail_with_fault_set c [||] (exhaustive_patterns 5) = None)
+
+let qcheck_props =
+  let open QCheck in
+  [ Test.make ~count:15 ~name:"ppsfp = serial on random circuits"
+      (pair (int_range 4 10) (int_range 20 120))
+      (fun (inputs, gates) ->
+        let c =
+          Circuit.Generators.random_circuit ~inputs ~gates ~outputs:4
+            ~seed:(inputs + (gates * 13))
+        in
+        let universe = Faults.Universe.all c in
+        let patterns = random_patterns ~seed:(gates + 2) ~count:70 c in
+        let serial = Fsim.Serial.run c universe patterns in
+        serial = Fsim.Ppsfp.run c universe patterns
+        && serial = Fsim.Deductive.run c universe patterns
+        && serial = Fsim.Concurrent.run c universe patterns);
+    Test.make ~count:15 ~name:"multi-fault first fail <= each member's (on chains it can differ)"
+      (int_range 1 1000)
+      (fun seed ->
+        (* Not a theorem in general (masking), but for a singleton the
+           multi-fault machine must agree with the single-fault one. *)
+        let c = Circuit.Generators.random_circuit ~inputs:6 ~gates:60 ~outputs:4 ~seed in
+        let universe = Faults.Universe.all c in
+        let fault = universe.(seed mod Array.length universe) in
+        let patterns = random_patterns ~seed ~count:32 c in
+        let single = (Fsim.Serial.run c [| fault |] patterns).(0) in
+        let multi = Fsim.Serial.first_fail_with_fault_set c [| fault |] patterns in
+        single = multi) ]
+
+let suite =
+  let tc name f = Alcotest.test_case name `Quick f in
+  [ ( "fsim.engines",
+      [ tc "serial matches brute-force oracle" test_serial_matches_oracle_on_stems;
+        tc "ppsfp = serial (c17 exhaustive)" test_ppsfp_equals_serial_c17;
+        tc "ppsfp = serial (random circuits)" test_ppsfp_equals_serial_random;
+        tc "ppsfp = serial (multiplier)" test_ppsfp_equals_serial_arithmetic;
+        tc "c17 exhaustive coverage = 100%" test_c17_full_coverage_exhaustive;
+        tc "first detection is minimal" test_first_detection_is_minimal ] );
+    ( "fsim.coverage",
+      [ tc "curve is monotone" test_coverage_curve_monotone;
+        tc "coverage_after = curve" test_coverage_after_consistent;
+        tc "run_curve checkpoints" test_run_curve_checkpoints;
+        tc "undetected listing" test_undetected_listing ] );
+    ( "fsim.deductive",
+      [ tc "deductive = serial (c17 exhaustive)" test_deductive_equals_serial_c17;
+        tc "deductive = serial (random)" test_deductive_equals_serial_random;
+        tc "deductive = serial (alu)" test_deductive_equals_serial_arithmetic;
+        tc "coverage engine plumbing" test_deductive_via_coverage_engine;
+        tc "concurrent = serial (rand + walk)" test_concurrent_equals_serial;
+        tc "concurrent dropping across patterns" test_concurrent_dropping_across_patterns ] );
+    ( "fsim.stafan",
+      [ tc "controllabilities" test_stafan_controllabilities;
+        tc "PO observability" test_stafan_po_observability;
+        tc "detection probability bounds" test_stafan_detection_probability_bounds;
+        tc "predicts real coverage" test_stafan_predicts_coverage;
+        tc "predicted curve monotone" test_stafan_curve_monotone ] );
+    ( "fsim.sampling",
+      [ tc "full sample exact" test_sampling_full_sample_is_exact;
+        tc "interval covers truth" test_sampling_estimate_near_truth;
+        tc "interval bounds" test_sampling_interval_bounds ] );
+    ( "fsim.multifault",
+      [ tc "singleton set = single fault" test_multifault_single_matches;
+        tc "dominating pair" test_multifault_masking_example;
+        tc "polarity clash is deterministic" test_multifault_polarity_clash_deterministic;
+        tc "empty set passes" test_multifault_empty_set_passes ] );
+    ( "fsim.properties",
+      List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_props ) ]

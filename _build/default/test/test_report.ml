@@ -1,0 +1,119 @@
+(* Tests for the reporting helpers. *)
+
+let test_series_of_fn () =
+  let s = Report.Series.of_fn ~label:"id" ~f:(fun x -> x) ~lo:0.0 ~hi:1.0 ~steps:10 in
+  Alcotest.(check int) "11 points" 11 (Array.length s.Report.Series.points);
+  Alcotest.(check (float 1e-12)) "first" 0.0 (fst s.Report.Series.points.(0));
+  Alcotest.(check (float 1e-12)) "last" 1.0 (fst s.Report.Series.points.(10))
+
+let test_series_ranges () =
+  let a = Report.Series.make ~label:"a" [| (0.0, 5.0); (2.0, -1.0) |] in
+  let b = Report.Series.make ~label:"b" [| (1.0, 3.0) |] in
+  Alcotest.(check (pair (float 0.0) (float 0.0))) "x range" (0.0, 2.0)
+    (Report.Series.x_range [ a; b ]);
+  Alcotest.(check (pair (float 0.0) (float 0.0))) "y range" (-1.0, 5.0)
+    (Report.Series.y_range [ a; b ])
+
+let test_series_map_y () =
+  let s = Report.Series.make ~label:"s" [| (1.0, 2.0) |] in
+  let doubled = Report.Series.map_y (fun y -> 2.0 *. y) s in
+  Alcotest.(check (float 1e-12)) "mapped" 4.0 (snd doubled.Report.Series.points.(0))
+
+let test_table_render () =
+  let out =
+    Report.Table.render
+      ~aligns:[ Report.Table.Left; Right ]
+      ~headers:[ "name"; "value" ]
+      [ [ "alpha"; "1" ]; [ "b"; "22" ] ]
+  in
+  let lines = String.split_on_char '\n' out |> List.filter (fun l -> l <> "") in
+  Alcotest.(check int) "4 lines" 4 (List.length lines);
+  (* Right-aligned numeric column lines up. *)
+  Alcotest.(check bool) "contains separator" true
+    (List.exists (fun l -> String.length l > 0 && l.[0] = '-') lines)
+
+let test_table_ragged_rows () =
+  let out = Report.Table.render ~headers:[ "a"; "b" ] [ [ "only" ] ] in
+  Alcotest.(check bool) "renders" true (String.length out > 0)
+
+let test_table_cells () =
+  Alcotest.(check string) "float" "1.250" (Report.Table.float_cell 1.25);
+  Alcotest.(check string) "percent" "95.0%" (Report.Table.percent_cell 0.95);
+  Alcotest.(check string) "percent decimals" "95.00%"
+    (Report.Table.percent_cell ~decimals:2 0.95)
+
+let test_csv_escape () =
+  Alcotest.(check string) "plain" "abc" (Report.Csv.escape_field "abc");
+  Alcotest.(check string) "comma" "\"a,b\"" (Report.Csv.escape_field "a,b");
+  Alcotest.(check string) "quote" "\"a\"\"b\"" (Report.Csv.escape_field "a\"b")
+
+let test_csv_roundtrip () =
+  let rows = [ [ "a"; "b,c"; "d\"e" ]; [ "1"; "2"; "3" ] ] in
+  Alcotest.(check (list (list string))) "roundtrip" rows
+    (Report.Csv.parse (Report.Csv.of_rows rows))
+
+let test_csv_of_series () =
+  let s = Report.Series.make ~label:"curve" [| (1.0, 2.0); (3.0, 4.0) |] in
+  let text = Report.Csv.of_series [ s ] in
+  match Report.Csv.parse text with
+  | [ header; r1; r2 ] ->
+    Alcotest.(check (list string)) "header" [ "series"; "x"; "y" ] header;
+    Alcotest.(check string) "label" "curve" (List.nth r1 0);
+    Alcotest.(check string) "label" "curve" (List.nth r2 0)
+  | _ -> Alcotest.fail "expected 3 rows"
+
+let test_plot_contains_glyphs_and_legend () =
+  let s = Report.Series.of_fn ~label:"line" ~f:(fun x -> x) ~lo:0.0 ~hi:1.0 ~steps:20 in
+  let out = Report.Ascii_plot.render ~title:"t" [ s ] in
+  Alcotest.(check bool) "glyph present" true (String.contains out '*');
+  Alcotest.(check bool) "legend present" true
+    (let re = "legend:" in
+     let rec find i =
+       if i + String.length re > String.length out then false
+       else if String.sub out i (String.length re) = re then true
+       else find (i + 1)
+     in
+     find 0)
+
+let test_plot_log_scale_drops_nonpositive () =
+  let s = Report.Series.make ~label:"s" [| (0.0, 0.0); (1.0, 10.0); (2.0, 100.0) |] in
+  let out = Report.Ascii_plot.render ~y_scale:Report.Ascii_plot.Log10 [ s ] in
+  Alcotest.(check bool) "renders despite zero" true (String.length out > 0)
+
+let test_plot_rejects_tiny_canvas () =
+  let s = Report.Series.make ~label:"s" [| (0.0, 1.0) |] in
+  Alcotest.(check bool) "tiny canvas rejected" true
+    (try
+       ignore (Report.Ascii_plot.render ~width:2 ~height:2 [ s ]);
+       false
+     with Invalid_argument _ -> true)
+
+let qcheck_props =
+  let open QCheck in
+  let printable_string =
+    string_gen_of_size (Gen.int_range 0 12) Gen.printable
+  in
+  [ Test.make ~count:200 ~name:"csv roundtrips arbitrary cells"
+      (list_of_size (Gen.int_range 1 5) (list_of_size (Gen.int_range 1 5) printable_string))
+      (fun rows ->
+        (* CSV cannot represent a lone CR inside a bare field the same
+           way; our writer quotes it, so roundtrip must hold. *)
+        Report.Csv.parse (Report.Csv.of_rows rows) = rows) ]
+
+let suite =
+  let tc name f = Alcotest.test_case name `Quick f in
+  [ ( "report",
+      [ tc "series of_fn" test_series_of_fn;
+        tc "series ranges" test_series_ranges;
+        tc "series map_y" test_series_map_y;
+        tc "table render" test_table_render;
+        tc "table ragged rows" test_table_ragged_rows;
+        tc "table cells" test_table_cells;
+        tc "csv escape" test_csv_escape;
+        tc "csv roundtrip" test_csv_roundtrip;
+        tc "csv of series" test_csv_of_series;
+        tc "plot glyphs + legend" test_plot_contains_glyphs_and_legend;
+        tc "plot log scale" test_plot_log_scale_drops_nonpositive;
+        tc "plot tiny canvas" test_plot_rejects_tiny_canvas ] );
+    ( "report.properties",
+      List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_props ) ]

@@ -1,0 +1,156 @@
+(* Tests for the sequential layer (flops, scan view, cycle accounting). *)
+
+module Seq = Logicsim.Sequential
+
+let bits width v = Array.init width (fun i -> (v lsr i) land 1 = 1)
+
+let int_of_bits bs =
+  Array.to_list bs |> List.rev
+  |> List.fold_left (fun acc b -> (2 * acc) + if b then 1 else 0) 0
+
+let test_accumulator_counts () =
+  let m = Seq.accumulator ~bits:4 in
+  (* Feed 1 with enable high for 5 cycles: register reads 0,1,2,3,4. *)
+  let inputs = Array.make 5 (Array.append (bits 4 1) [| true |]) in
+  let outputs, final = Seq.simulate m inputs in
+  Array.iteri
+    (fun cycle out ->
+      let register = int_of_bits (Array.sub out 0 4) in
+      Alcotest.(check int) (Printf.sprintf "cycle %d" cycle) cycle register)
+    outputs;
+  Alcotest.(check int) "final state" 5 (int_of_bits final)
+
+let test_accumulator_enable_gates () =
+  let m = Seq.accumulator ~bits:4 in
+  let step v enable = Array.append (bits 4 v) [| enable |] in
+  let inputs = [| step 3 true; step 9 false; step 2 true |] in
+  let _, final = Seq.simulate m inputs in
+  (* 0 + 3, hold, + 2 = 5. *)
+  Alcotest.(check int) "disabled cycle holds" 5 (int_of_bits final)
+
+let test_accumulator_wraps_with_carry () =
+  let m = Seq.accumulator ~bits:4 in
+  let step v = Array.append (bits 4 v) [| true |] in
+  let inputs = [| step 12; step 12 |] in
+  let outputs, final = Seq.simulate m inputs in
+  (* Second cycle: 12 + 12 = 24 -> register 8, carry-out high. *)
+  Alcotest.(check int) "wraps" 8 (int_of_bits final);
+  Alcotest.(check bool) "carry out visible" true outputs.(1).(4)
+
+let test_accumulator_matches_spec_random () =
+  let m = Seq.accumulator ~bits:6 in
+  let rng = Stats.Rng.create ~seed:61 () in
+  let cycles = 200 in
+  let inputs =
+    Array.init cycles (fun _ ->
+        Array.append (bits 6 (Stats.Rng.int rng 64)) [| Stats.Rng.bool rng |])
+  in
+  let _, final = Seq.simulate m inputs in
+  let expected =
+    Array.fold_left
+      (fun acc row ->
+        let v = int_of_bits (Array.sub row 0 6) in
+        if row.(6) then (acc + v) mod 64 else acc)
+      0 inputs
+  in
+  Alcotest.(check int) "matches fold" expected (int_of_bits final)
+
+let test_initial_state () =
+  let m = Seq.accumulator ~bits:4 in
+  let _, final =
+    Seq.simulate m ~initial_state:(bits 4 7)
+      [| Array.append (bits 4 1) [| true |] |]
+  in
+  Alcotest.(check int) "starts from 7" 8 (int_of_bits final)
+
+let test_scan_view_is_testable () =
+  (* The scan view is an ordinary combinational circuit: the full fault
+     flow applies. *)
+  let m = Seq.accumulator ~bits:4 in
+  let core = Seq.scan_view m in
+  let classes = Faults.Collapse.equivalence core (Faults.Universe.all core) in
+  let reps = Faults.Collapse.representatives classes in
+  let report = Tpg.Atpg.run core reps in
+  Alcotest.(check bool) "high scan coverage" true (Tpg.Atpg.coverage report > 0.95)
+
+let test_scan_cycle_accounting () =
+  let m = Seq.accumulator ~bits:8 in
+  Alcotest.(check int) "zero patterns" 0 (Seq.scan_test_cycles m ~patterns:0);
+  (* 8 flops: each pattern costs 9 cycles, plus a trailing 8-cycle unload. *)
+  Alcotest.(check int) "one pattern" 17 (Seq.scan_test_cycles m ~patterns:1);
+  Alcotest.(check int) "ten patterns" 98 (Seq.scan_test_cycles m ~patterns:10)
+
+let test_of_bench_recovers_structure () =
+  let source =
+    "INPUT(x)\nOUTPUT(z)\nq1 = DFF(d1)\nq2 = DFF(d2)\n\
+     d1 = XOR(x, q2)\nd2 = BUF(q1)\nz = AND(q1, q2)\n"
+  in
+  let m = Seq.of_bench source in
+  Alcotest.(check int) "2 flops" 2 (Seq.flop_count m);
+  Alcotest.(check int) "1 primary input" 1 (Seq.primary_input_count m);
+  Alcotest.(check int) "1 primary output" 1 (Seq.primary_output_count m);
+  (* Behaviour: a 2-stage shift/xor toy; drive x=1 twice from reset:
+     cycle1: d1 = 1^0 = 1, d2 = 0 -> state (1,0), z was 0&0 = 0
+     cycle2: d1 = 1^0 = 1, d2 = 1 -> state (1,1), z = 1&0 = 0
+     cycle3: x=0: d1 = 0^1 = 1, d2 = 1, z = 1&1 = 1. *)
+  let outputs, final = Seq.simulate m [| [| true |]; [| true |]; [| false |] |] in
+  Alcotest.(check bool) "z cycle 1" false outputs.(0).(0);
+  Alcotest.(check bool) "z cycle 2" false outputs.(1).(0);
+  Alcotest.(check bool) "z cycle 3" true outputs.(2).(0);
+  Alcotest.(check bool) "final q1" true final.(0);
+  Alcotest.(check bool) "final q2" true final.(1)
+
+let test_create_validation () =
+  let m = Seq.accumulator ~bits:3 in
+  Alcotest.(check bool) "bad partition rejected" true
+    (try
+       ignore
+         (Seq.create ~core:m.Seq.core
+            ~primary_input_positions:m.Seq.primary_input_positions
+            ~state_input_positions:[||]
+            ~primary_output_positions:m.Seq.primary_output_positions
+            ~state_output_positions:[||]);
+       false
+     with Invalid_argument _ -> true)
+
+let qcheck_props =
+  let open QCheck in
+  [ Test.make ~count:25 ~name:"accumulator = fold over any stream"
+      (pair (int_range 2 7) (list_of_size (Gen.int_range 1 40) (pair (int_bound 200) bool)))
+      (fun (width, stream) ->
+        let m = Seq.accumulator ~bits:width in
+        let modulus = 1 lsl width in
+        let inputs =
+          Array.of_list
+            (List.map
+               (fun (v, enable) -> Array.append (bits width (v mod modulus)) [| enable |])
+               stream)
+        in
+        let _, final = Seq.simulate m inputs in
+        let expected =
+          List.fold_left
+            (fun acc (v, enable) -> if enable then (acc + (v mod modulus)) mod modulus else acc)
+            0 stream
+        in
+        int_of_bits final = expected);
+    Test.make ~count:25 ~name:"scan cycles grow linearly in patterns"
+      (pair (int_range 1 6) (int_range 1 200))
+      (fun (width, patterns) ->
+        let m = Seq.accumulator ~bits:width in
+        Seq.scan_test_cycles m ~patterns
+        = (patterns * (width + 1)) + width) ]
+
+let suite =
+  let tc name f = Alcotest.test_case name `Quick f in
+  [ ( "sequential",
+      [ tc "accumulator counts" test_accumulator_counts;
+        tc "enable gates updates" test_accumulator_enable_gates;
+        tc "wraps with carry" test_accumulator_wraps_with_carry;
+        tc "matches spec on random streams" test_accumulator_matches_spec_random;
+        tc "initial state honoured" test_initial_state;
+        tc "scan view testable by ATPG" test_scan_view_is_testable;
+        tc "scan cycle accounting" test_scan_cycle_accounting;
+        tc "of_bench recovers flops" test_of_bench_recovers_structure;
+        tc "create validation" test_create_validation ] );
+    ( "sequential.properties",
+      List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_props ) ]

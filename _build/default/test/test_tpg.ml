@@ -1,0 +1,521 @@
+(* Tests for 5-valued logic, PODEM and the ATPG driver. *)
+
+module F = Faults.Fault
+module N = Circuit.Netlist
+module L5 = Tpg.Logic5
+
+let exhaustive_patterns width =
+  Array.init (1 lsl width) (fun v ->
+      Array.init width (fun i -> (v lsr i) land 1 = 1))
+
+(* ----------------------------- logic5 ------------------------------ *)
+
+let test_logic5_constants () =
+  Alcotest.(check bool) "D is effect" true (L5.is_fault_effect L5.d);
+  Alcotest.(check bool) "D' is effect" true (L5.is_fault_effect L5.dbar);
+  Alcotest.(check bool) "1 is not" false (L5.is_fault_effect L5.one);
+  Alcotest.(check bool) "X is x" true (L5.is_x L5.x);
+  Alcotest.(check bool) "D has no unknown" false (L5.has_unknown L5.d)
+
+let test_logic5_ternary_tables () =
+  Alcotest.(check bool) "F and U = F" true (L5.and3 L5.F L5.U = L5.F);
+  Alcotest.(check bool) "T and U = U" true (L5.and3 L5.T L5.U = L5.U);
+  Alcotest.(check bool) "T or U = T" true (L5.or3 L5.T L5.U = L5.T);
+  Alcotest.(check bool) "F or U = U" true (L5.or3 L5.F L5.U = L5.U);
+  Alcotest.(check bool) "not U = U" true (L5.not3 L5.U = L5.U);
+  Alcotest.(check bool) "T xor U = U" true (L5.xor3 L5.T L5.U = L5.U);
+  Alcotest.(check bool) "T xor T = F" true (L5.xor3 L5.T L5.T = L5.F)
+
+let test_logic5_d_algebra () =
+  (* AND(D, 1) = D, AND(D, 0) = 0, AND(D, D') = 0, XOR(D, D) = 0. *)
+  let eval kind vs = L5.eval_gate kind (Array.of_list vs) in
+  Alcotest.(check bool) "AND(D,1)=D" true (eval Circuit.Gate.And [ L5.d; L5.one ] = L5.d);
+  Alcotest.(check bool) "AND(D,0)=0" true (eval Circuit.Gate.And [ L5.d; L5.zero ] = L5.zero);
+  Alcotest.(check bool) "AND(D,D')=0" true
+    (eval Circuit.Gate.And [ L5.d; L5.dbar ] = L5.zero);
+  Alcotest.(check bool) "XOR(D,D)=0" true (eval Circuit.Gate.Xor [ L5.d; L5.d ] = L5.zero);
+  Alcotest.(check bool) "XOR(D,D')=1" true
+    (eval Circuit.Gate.Xor [ L5.d; L5.dbar ] = L5.one);
+  Alcotest.(check bool) "NOT(D)=D'" true (eval Circuit.Gate.Not [ L5.d ] = L5.dbar);
+  Alcotest.(check bool) "OR(D',1)=1" true (eval Circuit.Gate.Or [ L5.dbar; L5.one ] = L5.one)
+
+let test_logic5_consistent_with_bool () =
+  (* On fully-defined values, 5-valued evaluation = boolean evaluation
+     applied to each machine. *)
+  let kinds =
+    [ Circuit.Gate.And; Circuit.Gate.Nand; Circuit.Gate.Or; Circuit.Gate.Nor;
+      Circuit.Gate.Xor; Circuit.Gate.Xnor ]
+  in
+  List.iter
+    (fun kind ->
+      for a = 0 to 3 do
+        for b = 0 to 3 do
+          (* encode 0..3 as (good, faulty) bit pairs *)
+          let v code =
+            { L5.good = (if code land 1 = 1 then L5.T else L5.F);
+              faulty = (if code land 2 = 2 then L5.T else L5.F) }
+          in
+          let result = L5.eval_gate kind [| v a; v b |] in
+          let expected_good =
+            Circuit.Gate.eval kind [| a land 1 = 1; b land 1 = 1 |]
+          in
+          let expected_faulty =
+            Circuit.Gate.eval kind [| a land 2 = 2; b land 2 = 2 |]
+          in
+          Alcotest.(check bool) "good plane" true
+            (result.L5.good = if expected_good then L5.T else L5.F);
+          Alcotest.(check bool) "faulty plane" true
+            (result.L5.faulty = if expected_faulty then L5.T else L5.F)
+        done
+      done)
+    kinds
+
+(* ------------------------------ podem ------------------------------ *)
+
+let verify_test_detects c fault pattern =
+  (Fsim.Serial.run c [| fault |] [| pattern |]).(0) <> None
+
+let exhaustively_detectable c fault width =
+  (Fsim.Serial.run c [| fault |] (exhaustive_patterns width)).(0) <> None
+
+(* Sound and complete on a circuit small enough for exhaustive ground truth. *)
+let check_podem_on c width =
+  let universe = Faults.Universe.all c in
+  Array.iter
+    (fun fault ->
+      match Tpg.Podem.generate ~backtrack_limit:10_000 c fault with
+      | Tpg.Podem.Test pattern, _ ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: generated test detects" (F.to_string c fault))
+          true (verify_test_detects c fault pattern)
+      | Tpg.Podem.Untestable, _ ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: redundancy claim is true" (F.to_string c fault))
+          false (exhaustively_detectable c fault width)
+      | Tpg.Podem.Aborted, _ ->
+        Alcotest.failf "%s: aborted on a small circuit" (F.to_string c fault))
+    universe
+
+let test_podem_c17 () = check_podem_on (Circuit.Generators.c17 ()) 5
+
+let test_podem_adder () = check_podem_on (Circuit.Generators.ripple_carry_adder ~bits:3) 7
+
+let test_podem_mux () = check_podem_on (Circuit.Generators.mux_tree ~select_bits:2) 6
+
+let test_podem_parity () = check_podem_on (Circuit.Generators.parity_tree ~bits:6) 6
+
+let test_podem_random_circuits () =
+  List.iter
+    (fun seed ->
+      check_podem_on
+        (Circuit.Generators.random_circuit ~inputs:7 ~gates:60 ~outputs:4 ~seed)
+        7)
+    [ 10; 20; 30 ]
+
+let test_podem_finds_redundancy () =
+  (* y = OR(a, AND(a, b)) — the AND gate is functionally redundant
+     (absorption), so AND-output sa0 cannot be detected at y. *)
+  let b = N.Builder.create ~name:"redundant" in
+  let a = N.Builder.add_input b "a" in
+  let bb = N.Builder.add_input b "b" in
+  let g = N.Builder.add_gate b ~name:"g" Circuit.Gate.And [ a; bb ] in
+  let y = N.Builder.add_gate b ~name:"y" Circuit.Gate.Or [ a; g ] in
+  N.Builder.mark_output b y;
+  let c = N.Builder.build b in
+  let fault = { F.site = F.Stem g; polarity = F.Stuck_at_0 } in
+  (match Tpg.Podem.generate c fault with
+  | Tpg.Podem.Untestable, _ -> ()
+  | Tpg.Podem.Test _, _ -> Alcotest.fail "claimed a test for a redundant fault"
+  | Tpg.Podem.Aborted, _ -> Alcotest.fail "aborted on a 2-gate circuit");
+  (* Cross-check with exhaustive simulation. *)
+  Alcotest.(check bool) "indeed undetectable" false (exhaustively_detectable c fault 2)
+
+let test_podem_respects_backtrack_limit () =
+  (* With limit 0 PODEM may abort but must not claim untestable wrongly
+     or return a bogus test. *)
+  let c = Circuit.Generators.array_multiplier ~bits:3 in
+  let universe = Faults.Universe.all c in
+  Array.iter
+    (fun fault ->
+      match Tpg.Podem.generate ~backtrack_limit:0 c fault with
+      | Tpg.Podem.Test pattern, _ ->
+        Alcotest.(check bool) "test valid" true (verify_test_detects c fault pattern)
+      | Tpg.Podem.Untestable, _ ->
+        Alcotest.(check bool) "sound redundancy" false (exhaustively_detectable c fault 6)
+      | Tpg.Podem.Aborted, stats ->
+        Alcotest.(check bool) "within budget" true (stats.Tpg.Podem.backtracks >= 1))
+    universe
+
+let test_podem_stats_populated () =
+  let c = Circuit.Generators.c17 () in
+  let fault = { F.site = F.Stem 5; polarity = F.Stuck_at_0 } in
+  let _, stats = Tpg.Podem.generate c fault in
+  Alcotest.(check bool) "did some implications" true (stats.Tpg.Podem.implications > 0)
+
+(* ------------------------------ scoap ------------------------------- *)
+
+let test_scoap_inverter_chain () =
+  (* a -> NOT x -> NOT y: CC grows by one per level and swaps polarity
+     through each inverter. *)
+  let b = N.Builder.create ~name:"chain" in
+  let a = N.Builder.add_input b "a" in
+  let x = N.Builder.add_gate b ~name:"x" Circuit.Gate.Not [ a ] in
+  let y = N.Builder.add_gate b ~name:"y" Circuit.Gate.Not [ x ] in
+  N.Builder.mark_output b y;
+  let c = N.Builder.build b in
+  let t = Tpg.Scoap.analyze c in
+  Alcotest.(check int) "PI cc0" 1 (Tpg.Scoap.cc0 t a);
+  Alcotest.(check int) "PI cc1" 1 (Tpg.Scoap.cc1 t a);
+  Alcotest.(check int) "x cc0 = cc1(a)+1" 2 (Tpg.Scoap.cc0 t x);
+  Alcotest.(check int) "y cc0 = cc0(a)+2" 3 (Tpg.Scoap.cc0 t y);
+  Alcotest.(check int) "PO observability" 0 (Tpg.Scoap.co t y);
+  Alcotest.(check int) "x observability" 1 (Tpg.Scoap.co t x);
+  Alcotest.(check int) "a observability" 2 (Tpg.Scoap.co t a)
+
+let test_scoap_and_gate () =
+  let b = N.Builder.create ~name:"and3" in
+  let a = N.Builder.add_input b "a" in
+  let bb = N.Builder.add_input b "b" in
+  let cc = N.Builder.add_input b "c" in
+  let g = N.Builder.add_gate b ~name:"g" Circuit.Gate.And [ a; bb; cc ] in
+  N.Builder.mark_output b g;
+  let c = N.Builder.build b in
+  let t = Tpg.Scoap.analyze c in
+  Alcotest.(check int) "cc1 = sum + 1" 4 (Tpg.Scoap.cc1 t g);
+  Alcotest.(check int) "cc0 = min + 1" 2 (Tpg.Scoap.cc0 t g);
+  (* Observing input a requires b = c = 1: co = 0 + 1 + 1 + 1. *)
+  Alcotest.(check int) "pin observability" 3 (Tpg.Scoap.co_pin t ~gate:g ~pin:0);
+  Alcotest.(check int) "stem co of a" 3 (Tpg.Scoap.co t a)
+
+let test_scoap_constants_saturate () =
+  let b = N.Builder.create ~name:"const" in
+  let k = N.Builder.add_const b "one" true in
+  let a = N.Builder.add_input b "a" in
+  let g = N.Builder.add_gate b ~name:"g" Circuit.Gate.And [ k; a ] in
+  N.Builder.mark_output b g;
+  let c = N.Builder.build b in
+  let t = Tpg.Scoap.analyze c in
+  Alcotest.(check int) "const1 cc1 = 0" 0 (Tpg.Scoap.cc1 t k);
+  Alcotest.(check bool) "const1 cc0 saturates" true
+    (Tpg.Scoap.cc0 t k >= Tpg.Scoap.infinite)
+
+let test_scoap_xor_controllability () =
+  let b = N.Builder.create ~name:"xor2" in
+  let a = N.Builder.add_input b "a" in
+  let bb = N.Builder.add_input b "b" in
+  let g = N.Builder.add_gate b ~name:"g" Circuit.Gate.Xor [ a; bb ] in
+  N.Builder.mark_output b g;
+  let c = N.Builder.build b in
+  let t = Tpg.Scoap.analyze c in
+  (* XOR: 0 via (0,0) or (1,1): cost 2 + 1; same for 1. *)
+  Alcotest.(check int) "cc0" 3 (Tpg.Scoap.cc0 t g);
+  Alcotest.(check int) "cc1" 3 (Tpg.Scoap.cc1 t g)
+
+let test_scoap_fault_difficulty_ranks_depth () =
+  (* In a long AND chain, the deep fault is harder than the shallow one. *)
+  let b = N.Builder.create ~name:"deep" in
+  let first = N.Builder.add_input b "x0" in
+  let prev = ref first in
+  for i = 1 to 10 do
+    let extra = N.Builder.add_input b (Printf.sprintf "x%d" i) in
+    prev := N.Builder.add_gate b Circuit.Gate.And [ !prev; extra ]
+  done;
+  N.Builder.mark_output b !prev;
+  let c = N.Builder.build b in
+  let t = Tpg.Scoap.analyze c in
+  (* Output sa1: activate with any input 0, observe for free.  Deep
+     input sa1: activate cheaply but observe through the whole chain. *)
+  let shallow =
+    Tpg.Scoap.fault_difficulty t c
+      { Faults.Fault.site = Faults.Fault.Stem !prev; polarity = Faults.Fault.Stuck_at_1 }
+  in
+  let deep =
+    Tpg.Scoap.fault_difficulty t c
+      { Faults.Fault.site = Faults.Fault.Stem first; polarity = Faults.Fault.Stuck_at_1 }
+  in
+  Alcotest.(check bool) "deep PI fault harder" true (deep > shallow)
+
+let test_scoap_hardest_faults () =
+  let c = Circuit.Generators.array_multiplier ~bits:4 in
+  let t = Tpg.Scoap.analyze c in
+  let universe = Faults.Universe.all c in
+  let hardest = Tpg.Scoap.hardest_faults t c universe ~count:5 in
+  Alcotest.(check int) "five returned" 5 (List.length hardest);
+  let difficulties = List.map snd hardest in
+  let rec sorted_desc = function
+    | a :: (b :: _ as rest) -> a >= b && sorted_desc rest
+    | [ _ ] | [] -> true
+  in
+  Alcotest.(check bool) "sorted hardest-first" true (sorted_desc difficulties)
+
+let test_podem_scoap_guidance_same_verdicts () =
+  (* Guidance shapes the search, never the verdict. *)
+  List.iter
+    (fun seed ->
+      let c = Circuit.Generators.random_circuit ~inputs:7 ~gates:60 ~outputs:4 ~seed in
+      let scoap = Tpg.Scoap.analyze c in
+      let universe = Faults.Universe.all c in
+      Array.iter
+        (fun fault ->
+          let verdict_of (r, _) =
+            match r with
+            | Tpg.Podem.Test _ -> `Test
+            | Tpg.Podem.Untestable -> `Untestable
+            | Tpg.Podem.Aborted -> `Aborted
+          in
+          let level = verdict_of (Tpg.Podem.generate ~backtrack_limit:5000 c fault) in
+          let scoap_guided =
+            verdict_of
+              (Tpg.Podem.generate ~backtrack_limit:5000
+                 ~guidance:(Tpg.Podem.Scoap_based scoap) c fault)
+          in
+          Alcotest.(check bool) "same verdict" true (level = scoap_guided);
+          (* And SCOAP-guided tests are still valid tests. *)
+          match
+            Tpg.Podem.generate ~guidance:(Tpg.Podem.Scoap_based scoap) c fault
+          with
+          | Tpg.Podem.Test pattern, _ ->
+            Alcotest.(check bool) "valid test" true (verify_test_detects c fault pattern)
+          | (Tpg.Podem.Untestable | Tpg.Podem.Aborted), _ -> ())
+        universe)
+    [ 41; 42 ]
+
+(* ------------------------- implication atpg ------------------------- *)
+
+let check_implication_on c width =
+  let universe = Faults.Universe.all c in
+  Array.iter
+    (fun fault ->
+      match Tpg.Implication_atpg.generate ~backtrack_limit:10_000 c fault with
+      | Tpg.Implication_atpg.Test pattern, _ ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: test detects" (F.to_string c fault))
+          true (verify_test_detects c fault pattern)
+      | Tpg.Implication_atpg.Untestable, _ ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: redundancy claim true" (F.to_string c fault))
+          false (exhaustively_detectable c fault width)
+      | Tpg.Implication_atpg.Aborted, _ ->
+        Alcotest.failf "%s: aborted on a small circuit" (F.to_string c fault))
+    universe
+
+let test_implication_c17 () = check_implication_on (Circuit.Generators.c17 ()) 5
+
+let test_implication_adder () =
+  check_implication_on (Circuit.Generators.ripple_carry_adder ~bits:3) 7
+
+let test_implication_random () =
+  List.iter
+    (fun seed ->
+      check_implication_on
+        (Circuit.Generators.random_circuit ~inputs:7 ~gates:60 ~outputs:4 ~seed)
+        7)
+    [ 11; 21; 31 ]
+
+let test_implication_agrees_with_podem () =
+  List.iter
+    (fun seed ->
+      let c = Circuit.Generators.random_circuit ~inputs:8 ~gates:70 ~outputs:5 ~seed in
+      Array.iter
+        (fun fault ->
+          let podem =
+            match Tpg.Podem.generate ~backtrack_limit:10_000 c fault with
+            | Tpg.Podem.Test _, _ -> `Test
+            | Tpg.Podem.Untestable, _ -> `Untestable
+            | Tpg.Podem.Aborted, _ -> `Aborted
+          in
+          let implication =
+            match Tpg.Implication_atpg.generate ~backtrack_limit:10_000 c fault with
+            | Tpg.Implication_atpg.Test _, _ -> `Test
+            | Tpg.Implication_atpg.Untestable, _ -> `Untestable
+            | Tpg.Implication_atpg.Aborted, _ -> `Aborted
+          in
+          Alcotest.(check bool) "same verdict" true
+            (podem = implication || podem = `Aborted || implication = `Aborted))
+        (Faults.Universe.all c))
+    [ 51; 52 ]
+
+let test_implication_finds_redundancy () =
+  let b = N.Builder.create ~name:"redundant" in
+  let a = N.Builder.add_input b "a" in
+  let bb = N.Builder.add_input b "b" in
+  let g = N.Builder.add_gate b ~name:"g" Circuit.Gate.And [ a; bb ] in
+  let y = N.Builder.add_gate b ~name:"y" Circuit.Gate.Or [ a; g ] in
+  N.Builder.mark_output b y;
+  let c = N.Builder.build b in
+  match
+    Tpg.Implication_atpg.generate c { F.site = F.Stem g; polarity = F.Stuck_at_0 }
+  with
+  | Tpg.Implication_atpg.Untestable, _ -> ()
+  | Tpg.Implication_atpg.Test _, _ -> Alcotest.fail "claimed a test"
+  | Tpg.Implication_atpg.Aborted, _ -> Alcotest.fail "aborted"
+
+let test_atpg_with_implication_engine () =
+  let c = Circuit.Generators.ripple_carry_adder ~bits:4 in
+  let universe = Faults.Universe.all c in
+  let config =
+    { Tpg.Atpg.default_config with Tpg.Atpg.engine = Tpg.Atpg.Implication_engine }
+  in
+  let report = Tpg.Atpg.run ~config c universe in
+  Alcotest.(check int) "no aborts" 0 report.Tpg.Atpg.aborted;
+  Alcotest.(check (float 1e-9)) "full coverage" 1.0 (Tpg.Atpg.coverage report)
+
+(* ---------------------------- random tpg ---------------------------- *)
+
+let test_random_walk_shape () =
+  let c = Circuit.Generators.lsi_chip ~scale:4 () in
+  let rng = Stats.Rng.create ~seed:8 () in
+  let walk = Tpg.Random_tpg.random_walk rng c ~count:50 () in
+  Alcotest.(check int) "count" 50 (Array.length walk);
+  (* Consecutive patterns differ in at most 1 bit (flips=1), and are
+     never more than 1 apart. *)
+  for i = 1 to 49 do
+    let differences = ref 0 in
+    Array.iteri
+      (fun j v -> if v <> walk.(i - 1).(j) then incr differences)
+      walk.(i);
+    Alcotest.(check bool) "hamming <= 1" true (!differences <= 1)
+  done
+
+let test_weighted_extremes () =
+  let c = Circuit.Generators.c17 () in
+  let rng = Stats.Rng.create ~seed:8 () in
+  let all_zero = Tpg.Random_tpg.weighted rng c ~weights:(Array.make 5 0.0) ~count:10 in
+  Array.iter
+    (fun p -> Alcotest.(check bool) "all zero" true (Array.for_all not p))
+    all_zero;
+  let all_one = Tpg.Random_tpg.weighted rng c ~weights:(Array.make 5 1.0) ~count:10 in
+  Array.iter
+    (fun p -> Alcotest.(check bool) "all one" true (Array.for_all (fun b -> b) p))
+    all_one
+
+let test_until_coverage_reaches_target () =
+  let c = Circuit.Generators.ripple_carry_adder ~bits:4 in
+  let universe = Faults.Universe.all c in
+  let rng = Stats.Rng.create ~seed:31 () in
+  let patterns, profile =
+    Tpg.Random_tpg.until_coverage rng c universe ~target:0.9 ~max_patterns:2000
+  in
+  Alcotest.(check bool) "target reached" true
+    (Fsim.Coverage.final_coverage profile >= 0.9);
+  Alcotest.(check int) "profile matches patterns"
+    (Array.length patterns) profile.Fsim.Coverage.pattern_count;
+  (* The incremental bookkeeping must agree with a from-scratch grade. *)
+  let fresh = Fsim.Coverage.profile c universe patterns in
+  Alcotest.(check bool) "first detections identical" true
+    (fresh.Fsim.Coverage.first_detection = profile.Fsim.Coverage.first_detection)
+
+(* ------------------------------ atpg ------------------------------- *)
+
+let test_atpg_full_coverage_small () =
+  (* On irredundant circuits the flow must reach 100 % of detectable
+     faults; c17 has no redundancy at all. *)
+  let c = Circuit.Generators.c17 () in
+  let universe = Faults.Universe.all c in
+  let report = Tpg.Atpg.run c universe in
+  Alcotest.(check (float 1e-9)) "full coverage" 1.0 (Tpg.Atpg.coverage report);
+  Alcotest.(check int) "no aborts" 0 report.Tpg.Atpg.aborted;
+  Alcotest.(check int) "no redundancy in c17" 0 report.Tpg.Atpg.untestable
+
+let test_atpg_multiplier () =
+  let c = Circuit.Generators.array_multiplier ~bits:4 in
+  let classes = Faults.Collapse.equivalence c (Faults.Universe.all c) in
+  let reps = Faults.Collapse.representatives classes in
+  let report = Tpg.Atpg.run c reps in
+  (* Coverage + untestable must account for everything (no aborts at
+     this size). *)
+  Alcotest.(check int) "no aborts" 0 report.Tpg.Atpg.aborted;
+  let detected = Fsim.Coverage.detected_count report.Tpg.Atpg.profile in
+  Alcotest.(check int) "detected + untestable = universe"
+    (Array.length reps) (detected + report.Tpg.Atpg.untestable);
+  (* Patterns actually deliver the claimed coverage under the
+     independent serial engine. *)
+  let verified = Fsim.Serial.run c reps report.Tpg.Atpg.patterns in
+  let verified_count =
+    Array.fold_left (fun acc d -> if d <> None then acc + 1 else acc) 0 verified
+  in
+  Alcotest.(check int) "serial agrees" detected verified_count
+
+let test_atpg_profile_consistent () =
+  let c = Circuit.Generators.alu ~bits:3 in
+  let universe = Faults.Universe.all c in
+  let report = Tpg.Atpg.run c universe in
+  Alcotest.(check int) "profile sized to universe"
+    (Array.length universe) report.Tpg.Atpg.profile.Fsim.Coverage.universe_size;
+  Alcotest.(check int) "profile sized to patterns"
+    (Array.length report.Tpg.Atpg.patterns)
+    report.Tpg.Atpg.profile.Fsim.Coverage.pattern_count;
+  (* First-detection indices are within range. *)
+  Array.iter
+    (function
+      | Some k ->
+        Alcotest.(check bool) "index in range" true
+          (k >= 0 && k < Array.length report.Tpg.Atpg.patterns)
+      | None -> ())
+    report.Tpg.Atpg.profile.Fsim.Coverage.first_detection
+
+let test_atpg_deterministic () =
+  let c = Circuit.Generators.ripple_carry_adder ~bits:4 in
+  let universe = Faults.Universe.all c in
+  let a = Tpg.Atpg.run c universe in
+  let b = Tpg.Atpg.run c universe in
+  Alcotest.(check bool) "same patterns" true (a.Tpg.Atpg.patterns = b.Tpg.Atpg.patterns)
+
+let qcheck_props =
+  let open QCheck in
+  [ Test.make ~count:20 ~name:"podem tests verified by fault simulation"
+      (int_range 1 10_000)
+      (fun seed ->
+        let c =
+          Circuit.Generators.random_circuit ~inputs:8 ~gates:80 ~outputs:5 ~seed
+        in
+        let universe = Faults.Universe.all c in
+        let fault = universe.(seed mod Array.length universe) in
+        match Tpg.Podem.generate c fault with
+        | Tpg.Podem.Test pattern, _ -> verify_test_detects c fault pattern
+        | Tpg.Podem.Untestable, _ ->
+          not (exhaustively_detectable c fault 8)
+        | Tpg.Podem.Aborted, _ -> true) ]
+
+let suite =
+  let tc name f = Alcotest.test_case name `Quick f in
+  [ ( "tpg.logic5",
+      [ tc "constants" test_logic5_constants;
+        tc "ternary tables" test_logic5_ternary_tables;
+        tc "D-algebra" test_logic5_d_algebra;
+        tc "consistent with boolean planes" test_logic5_consistent_with_bool ] );
+    ( "tpg.podem",
+      [ tc "c17 sound and complete" test_podem_c17;
+        tc "adder sound and complete" test_podem_adder;
+        tc "mux sound and complete" test_podem_mux;
+        tc "parity sound and complete" test_podem_parity;
+        tc "random circuits sound and complete" test_podem_random_circuits;
+        tc "proves absorption redundancy" test_podem_finds_redundancy;
+        tc "respects backtrack limit" test_podem_respects_backtrack_limit;
+        tc "stats populated" test_podem_stats_populated ] );
+    ( "tpg.scoap",
+      [ tc "inverter chain" test_scoap_inverter_chain;
+        tc "and gate rules" test_scoap_and_gate;
+        tc "constants saturate" test_scoap_constants_saturate;
+        tc "xor controllability" test_scoap_xor_controllability;
+        tc "difficulty ranks depth" test_scoap_fault_difficulty_ranks_depth;
+        tc "hardest faults sorted" test_scoap_hardest_faults;
+        tc "podem guidance preserves verdicts" test_podem_scoap_guidance_same_verdicts ] );
+    ( "tpg.implication_atpg",
+      [ tc "c17 sound and complete" test_implication_c17;
+        tc "adder sound and complete" test_implication_adder;
+        tc "random circuits sound and complete" test_implication_random;
+        tc "verdicts agree with podem" test_implication_agrees_with_podem;
+        tc "proves redundancy" test_implication_finds_redundancy;
+        tc "drives the ATPG flow" test_atpg_with_implication_engine ] );
+    ( "tpg.random",
+      [ tc "random walk hamming" test_random_walk_shape;
+        tc "weighted extremes" test_weighted_extremes;
+        tc "until_coverage incremental = fresh" test_until_coverage_reaches_target ] );
+    ( "tpg.atpg",
+      [ tc "c17 full coverage" test_atpg_full_coverage_small;
+        tc "multiplier accounted" test_atpg_multiplier;
+        tc "profile consistent" test_atpg_profile_consistent;
+        tc "deterministic" test_atpg_deterministic ] );
+    ( "tpg.properties",
+      List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_props ) ]
