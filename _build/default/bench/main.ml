@@ -2,8 +2,11 @@
 
    Usage:  main.exe [target ...]
    Targets: fig1 fig2 fig3 fig4 fig5 fig6 table1 comparison fineline
-            ablation signature stafan drift economics wafer micro all
+            ablation signature stafan drift economics wafer par micro all
             (default: all)
+   Special: `par [FILE]` / `par-smoke [FILE]` sweep the multicore
+   fault-simulation engine and write BENCH_fsim.json (or FILE);
+   `csv DIR` exports the analytic figure series.
 
    Every figure and table of the paper's evaluation is regenerated and
    printed; `micro` additionally runs one Bechamel measurement per
@@ -147,6 +150,66 @@ let run_wafer () =
            [ Report.Table.float_cell ~decimals:2 r; Report.Table.float_cell y ])
   in
   print_string (Report.Table.render ~headers:[ "ring radius"; "yield" ] rows)
+
+(* ------------------------------------------------------------------ *)
+(* Multicore fault-simulation sweep: grade one fault universe with the
+   serial PPSFP engine, then with the fault-sharded Par engine at
+   several domain counts, verifying bit-identical results and emitting
+   a machine-readable BENCH_fsim.json so the performance trajectory is
+   trackable across commits. *)
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. t0)
+
+let run_par ?(out = "BENCH_fsim.json") ~smoke () =
+  section
+    (Printf.sprintf "Multicore PPSFP sweep%s -> %s"
+       (if smoke then " (smoke)" else "") out);
+  let circuit =
+    if smoke then
+      Circuit.Generators.random_circuit ~inputs:16 ~gates:400 ~outputs:12 ~seed:7
+    else
+      Circuit.Generators.random_circuit ~inputs:64 ~gates:6000 ~outputs:48 ~seed:7
+  in
+  let classes = Faults.Collapse.equivalence circuit (Faults.Universe.all circuit) in
+  let universe = Faults.Collapse.representatives classes in
+  let rng = Stats.Rng.create ~seed:99 () in
+  let pattern_count = if smoke then 96 else 512 in
+  let patterns = Tpg.Random_tpg.uniform rng circuit ~count:pattern_count in
+  let domain_counts = if smoke then [ 1; 2 ] else [ 1; 2; 4; 8 ] in
+  let baseline, serial_s = time (fun () -> Fsim.Ppsfp.run circuit universe patterns) in
+  let record ~engine ~domains ~wall_s ~speedup =
+    Printf.sprintf
+      "  {\"circuit\": %S, \"gates\": %d, \"faults\": %d, \"patterns\": %d, \
+       \"engine\": %S, \"domains\": %d, \"wall_s\": %.6f, \"speedup\": %.3f}"
+      circuit.Circuit.Netlist.name
+      (Circuit.Netlist.num_gates circuit)
+      (Array.length universe) pattern_count engine domains wall_s speedup
+  in
+  Format.printf "%a@." Circuit.Netlist.pp_summary circuit;
+  Printf.printf "faults: %d collapsed, patterns: %d, host cores: %d\n\n"
+    (Array.length universe) pattern_count
+    (Domain.recommended_domain_count ());
+  Printf.printf "%-8s %-8s %10s %9s\n" "engine" "domains" "wall (s)" "speedup";
+  Printf.printf "%-8s %-8d %10.3f %9.2f\n" "ppsfp" 1 serial_s 1.0;
+  let rows = ref [ record ~engine:"ppsfp" ~domains:1 ~wall_s:serial_s ~speedup:1.0 ] in
+  List.iter
+    (fun domains ->
+      let result, wall_s =
+        time (fun () -> Fsim.Par.run ~domains circuit universe patterns)
+      in
+      if result <> baseline then
+        failwith "BENCH_fsim: Par.run diverged from Ppsfp.run";
+      let speedup = serial_s /. wall_s in
+      rows := record ~engine:"par" ~domains ~wall_s ~speedup :: !rows;
+      Printf.printf "%-8s %-8d %10.3f %9.2f\n" "par" domains wall_s speedup)
+    domain_counts;
+  let oc = open_out out in
+  output_string oc ("[\n" ^ String.concat ",\n" (List.rev !rows) ^ "\n]\n");
+  close_out oc;
+  Printf.printf "\nwrote %s (all engines bit-identical)\n" out
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one measurement per table/figure, plus
@@ -308,10 +371,13 @@ let targets =
     ("drift", run_drift);
     ("economics", run_economics);
     ("wafer", run_wafer);
+    ("par", fun () -> run_par ~smoke:false ());
     ("micro", run_micro) ]
 
+(* "par" is excluded from `all`: it is a timing run that writes an
+   artifact, meaningful only when invoked on its own. *)
 let run_all () =
-  List.iter (fun (name, f) -> if name <> "micro" then f ()) targets;
+  List.iter (fun (name, f) -> if name <> "micro" && name <> "par" then f ()) targets;
   run_fig234_checkpoints ();
   run_micro ()
 
@@ -319,6 +385,9 @@ let () =
   match Array.to_list Sys.argv with
   | [] | [ _ ] -> run_all ()
   | [ _; "csv"; directory ] -> run_csv directory
+  | [ _; "par"; out ] -> run_par ~out ~smoke:false ()
+  | [ _; "par-smoke" ] -> run_par ~smoke:true ()
+  | [ _; "par-smoke"; out ] -> run_par ~out ~smoke:true ()
   | _ :: args ->
     List.iter
       (fun arg ->

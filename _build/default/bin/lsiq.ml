@@ -24,6 +24,22 @@ let seed_arg =
   let doc = "Random seed (all simulations are deterministic in it)." in
   Arg.(value & opt int 1981 & info [ "seed" ] ~docv:"SEED" ~doc)
 
+let domains_arg =
+  let doc =
+    "Shard fault simulation across $(docv) OCaml domains (the multicore PPSFP \
+     engine; results are bit-identical to the serial engines)."
+  in
+  let positive_int =
+    let parse s =
+      match Arg.conv_parser Arg.int s with
+      | Ok n when n >= 1 -> Ok n
+      | Ok n -> Error (`Msg (Printf.sprintf "expected a domain count >= 1, got %d" n))
+      | Error _ as e -> e
+    in
+    Arg.conv (parse, Arg.conv_printer Arg.int)
+  in
+  Arg.(value & opt (some positive_int) None & info [ "domains" ] ~docv:"N" ~doc)
+
 let circuit_arg =
   let doc =
     "Circuit: builtin spec (c17, rca:N, mul:N, alu:N, parity:N, mux:K, dec:N, \
@@ -131,13 +147,17 @@ let simulate_lot_cmd =
            ~doc:"Use the physical clustered-defect line instead of the ideal \
                  Eq. 1 line.")
   in
-  let action scale chips target_yield n0 clustered seed =
+  let action scale chips target_yield n0 clustered seed domains =
     let config =
       { Experiments.Pipeline.default_config with
         Experiments.Pipeline.scale; lot_size = chips; target_yield;
         target_n0 = n0; seed;
         line = (if clustered then Experiments.Pipeline.Clustered
-                else Experiments.Pipeline.Ideal) }
+                else Experiments.Pipeline.Ideal);
+        fsim_engine =
+          (match domains with
+          | Some n -> Fsim.Coverage.Par { domains = n }
+          | None -> Experiments.Pipeline.default_config.fsim_engine) }
     in
     let run = Experiments.Pipeline.execute config in
     print_string (Experiments.Pipeline.summary run);
@@ -146,7 +166,8 @@ let simulate_lot_cmd =
   in
   let doc = "Simulate a chip lot end-to-end and print its Table-1 analogue." in
   Cmd.v (Cmd.info "simulate-lot" ~doc)
-    Term.(const action $ scale $ chips $ target_yield $ n0_arg $ clustered $ seed_arg)
+    Term.(const action $ scale $ chips $ target_yield $ n0_arg $ clustered $ seed_arg
+          $ domains_arg)
 
 (* ------------------------------ fsim ------------------------------- *)
 
@@ -163,7 +184,12 @@ let fsim_cmd =
            Fsim.Coverage.Parallel
          & info [ "engine" ] ~docv:"ENGINE" ~doc:"serial, ppsfp, deductive or concurrent.")
   in
-  let action circuit count engine seed =
+  let action circuit count engine seed domains =
+    let engine =
+      match domains with
+      | Some n -> Fsim.Coverage.Par { domains = n }
+      | None -> engine
+    in
     let rng = Stats.Rng.create ~seed () in
     let universe = Faults.Universe.all circuit in
     let classes = Faults.Collapse.equivalence circuit universe in
@@ -189,7 +215,7 @@ let fsim_cmd =
   in
   let doc = "Fault-simulate random patterns and print the coverage curve." in
   Cmd.v (Cmd.info "fsim" ~doc)
-    Term.(const action $ circuit_arg $ patterns $ engine $ seed_arg)
+    Term.(const action $ circuit_arg $ patterns $ engine $ seed_arg $ domains_arg)
 
 (* ------------------------------ atpg ------------------------------- *)
 

@@ -1,1 +1,1 @@
-lib/experiments/pipeline.ml: Array Buffer Circuit Fab Faults List Printf Quality Stats Tester Tpg
+lib/experiments/pipeline.ml: Array Buffer Circuit Fab Faults Fsim List Printf Quality Stats Tester Tpg

@@ -1,1 +1,1 @@
-lib/experiments/pipeline.mli: Circuit Fab Faults Quality Tester Tpg
+lib/experiments/pipeline.mli: Circuit Fab Faults Fsim Quality Tester Tpg

@@ -13,6 +13,7 @@ type config = {
   tester_mode : Tester.Wafer_test.mode;
   line : line_model;
   program_style : program_style;
+  fsim_engine : Fsim.Coverage.engine;
 }
 
 let default_config =
@@ -25,7 +26,8 @@ let default_config =
     atpg = Tpg.Atpg.default_config;
     tester_mode = Tester.Wafer_test.Table_lookup;
     line = Ideal;
-    program_style = Functional_prelude 192 }
+    program_style = Functional_prelude 192;
+    fsim_engine = Fsim.Coverage.Parallel }
 
 type run = {
   config : config;
@@ -61,7 +63,8 @@ let execute config =
       let rng = Stats.Rng.create ~seed:(config.seed + 3) () in
       let walk = Tpg.Random_tpg.random_walk rng circuit ~count () in
       let combined = Array.append walk atpg_report.Tpg.Atpg.patterns in
-      Tester.Pattern_set.of_simulation circuit universe combined
+      Tester.Pattern_set.of_simulation ~engine:config.fsim_engine circuit universe
+        combined
   in
   let defect_density =
     Fab.Yield_model.solve_defect_density ~target_yield:config.target_yield

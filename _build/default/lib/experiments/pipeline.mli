@@ -37,11 +37,15 @@ type config = {
   tester_mode : Tester.Wafer_test.mode;
   line : line_model;
   program_style : program_style;
+  fsim_engine : Fsim.Coverage.engine;
+      (** Engine used to grade the test program (all engines give
+          identical profiles; [Par { domains }] shards the grading
+          across cores). *)
 }
 
 val default_config : config
 (** 277 chips, 7 % yield, n0 = 8, X = 0.25, scale-8 chip, ideal line,
-    192-pattern functional prelude. *)
+    192-pattern functional prelude, PPSFP grading. *)
 
 type run = {
   config : config;

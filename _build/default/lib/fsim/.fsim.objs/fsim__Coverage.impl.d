@@ -1,1 +1,1 @@
-lib/fsim/coverage.ml: Array Concurrent Deductive List Ppsfp Serial
+lib/fsim/coverage.ml: Array Concurrent Deductive List Par Ppsfp Serial

@@ -1,0 +1,1 @@
+lib/fsim/par.ml: Array Domain List Logicsim Ppsfp

@@ -1,0 +1,1 @@
+lib/fsim/par.mli: Circuit Faults

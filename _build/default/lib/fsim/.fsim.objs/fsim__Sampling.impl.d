@@ -1,1 +1,1 @@
-lib/fsim/sampling.ml: Array Ppsfp Stats
+lib/fsim/sampling.ml: Array Coverage Stats

@@ -1,1 +1,1 @@
-lib/fsim/sampling.mli: Circuit Faults Stats
+lib/fsim/sampling.mli: Circuit Coverage Faults Stats

@@ -1,4 +1,4 @@
-type engine = Serial | Parallel | Deductive | Concurrent
+type engine = Serial | Parallel | Deductive | Concurrent | Par of { domains : int }
 
 type profile = {
   universe_size : int;
@@ -13,6 +13,7 @@ let profile ?(engine = Parallel) c faults patterns =
     | Parallel -> Ppsfp.run c faults patterns
     | Deductive -> Deductive.run c faults patterns
     | Concurrent -> Concurrent.run c faults patterns
+    | Par { domains } -> Par.run ~domains c faults patterns
   in
   { universe_size = Array.length faults;
     pattern_count = Array.length patterns;

@@ -6,7 +6,15 @@
     virtual tester's lookup table (a chip containing fault [j] fails
     first at pattern [first_detection.(j)]). *)
 
-type engine = Serial | Parallel | Deductive | Concurrent
+type engine =
+  | Serial
+  | Parallel
+  | Deductive
+  | Concurrent
+  | Par of { domains : int }
+      (** Multicore PPSFP ({!Par.run}): fault universe sharded across
+          [domains] OCaml domains, results bit-identical to
+          {!Parallel}. *)
 
 type profile = {
   universe_size : int;                (** Faults simulated. *)

@@ -1,0 +1,71 @@
+(* Multicore PPSFP: shard the fault universe across domains, each
+   running the serial engine's copy-on-write propagation over its shard
+   with a private Ppsfp.state.  The good-machine blocks are evaluated
+   once up front and shared read-only.
+
+   Per-fault results are independent of every other fault (dropping
+   only skips already-detected faults), so any deterministic sharding
+   merges to exactly the serial answer.  We use contiguous shards for
+   cache locality; each worker writes its own disjoint slice of the
+   shared results array, and Domain.join publishes the writes. *)
+
+type slice = {
+  block_start : int;   (* pattern index of bit 0 of this block *)
+  live : int64;
+  good : int64 array;  (* read-only good-machine values, by node id *)
+}
+
+let prepare c patterns =
+  let slices = ref [] in
+  let start = ref 0 in
+  List.iter
+    (fun block ->
+      slices :=
+        { block_start = !start;
+          live = Logicsim.Packed.live_mask block;
+          good = Logicsim.Packed.eval_block c block }
+        :: !slices;
+      start := !start + block.Logicsim.Packed.pattern_count)
+    (Logicsim.Packed.blocks_of_patterns c patterns);
+  List.rev !slices
+
+(* Grade faults [lo, hi) of [faults] against every slice, with fault
+   dropping, writing first detections into the shard's own slice of
+   [results].  Mirrors Ppsfp.run_general's block loop exactly. *)
+let run_shard c slices faults results lo hi =
+  let st = Ppsfp.make_state c in
+  let alive = ref (List.init (hi - lo) (fun i -> lo + i)) in
+  List.iter
+    (fun { block_start; live; good } ->
+      if !alive <> [] then begin
+        let survivors = ref [] in
+        List.iter
+          (fun fi ->
+            let mask = Ppsfp.propagate st good ~live faults.(fi) in
+            if mask = 0L then survivors := fi :: !survivors
+            else results.(fi) <- Some (block_start + Ppsfp.lowest_set_bit mask))
+          !alive;
+        alive := List.rev !survivors
+      end)
+    slices
+
+let run ?domains c faults patterns =
+  let n = Array.length faults in
+  let requested =
+    match domains with Some d -> d | None -> Domain.recommended_domain_count ()
+  in
+  if requested < 1 then invalid_arg "Par.run: need at least one domain";
+  let domains = max 1 (min requested n) in
+  let results = Array.make n None in
+  if n > 0 then begin
+    let slices = prepare c patterns in
+    let bounds d = d * n / domains in
+    let workers =
+      Array.init (domains - 1) (fun i ->
+          let lo = bounds (i + 1) and hi = bounds (i + 2) in
+          Domain.spawn (fun () -> run_shard c slices faults results lo hi))
+    in
+    run_shard c slices faults results 0 (bounds 1);
+    Array.iter Domain.join workers
+  end;
+  results

@@ -1,0 +1,18 @@
+(** Multicore PPSFP fault simulation.
+
+    Shards the fault universe across OCaml 5 domains; every domain runs
+    the {!Ppsfp} copy-on-write propagation over its shard with a
+    private state, against good-machine blocks evaluated once and
+    shared read-only.  Sharding is deterministic (contiguous fault
+    ranges) and per-fault results do not depend on the other faults in
+    a shard, so the merged output is {e bit-identical} to {!Ppsfp.run}
+    for every domain count. *)
+
+val run :
+  ?domains:int ->
+  Circuit.Netlist.t -> Faults.Fault.t array -> bool array array -> int option array
+(** Same contract as {!Ppsfp.run} / {!Serial.run}: per fault, first
+    detecting pattern index.  [domains] defaults to
+    [Domain.recommended_domain_count ()] and is clamped to the fault
+    count; it must be >= 1.  [run ~domains:1] degenerates to the serial
+    engine without spawning. *)

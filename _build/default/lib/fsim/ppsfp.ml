@@ -119,10 +119,28 @@ let propagate st good ~live fault =
     !out_diff
   end
 
+(* Constant-time lowest-set-bit: isolate the bit with [w land (-w)],
+   then perfect-hash the 64 single-bit words through a de Bruijn
+   multiply.  The table is built from the same multiply, so it is
+   correct for any valid de Bruijn constant. *)
+let debruijn = 0x03F79D71B4CB0A89L
+
+let debruijn_index =
+  let table = Array.make 64 0 in
+  for i = 0 to 63 do
+    let hash =
+      Int64.to_int
+        (Int64.shift_right_logical (Int64.mul (Int64.shift_left 1L i) debruijn) 58)
+    in
+    table.(hash) <- i
+  done;
+  table
+
 let lowest_set_bit w =
   if w = 0L then invalid_arg "lowest_set_bit: zero word";
-  let rec loop i = if Logicsim.Packed.bit w i then i else loop (i + 1) in
-  loop 0
+  let isolated = Int64.logand w (Int64.neg w) in
+  debruijn_index.(Int64.to_int
+                    (Int64.shift_right_logical (Int64.mul isolated debruijn) 58))
 
 let run_general c faults patterns ~on_block =
   let st = make_state c in

@@ -12,6 +12,30 @@ val run :
 (** Same contract as {!Serial.run}: per fault, first detecting pattern
     index, with fault dropping. *)
 
+(** {2 Propagation core}
+
+    The single-fault propagation machinery is exposed so that {!Par}
+    can run the identical copy-on-write cone walk from several domains,
+    each with its own [state], over a shared read-only good-value
+    block. *)
+
+type state
+(** Per-simulation scratch (copy-on-write faulty values, schedule
+    buckets).  Not thread-safe: one [state] per domain. *)
+
+val make_state : Circuit.Netlist.t -> state
+
+val propagate :
+  state -> int64 array -> live:int64 -> Faults.Fault.t -> int64
+(** [propagate st good ~live fault] walks the fault's fanout cone over
+    one 64-pattern block whose good-machine node values are [good], and
+    returns the mask of patterns (within [live]) on which some primary
+    output diverges. *)
+
+val lowest_set_bit : int64 -> int
+(** Index of the lowest set bit (constant time; raises
+    [Invalid_argument] on zero).  Bit [i] is pattern [i] of a block. *)
+
 val run_curve :
   Circuit.Netlist.t ->
   Faults.Fault.t array ->

@@ -7,7 +7,8 @@ type estimate = {
   universe_size : int;
 }
 
-let estimate_coverage rng c universe ~sample_size patterns =
+let estimate_coverage ?(engine = Coverage.Parallel) rng c universe ~sample_size
+    patterns =
   let universe_size = Array.length universe in
   if universe_size = 0 then invalid_arg "Sampling.estimate_coverage: empty universe";
   if sample_size <= 0 then invalid_arg "Sampling.estimate_coverage: nonpositive sample";
@@ -18,7 +19,9 @@ let estimate_coverage rng c universe ~sample_size patterns =
       Stats.Rng.sample_without_replacement rng ~k:sample_size ~n:universe_size
       |> Array.map (fun i -> universe.(i))
   in
-  let results = Ppsfp.run c sample patterns in
+  let results =
+    (Coverage.profile ~engine c sample patterns).Coverage.first_detection
+  in
   let detected =
     Array.fold_left (fun acc d -> if d <> None then acc + 1 else acc) 0 results
   in

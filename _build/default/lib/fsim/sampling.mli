@@ -19,6 +19,7 @@ type estimate = {
 }
 
 val estimate_coverage :
+  ?engine:Coverage.engine ->
   Stats.Rng.t ->
   Circuit.Netlist.t ->
   Faults.Fault.t array ->
@@ -26,6 +27,8 @@ val estimate_coverage :
   bool array array ->
   estimate
 (** Draw [sample_size] faults without replacement, fault-simulate only
-    those, and report the estimated coverage of the full universe.  If
+    those (default engine {!Coverage.Parallel}; pass
+    [~engine:(Coverage.Par { domains })] to grade the sample on several
+    cores), and report the estimated coverage of the full universe.  If
     [sample_size >= Array.length universe] the answer is exact with a
     zero-width interval. *)

@@ -5,8 +5,8 @@ let make patterns profile =
     invalid_arg "Pattern_set.make: profile does not match pattern count";
   { patterns; profile }
 
-let of_simulation c faults patterns =
-  { patterns; profile = Fsim.Coverage.profile c faults patterns }
+let of_simulation ?engine c faults patterns =
+  { patterns; profile = Fsim.Coverage.profile ?engine c faults patterns }
 
 let pattern_count t = Array.length t.patterns
 

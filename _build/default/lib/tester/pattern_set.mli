@@ -14,8 +14,11 @@ type t = {
 val make : bool array array -> Fsim.Coverage.profile -> t
 
 val of_simulation :
+  ?engine:Fsim.Coverage.engine ->
   Circuit.Netlist.t -> Faults.Fault.t array -> bool array array -> t
-(** Fault-simulate the given ordered patterns and bundle the result. *)
+(** Fault-simulate the given ordered patterns and bundle the result
+    (default engine {!Fsim.Coverage.Parallel}; all engines produce
+    identical profiles). *)
 
 val pattern_count : t -> int
 

@@ -1,1 +1,1 @@
-test/test_fsim.ml: Alcotest Array Circuit Faults Fsim List Logicsim Option Printf QCheck QCheck_alcotest Stats Test Tpg
+test/test_fsim.ml: Alcotest Array Circuit Faults Fsim Int64 List Logicsim Option Printf QCheck QCheck_alcotest Stats Test Tpg

@@ -234,6 +234,87 @@ let test_deductive_via_coverage_engine () =
   Alcotest.(check bool) "profiles equal" true
     (a.Fsim.Coverage.first_detection = b.Fsim.Coverage.first_detection)
 
+(* ----------------------------- multicore ---------------------------- *)
+
+let test_par_equals_ppsfp_c17 () =
+  let c = Circuit.Generators.c17 () in
+  let universe = Faults.Universe.all c in
+  let patterns = exhaustive_patterns 5 in
+  let reference = Fsim.Ppsfp.run c universe patterns in
+  List.iter
+    (fun domains ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%d domains" domains)
+        true
+        (Fsim.Par.run ~domains c universe patterns = reference))
+    [ 1; 2; 3; 8 ]
+
+let test_par_equals_ppsfp_odd_pattern_counts () =
+  (* Pattern counts off the 64 boundary exercise the partial-block live
+     mask; domain counts above the shard-able fault count exercise the
+     clamp. *)
+  List.iter
+    (fun count ->
+      let c =
+        Circuit.Generators.random_circuit ~inputs:10 ~gates:180 ~outputs:8
+          ~seed:(count + 1)
+      in
+      let universe = Faults.Universe.all c in
+      let patterns = random_patterns ~seed:(count * 7 + 1) ~count c in
+      let reference = Fsim.Ppsfp.run c universe patterns in
+      List.iter
+        (fun domains ->
+          if Fsim.Par.run ~domains c universe patterns <> reference then
+            Alcotest.failf "divergence at %d patterns, %d domains" count domains)
+        [ 1; 2; 4; 5; 8 ])
+    [ 1; 63; 65; 100; 130 ]
+
+let test_par_collapsed_universe_bit_identical () =
+  let c = Circuit.Generators.random_circuit ~inputs:32 ~gates:2000 ~outputs:24 ~seed:3 in
+  let classes = Faults.Collapse.equivalence c (Faults.Universe.all c) in
+  let universe = Faults.Collapse.representatives classes in
+  let patterns = random_patterns ~seed:8 ~count:130 c in
+  Alcotest.(check bool) "bit-identical on 2k gates / 4 domains" true
+    (Fsim.Par.run ~domains:4 c universe patterns = Fsim.Ppsfp.run c universe patterns)
+
+let test_par_via_coverage_engine () =
+  let c = Circuit.Generators.parity_tree ~bits:6 in
+  let universe = Faults.Universe.all c in
+  let patterns = random_patterns ~seed:23 ~count:50 c in
+  let a =
+    Fsim.Coverage.profile ~engine:(Fsim.Coverage.Par { domains = 3 }) c universe
+      patterns
+  in
+  let b = Fsim.Coverage.profile ~engine:Fsim.Coverage.Serial c universe patterns in
+  Alcotest.(check bool) "profiles equal" true
+    (a.Fsim.Coverage.first_detection = b.Fsim.Coverage.first_detection)
+
+let test_par_empty_universe () =
+  let c = Circuit.Generators.c17 () in
+  Alcotest.(check int) "no faults, no results" 0
+    (Array.length (Fsim.Par.run ~domains:4 c [||] (exhaustive_patterns 5)))
+
+let test_lowest_set_bit_matches_naive () =
+  let naive w =
+    let rec loop i = if Logicsim.Packed.bit w i then i else loop (i + 1) in
+    loop 0
+  in
+  for i = 0 to 63 do
+    let w = Int64.shift_left 1L i in
+    Alcotest.(check int) "single bit" i (Fsim.Ppsfp.lowest_set_bit w)
+  done;
+  let rng = Stats.Rng.create ~seed:77 () in
+  for _ = 1 to 10_000 do
+    let w = Stats.Rng.bits64 rng in
+    if w <> 0L then
+      Alcotest.(check int) "random word" (naive w) (Fsim.Ppsfp.lowest_set_bit w)
+  done;
+  Alcotest.(check bool) "zero word rejected" true
+    (try
+       ignore (Fsim.Ppsfp.lowest_set_bit 0L);
+       false
+     with Invalid_argument _ -> true)
+
 (* ------------------------------- stafan ------------------------------ *)
 
 let test_stafan_controllabilities () =
@@ -335,6 +416,25 @@ let test_sampling_estimate_near_truth () =
     (Printf.sprintf "interval covers truth in %d/%d trials" !hits trials)
     true (!hits >= 16)
 
+let test_sampling_engine_invariant () =
+  (* Same seed, same sample — the engine choice cannot change the
+     estimate. *)
+  let c = Circuit.Generators.ripple_carry_adder ~bits:4 in
+  let universe = Faults.Universe.all c in
+  let patterns = random_patterns ~seed:44 ~count:64 c in
+  let estimate engine =
+    Fsim.Sampling.estimate_coverage ?engine
+      (Stats.Rng.create ~seed:9 ())
+      c universe ~sample_size:60 patterns
+  in
+  let reference = estimate None in
+  List.iter
+    (fun engine ->
+      Alcotest.(check (float 1e-12)) "same estimate"
+        reference.Fsim.Sampling.coverage
+        (estimate (Some engine)).Fsim.Sampling.coverage)
+    [ Fsim.Coverage.Serial; Fsim.Coverage.Par { domains = 2 } ]
+
 let test_sampling_interval_bounds () =
   let c = Circuit.Generators.c17 () in
   let universe = Faults.Universe.all c in
@@ -422,7 +522,19 @@ let qcheck_props =
         let patterns = random_patterns ~seed ~count:32 c in
         let single = (Fsim.Serial.run c [| fault |] patterns).(0) in
         let multi = Fsim.Serial.first_fail_with_fault_set c [| fault |] patterns in
-        single = multi) ]
+        single = multi);
+    Test.make ~count:12
+      ~name:"par = ppsfp for any circuit, pattern count and domain count"
+      (triple (int_range 4 10) (int_range 20 120) (int_range 1 8))
+      (fun (inputs, gates, domains) ->
+        let c =
+          Circuit.Generators.random_circuit ~inputs ~gates ~outputs:4
+            ~seed:((inputs * 7) + gates)
+        in
+        let universe = Faults.Universe.all c in
+        let count = 1 + (gates * 5 mod 130) in
+        let patterns = random_patterns ~seed:(gates + domains) ~count c in
+        Fsim.Par.run ~domains c universe patterns = Fsim.Ppsfp.run c universe patterns) ]
 
 let suite =
   let tc name f = Alcotest.test_case name `Quick f in
@@ -445,6 +557,13 @@ let suite =
         tc "coverage engine plumbing" test_deductive_via_coverage_engine;
         tc "concurrent = serial (rand + walk)" test_concurrent_equals_serial;
         tc "concurrent dropping across patterns" test_concurrent_dropping_across_patterns ] );
+    ( "fsim.par",
+      [ tc "par = ppsfp (c17 exhaustive)" test_par_equals_ppsfp_c17;
+        tc "par = ppsfp (odd pattern counts)" test_par_equals_ppsfp_odd_pattern_counts;
+        tc "par = ppsfp (2k gates, 4 domains)" test_par_collapsed_universe_bit_identical;
+        tc "coverage engine plumbing" test_par_via_coverage_engine;
+        tc "empty universe" test_par_empty_universe;
+        tc "lowest_set_bit = naive scan" test_lowest_set_bit_matches_naive ] );
     ( "fsim.stafan",
       [ tc "controllabilities" test_stafan_controllabilities;
         tc "PO observability" test_stafan_po_observability;
@@ -453,6 +572,7 @@ let suite =
         tc "predicted curve monotone" test_stafan_curve_monotone ] );
     ( "fsim.sampling",
       [ tc "full sample exact" test_sampling_full_sample_is_exact;
+        tc "engine choice invariant" test_sampling_engine_invariant;
         tc "interval covers truth" test_sampling_estimate_near_truth;
         tc "interval bounds" test_sampling_interval_bounds ] );
     ( "fsim.multifault",

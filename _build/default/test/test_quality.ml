@@ -354,6 +354,22 @@ let test_joint_fit_identifiability () =
   Alcotest.(check bool) "yield recovered" true (abs_float (y_hat -. 0.2) < 0.05);
   Alcotest.(check bool) "n0 recovered" true (abs_float (n0_hat -. 6.0) < 1.5)
 
+let test_joint_fit_saturated_curve () =
+  (* Regression: a checkpoint failing at ~100 % used to collapse the
+     yield grid onto the single candidate 0.0 (and evaluate
+     [fit_n0 ~yield_:0.0]); the clamped grid must return a sane,
+     finite estimate instead. *)
+  let points =
+    List.map
+      (fun (f, frac) -> { Quality.Estimate.coverage = f; fraction_failed = frac })
+      [ (0.3, 0.8); (0.6, 0.95); (0.9, 0.999); (1.0, 1.0) ]
+  in
+  let n0_hat, y_hat, residual = Quality.Estimate.fit_n0_and_yield points in
+  Alcotest.(check bool) "n0 in search range" true (n0_hat >= 1.0 && n0_hat <= 100.0);
+  Alcotest.(check bool) "yield clamped positive" true
+    (y_hat >= 1e-4 && y_hat <= 0.01);
+  Alcotest.(check bool) "residual finite" true (Float.is_finite residual)
+
 let test_estimate_validation () =
   Alcotest.(check bool) "empty rejected" true
     (try
@@ -724,6 +740,7 @@ let suite =
         tc "paper Table 1 fit ~ 8" test_paper_table1_fit;
         tc "paper slope 8.2 / 8.8" test_paper_table1_slope;
         tc "joint fit identifiability" test_joint_fit_identifiability;
+        tc "joint fit saturated curve" test_joint_fit_saturated_curve;
         tc "validation" test_estimate_validation;
         tc "predicted curve" test_predicted_curve ] );
     ( "quality.economics",

@@ -37,6 +37,41 @@ let test_rng_int_in_range () =
     Alcotest.(check bool) "in range" true (v >= -5 && v <= 5)
   done
 
+let test_rng_int_uniform_chi_square () =
+  (* Pearson chi-square of the rejection-sampled draw against the
+     uniform pmf, for several bucket counts. *)
+  List.iter
+    (fun bound ->
+      let rng = Stats.Rng.create ~seed:(rng_seed + bound) () in
+      let draws = 20_000 in
+      let observed = Array.make bound 0 in
+      for _ = 1 to draws do
+        let v = Stats.Rng.int rng bound in
+        observed.(v) <- observed.(v) + 1
+      done;
+      let expected =
+        Array.make bound (float_of_int draws /. float_of_int bound)
+      in
+      let r = Stats.Gof.chi_square ~observed ~expected () in
+      Alcotest.(check bool)
+        (Printf.sprintf "bound %d uniform (p = %.4f)" bound r.Stats.Gof.p_value)
+        true
+        (r.Stats.Gof.p_value > 1e-4))
+    [ 3; 7; 10; 64 ]
+
+let test_rng_int_boundary_bounds () =
+  let rng = Stats.Rng.create ~seed:rng_seed () in
+  for _ = 1 to 1_000 do
+    Alcotest.(check int) "bound 1 is constant" 0 (Stats.Rng.int rng 1)
+  done;
+  (* The widest legal bound: the rejection region is the truncated
+     bucket [2^63 - (2^63 mod b), 2^63); every accepted draw must still
+     land in [0, bound). *)
+  for _ = 1 to 1_000 do
+    let v = Stats.Rng.int rng max_int in
+    Alcotest.(check bool) "bound max_int in range" true (v >= 0 && v < max_int)
+  done
+
 let test_rng_uniform_range () =
   let rng = Stats.Rng.create ~seed:rng_seed () in
   for _ = 1 to 10_000 do
@@ -530,6 +565,8 @@ let suite =
       [ tc "determinism" test_rng_determinism;
         tc "different seeds" test_rng_different_seeds;
         tc "int range" test_rng_int_range;
+        tc "int uniform (chi-square)" test_rng_int_uniform_chi_square;
+        tc "int boundary bounds" test_rng_int_boundary_bounds;
         tc "int_in range" test_rng_int_in_range;
         tc "uniform range" test_rng_uniform_range;
         tc "uniform_pos positive" test_rng_uniform_pos_never_zero;

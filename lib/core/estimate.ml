@@ -48,12 +48,17 @@ let fit_n0_and_yield ?(n0_max = 100.0) points =
   let max_failed =
     List.fold_left (fun acc p -> max acc p.fraction_failed) 0.0 points
   in
-  let yield_hi = 1.0 -. max_failed in
+  (* A fraction_failed of m bounds the yield by 1 - m, but a saturated
+     curve (m near 1) must not collapse the grid onto yield = 0.0: keep
+     the search inside a sane [y_lo, y_hi]. *)
+  let y_lo = 1e-4 in
+  let y_hi = max y_lo (min (1.0 -. max_failed) 0.999) in
   let best = ref (1.0, 0.5, infinity) in
-  let steps = 64 in
+  let steps = if y_hi -. y_lo < 1e-9 then 0 else 64 in
   for i = 0 to steps do
-    let y = float_of_int i /. float_of_int steps *. yield_hi in
-    let y = min y 0.999 in
+    let y =
+      y_lo +. (float_of_int i /. float_of_int (max 1 steps) *. (y_hi -. y_lo))
+    in
     let n0, residual = fit_n0 ~n0_max ~yield_:y points in
     let _, _, best_residual = !best in
     if residual < best_residual then best := (n0, y, residual)

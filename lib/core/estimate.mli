@@ -33,9 +33,11 @@ val slope_nav : ?points_used:int -> point list -> float
 val fit_n0_and_yield :
   ?n0_max:float -> point list -> float * float * float
 (** (n0, yield, residual) when neither parameter is known.  The yield
-    is searched on [0, min fraction-failed gap]; identifiability is
-    poor when the data stop at low coverage — the test suite documents
-    this honestly. *)
+    is searched on a grid clamped inside [1e-4, min (1 - max
+    fraction-failed) 0.999], so a saturated curve (some point failing
+    near 100 %) degrades to a narrow-but-sane search instead of
+    pinning the yield at 0.  Identifiability is poor when the data stop
+    at low coverage — the test suite documents this honestly. *)
 
 val predicted_curve :
   yield_:float -> n0:float -> coverages:float array -> point list

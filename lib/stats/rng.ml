@@ -26,12 +26,15 @@ let split rng =
 
 let int rng bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
-  (* Rejection to avoid modulo bias. *)
+  (* Rejection to avoid modulo bias: with r uniform on [0, 2^63), v is
+     unbiased iff r's bucket [r - v, r - v + b) fits below 2^63, i.e.
+     accept iff r - v <= 2^63 - b.  Equivalently, r - v + (b - 1)
+     overflows int64 exactly on the truncated final bucket. *)
   let b = Int64.of_int bound in
   let rec loop () =
     let r = Int64.shift_right_logical (bits64 rng) 1 in
     let v = Int64.rem r b in
-    if Int64.sub r v > Int64.sub (Int64.sub Int64.max_int b) 1L then loop ()
+    if Int64.add (Int64.sub r v) (Int64.sub b 1L) < 0L then loop ()
     else Int64.to_int v
   in
   loop ()
