@@ -147,11 +147,18 @@ let simulate_lot_cmd =
            ~doc:"Use the physical clustered-defect line instead of the ideal \
                  Eq. 1 line.")
   in
-  let action scale chips target_yield n0 clustered seed domains =
+  let exclude_untestable =
+    Arg.(value & flag & info [ "exclude-untestable" ]
+           ~doc:"Statically prove untestable faults (lint subsystem) and drop \
+                 them from the fault universe, correcting the coverage \
+                 denominator.")
+  in
+  let action scale chips target_yield n0 clustered exclude_untestable seed
+      domains =
     let config =
       { Experiments.Pipeline.default_config with
         Experiments.Pipeline.scale; lot_size = chips; target_yield;
-        target_n0 = n0; seed;
+        target_n0 = n0; seed; exclude_untestable;
         line = (if clustered then Experiments.Pipeline.Clustered
                 else Experiments.Pipeline.Ideal);
         fsim_engine =
@@ -166,8 +173,8 @@ let simulate_lot_cmd =
   in
   let doc = "Simulate a chip lot end-to-end and print its Table-1 analogue." in
   Cmd.v (Cmd.info "simulate-lot" ~doc)
-    Term.(const action $ scale $ chips $ target_yield $ n0_arg $ clustered $ seed_arg
-          $ domains_arg)
+    Term.(const action $ scale $ chips $ target_yield $ n0_arg $ clustered
+          $ exclude_untestable $ seed_arg $ domains_arg)
 
 (* ------------------------------ fsim ------------------------------- *)
 
@@ -416,6 +423,56 @@ let sample_cmd =
   Cmd.v (Cmd.info "sample-coverage" ~doc)
     Term.(const action $ circuit_arg $ patterns_count $ sample_size $ seed_arg)
 
+(* ------------------------------- lint ------------------------------- *)
+
+let lint_cmd =
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
+  in
+  let fail_on =
+    Arg.(value
+         & opt (enum [ ("never", `Never); ("warning", `Warning); ("error", `Error) ])
+             `Never
+         & info [ "fail-on" ] ~docv:"LEVEL"
+             ~doc:"Exit non-zero when diagnostics at severity $(docv) (never, \
+                   warning, error) or worse are present.")
+  in
+  let fanout_threshold =
+    Arg.(value & opt int Lint.Driver.default_config.Lint.Driver.fanout_threshold
+         & info [ "fanout-threshold" ] ~docv:"N"
+             ~doc:"Warn on stems with fanout above $(docv).")
+  in
+  let structural_only =
+    Arg.(value & flag & info [ "structural-only" ]
+           ~doc:"Skip the untestable-fault and SCOAP analyses; report only \
+                 structural rules.")
+  in
+  let action circuit json fail_on fanout_threshold structural_only =
+    let config =
+      { Lint.Driver.default_config with
+        Lint.Driver.fanout_threshold; testability = not structural_only }
+    in
+    let report = Lint.Driver.run ~config circuit in
+    if json then
+      print_endline (Report.Json.to_string_pretty (Lint.Driver.render_json report))
+    else print_string (Lint.Driver.render_text report);
+    let trip =
+      match fail_on with
+      | `Never -> false
+      | `Error -> report.Lint.Driver.errors > 0
+      | `Warning -> report.Lint.Driver.errors > 0 || report.Lint.Driver.warnings > 0
+    in
+    if trip then exit 1
+  in
+  let doc =
+    "Static analysis of a netlist: structural rules (constant nets, dead \
+     logic, floating inputs, duplicate fanins, fanout/reconvergence) plus \
+     statically untestable stuck-at faults and SCOAP hard-to-detect warnings."
+  in
+  Cmd.v (Cmd.info "lint" ~doc)
+    Term.(const action $ circuit_arg $ json $ fail_on $ fanout_threshold
+          $ structural_only)
+
 (* --------------------------- experiments --------------------------- *)
 
 let experiments_cmd =
@@ -443,7 +500,12 @@ let experiments_cmd =
       | "ablation" -> Experiments.Ablation.render ()
       | "economics" -> Experiments.Economics_study.render ()
       | "drift" -> Experiments.Drift.render ()
-      | other -> Printf.sprintf "unknown experiment %S\n" other
+      | other ->
+        Printf.eprintf
+          "lsiq: unknown experiment %S\nvalid targets: fig1 fig2 fig3 fig4 \
+           fig5 fig6 table1 comparison fineline ablation economics drift\n"
+          other;
+        exit 2
     in
     print_string output
   in
@@ -498,4 +560,4 @@ let () =
           [ reject_rate_cmd; required_coverage_cmd; estimate_cmd;
             simulate_lot_cmd; fsim_cmd; atpg_cmd; convert_cmd; diagnose_cmd;
             compact_cmd;
-            stafan_cmd; sample_cmd; experiments_cmd; wafer_cmd ]))
+            stafan_cmd; sample_cmd; lint_cmd; experiments_cmd; wafer_cmd ]))

@@ -141,11 +141,59 @@ let parse_string ?(name = "bench") source =
     pending := List.rev !unresolved
   done;
   (match !pending with
-  | (lineno, target, _, args) :: _ ->
-    let missing =
-      List.filter (fun a -> not (Hashtbl.mem ids a)) args |> String.concat ", "
+  | (_ :: _) as stuck ->
+    (* Either a signal is genuinely undefined, or every blocker is
+       itself a stuck definition — a combinational cycle.  Distinguish
+       the two and, for cycles, spell out the whole loop. *)
+    let defined_by = Hashtbl.create 16 in
+    List.iter (fun (_, target, _, _) -> Hashtbl.replace defined_by target ()) stuck;
+    let truly_missing =
+      List.concat_map
+        (fun (lineno, target, _, args) ->
+          List.filter_map
+            (fun a ->
+              if Hashtbl.mem ids a || Hashtbl.mem defined_by a then None
+              else Some (lineno, target, a))
+            args)
+        stuck
     in
-    fail lineno "undefined signal(s) %s feeding %s (or a combinational cycle)" missing target
+    (match truly_missing with
+    | (lineno, target, missing) :: _ ->
+      fail lineno "undefined signal %s feeding %s" missing target
+    | [] ->
+      (* Walk target -> (a stuck fanin) until a signal repeats. *)
+      let next = Hashtbl.create 16 in
+      List.iter
+        (fun (_, target, _, args) ->
+          match List.find_opt (fun a -> Hashtbl.mem defined_by a) args with
+          | Some a -> Hashtbl.replace next target a
+          | None -> ())
+        stuck;
+      let start = match stuck with (_, target, _, _) :: _ -> target | [] -> "?" in
+      let seen = Hashtbl.create 16 in
+      let rec walk signal trail =
+        if Hashtbl.mem seen signal then begin
+          let cycle = ref [] in
+          (try
+             List.iter
+               (fun s ->
+                 cycle := s :: !cycle;
+                 if String.equal s signal then raise Exit)
+               trail
+           with Exit -> ());
+          !cycle @ [ signal ]
+        end
+        else begin
+          Hashtbl.add seen signal ();
+          match Hashtbl.find_opt next signal with
+          | Some succ -> walk succ (signal :: trail)
+          | None -> List.rev (signal :: trail)
+        end
+      in
+      (* The fanin walk runs against signal flow; reverse it so the
+         reported loop reads driver -> sink, matching Netlist.Cycle. *)
+      let path = List.rev (walk start []) in
+      raise (Netlist.Cycle (String.concat " -> " path)))
   | [] -> ());
   List.iter
     (fun (lineno, signal) ->

@@ -446,6 +446,36 @@ let lsi_chip ?(seed = 1981) ?(scale = 8) () =
     B.build b
   end
 
+let redundant_demo () =
+  (* Small circuit seeded with every defect class the lint subsystem
+     proves: a net stuck by constant propagation ([blk]), dead logic
+     ([dead]), a floating input ([unused]), a duplicated fanin ([g3]),
+     and the statically untestable faults they all imply.  The live
+     logic (g1, g2, y2, y3) keeps the circuit from degenerating so
+     detectable faults stay detectable. *)
+  let b = B.create ~name:"redundant_demo" in
+  let a = B.add_input b "a" in
+  let bv = B.add_input b "b" in
+  let c = B.add_input b "c" in
+  let d = B.add_input b "d" in
+  let _unused = B.add_input b "unused" in
+  let zero = B.add_const b "zero" false in
+  let g1 = B.add_gate b ~name:"g1" Gate.And [ a; bv ] in
+  let g2 = B.add_gate b ~name:"g2" Gate.Or [ g1; c ] in
+  (* blk = g2 AND 0: provably stuck at 0. *)
+  let blk = B.add_gate b ~name:"blk" Gate.And [ g2; zero ] in
+  (* dead reaches no primary output. *)
+  let _dead = B.add_gate b ~name:"dead" Gate.Xor [ blk; c ] in
+  (* y2 = blk OR a reduces to a: faults on the blk pin are redundant. *)
+  let y2 = B.add_gate b ~name:"y2" Gate.Or [ blk; a ] in
+  (* g3 = d XOR d: duplicated fanin, provably 0. *)
+  let g3 = B.add_gate b ~name:"g3" Gate.Xor [ d; d ] in
+  let y3 = B.add_gate b ~name:"y3" Gate.Or [ g3; bv ] in
+  B.mark_output b g2;
+  B.mark_output b y2;
+  B.mark_output b y3;
+  B.build b
+
 (* ------------------------------------------------------------------ *)
 (* Functional specifications. *)
 
@@ -494,8 +524,8 @@ let spec_rotate_left data select =
 
 let of_spec spec =
   let usage =
-    "unknown circuit spec (builtins: c17 rca:N csa:N,B mul:N alu:N parity:N \
-     mux:K dec:N cmp:N shift:N lsi:S rand:i,g,o,seed)"
+    "unknown circuit spec (builtins: c17 redundant rca:N csa:N,B mul:N alu:N \
+     parity:N mux:K dec:N cmp:N shift:N lsi:S rand:i,g,o,seed)"
   in
   let int_of s =
     match int_of_string_opt (String.trim s) with
@@ -504,6 +534,7 @@ let of_spec spec =
   in
   match String.split_on_char ':' spec with
   | [ "c17" ] -> c17 ()
+  | [ "redundant" ] -> redundant_demo ()
   | [ "rca"; n ] -> ripple_carry_adder ~bits:(int_of n)
   | [ "csa"; rest ] ->
     (match String.split_on_char ',' rest with

@@ -59,12 +59,20 @@ val lsi_chip : ?seed:int -> ?scale:int -> unit -> Netlist.t
     gates — large enough for the lot-test statistics to behave like the
     paper's. *)
 
+val redundant_demo : unit -> Netlist.t
+(** Fixed 13-node circuit seeded with one instance of every statically
+    provable defect class: a net stuck at 0 by constant propagation, a
+    dead gate reaching no output, a floating input, a duplicated-fanin
+    XOR, and the untestable stuck-at faults those imply.  The
+    reference workload for the lint subsystem and its tests. *)
+
 val of_spec : string -> Netlist.t
-(** Parse a compact generator spec, e.g. ["c17"], ["rca:8"], ["csa:8,4"]
-    (carry-select with block width), ["mul:4"], ["alu:8"], ["parity:16"],
-    ["mux:3"], ["dec:4"], ["cmp:8"], ["shift:8"], ["lsi:8"],
-    ["rand:i,g,o,seed"].  Raises [Failure] with a usage message on an
-    unknown spec — the CLI surfaces it directly. *)
+(** Parse a compact generator spec, e.g. ["c17"], ["redundant"],
+    ["rca:8"], ["csa:8,4"] (carry-select with block width), ["mul:4"],
+    ["alu:8"], ["parity:16"], ["mux:3"], ["dec:4"], ["cmp:8"],
+    ["shift:8"], ["lsi:8"], ["rand:i,g,o,seed"].  Raises [Failure] with
+    a usage message on an unknown spec — the CLI surfaces it
+    directly. *)
 
 (** {2 Functional specifications} (for tests)
 

@@ -121,9 +121,45 @@ module Builder = struct
         fanouts.(u)
     done;
     if !filled <> n then begin
-      let on_cycle = ref "?" in
-      Array.iteri (fun i d -> if d > 0 && !on_cycle = "?" then on_cycle := node_names.(i)) indegree;
-      raise (Cycle !on_cycle)
+      (* Nodes with positive residual indegree still have an unsorted
+         fanin, so following such fanins from any of them must loop.
+         Walk until a node repeats and report the whole cycle in signal
+         flow order, not just one node on it. *)
+      let remaining i = indegree.(i) > 0 in
+      let start =
+        let found = ref (-1) in
+        Array.iteri (fun i d -> if d > 0 && !found < 0 then found := i) indegree;
+        !found
+      in
+      let visited_at = Hashtbl.create 16 in
+      let trail = ref [] in
+      let rec walk node steps =
+        match Hashtbl.find_opt visited_at node with
+        | Some _ ->
+          (* Keep the trail back to the first visit of [node]: that
+             suffix, reversed, is the cycle in fanin->fanout order. *)
+          let cycle = ref [] in
+          (try
+             List.iter
+               (fun v ->
+                 cycle := v :: !cycle;
+                 if v = node then raise Exit)
+               !trail
+           with Exit -> ());
+          !cycle @ [ node ]
+        | None ->
+          Hashtbl.add visited_at node steps;
+          trail := node :: !trail;
+          let next =
+            Array.fold_left
+              (fun acc src -> if acc >= 0 || not (remaining src) then acc else src)
+              (-1) fanins.(node)
+          in
+          walk next (steps + 1)
+      in
+      let path = walk start 0 in
+      raise
+        (Cycle (String.concat " -> " (List.map (fun i -> node_names.(i)) path)))
     end;
     let levels = Array.make n 0 in
     Array.iter

@@ -19,8 +19,9 @@ type t = private {
 }
 
 exception Cycle of string
-(** Raised by {!Builder.build} when the gate graph is cyclic; the payload
-    names a node on the cycle. *)
+(** Raised by {!Builder.build} when the gate graph is cyclic; the
+    payload spells out a full loop in signal-flow order, e.g.
+    ["a -> b -> c -> a"]. *)
 
 module Builder : sig
   type netlist := t

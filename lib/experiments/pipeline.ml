@@ -14,6 +14,7 @@ type config = {
   line : line_model;
   program_style : program_style;
   fsim_engine : Fsim.Coverage.engine;
+  exclude_untestable : bool;
 }
 
 let default_config =
@@ -27,12 +28,14 @@ let default_config =
     tester_mode = Tester.Wafer_test.Table_lookup;
     line = Ideal;
     program_style = Functional_prelude 192;
-    fsim_engine = Fsim.Coverage.Parallel }
+    fsim_engine = Fsim.Coverage.Parallel;
+    exclude_untestable = false }
 
 type run = {
   config : config;
   circuit : Circuit.Netlist.t;
   universe : Faults.Fault.t array;
+  untestable : Faults.Fault.t array;
   atpg_report : Tpg.Atpg.report;
   program : Tester.Pattern_set.t;
   defect : Fab.Defect.t;
@@ -49,6 +52,21 @@ let execute config =
   let full_universe = Faults.Universe.all circuit in
   let classes = Faults.Collapse.equivalence circuit full_universe in
   let universe = Faults.Collapse.representatives classes in
+  let untestable =
+    if not config.exclude_untestable then [||]
+    else begin
+      (* Restrict the proven set to the collapsed universe so that
+         [universe + untestable] is exactly the raw representative count. *)
+      let proven =
+        Lint.Testability.untestable_faults ~classes circuit full_universe
+      in
+      let set = Hashtbl.create (max 1 (Array.length proven)) in
+      Array.iter (fun fault -> Hashtbl.replace set fault ()) proven;
+      Array.of_list
+        (List.filter (Hashtbl.mem set) (Array.to_list universe))
+    end
+  in
+  let universe = Faults.Universe.exclude_untestable universe ~untestable in
   let atpg_report =
     Tpg.Atpg.run ~config:{ config.atpg with seed = config.seed + 1 } circuit universe
   in
@@ -91,7 +109,15 @@ let execute config =
   let outcome =
     Tester.Wafer_test.test_lot ~mode:config.tester_mode circuit universe program lot
   in
-  { config; circuit; universe; atpg_report; program; defect; lot; outcome }
+  { config; circuit; universe; untestable; atpg_report; program; defect; lot;
+    outcome }
+
+let raw_coverage run =
+  (* Coverage over the uncorrected collapsed universe: the detection
+     profile re-extended with the untestable (never-detected) faults. *)
+  let detected = Fsim.Coverage.detected_count run.program.Tester.Pattern_set.profile in
+  let raw_size = Array.length run.universe + Array.length run.untestable in
+  if raw_size = 0 then 0.0 else float_of_int detected /. float_of_int raw_size
 
 let estimation_points run ~at_coverages =
   Tester.Wafer_test.rows_at_coverages run.outcome run.program ~coverages:at_coverages
@@ -114,6 +140,13 @@ let summary run =
   addf "fault universe: %d collapsed (of %d lines x 2)\n"
     (Array.length run.universe)
     (Circuit.Netlist.line_count run.circuit);
+  if Array.length run.untestable > 0 then
+    addf
+      "lint: %d statically untestable faults excluded (raw coverage %.2f%%, \
+       corrected %.2f%%)\n"
+      (Array.length run.untestable)
+      (100.0 *. raw_coverage run)
+      (100.0 *. Tester.Pattern_set.final_coverage run.program);
   addf "test program: %d patterns (%d random + %d deterministic), coverage %.2f%%\n"
     (Tester.Pattern_set.pattern_count run.program)
     run.atpg_report.Tpg.Atpg.random_patterns

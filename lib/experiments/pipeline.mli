@@ -41,6 +41,12 @@ type config = {
       (** Engine used to grade the test program (all engines give
           identical profiles; [Par { domains }] shards the grading
           across cores). *)
+  exclude_untestable : bool;
+      (** Run the lint subsystem's static untestability analysis and
+          drop the proven-redundant faults from the working universe
+          before ATPG and grading.  This corrects the denominator of
+          Eq. 4 — redundant faults otherwise cap coverage below 1 and
+          bias the reject-rate/[n0] fits. *)
 }
 
 val default_config : config
@@ -50,7 +56,12 @@ val default_config : config
 type run = {
   config : config;
   circuit : Circuit.Netlist.t;
-  universe : Faults.Fault.t array;      (** Collapsed representatives. *)
+  universe : Faults.Fault.t array;
+      (** Collapsed representatives, minus [untestable] when
+          [config.exclude_untestable] is set. *)
+  untestable : Faults.Fault.t array;
+      (** Statically untestable representatives excluded from
+          [universe] (empty unless [config.exclude_untestable]). *)
   atpg_report : Tpg.Atpg.report;
   program : Tester.Pattern_set.t;
   defect : Fab.Defect.t;
@@ -71,6 +82,13 @@ val estimation_points :
 val true_n0 : run -> float
 (** The lot's actual mean fault count on defective chips — the value
     the estimators are trying to recover. *)
+
+val raw_coverage : run -> float
+(** Final coverage over the {e uncorrected} collapsed universe —
+    detected faults divided by [universe + untestable].  Equals
+    [Pattern_set.final_coverage run.program] when no faults were
+    excluded; strictly below it otherwise (the gap is the coverage the
+    redundant faults can never contribute). *)
 
 val true_yield : run -> float
 

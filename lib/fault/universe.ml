@@ -37,3 +37,15 @@ let stems_only (c : Circuit.Netlist.t) =
   Array.of_list !faults
 
 let count c = 2 * Circuit.Netlist.line_count c
+
+let exclude_untestable universe ~untestable =
+  if Array.length untestable = 0 then universe
+  else begin
+    let dropped = Hashtbl.create (Array.length untestable) in
+    Array.iter (fun fault -> Hashtbl.replace dropped fault ()) untestable;
+    let kept =
+      Array.to_list universe
+      |> List.filter (fun fault -> not (Hashtbl.mem dropped fault))
+    in
+    Array.of_list kept
+  end

@@ -20,3 +20,12 @@ val stems_only : Circuit.Netlist.t -> Fault.t array
 
 val count : Circuit.Netlist.t -> int
 (** [Array.length (all c)], without allocating the array. *)
+
+val exclude_untestable : Fault.t array -> untestable:Fault.t array -> Fault.t array
+(** Remove the (statically proven untestable) faults from a universe,
+    preserving order.  Redundant faults cap measured coverage below 1
+    and inflate the denominator of the paper's [f = m/N] (Eq. 4);
+    excluding them yields the corrected universe that coverage,
+    sampling and the reject-rate/[n0] fits should run on.  Faults in
+    [untestable] absent from [universe] are ignored, so the same
+    untestable set works for the full and the collapsed universe. *)

@@ -53,6 +53,24 @@ let curve p =
       running := !running + new_detections.(k + 1);
       (k + 1, float_of_int !running /. total))
 
+let excluding p ~universe ~untestable =
+  if Array.length universe <> p.universe_size then
+    invalid_arg "Coverage.excluding: universe does not match profile";
+  if Array.length untestable = 0 then p
+  else begin
+    let dropped = Hashtbl.create (Array.length untestable) in
+    Array.iter (fun fault -> Hashtbl.replace dropped fault ()) untestable;
+    let kept = ref [] in
+    Array.iteri
+      (fun i fault ->
+        if not (Hashtbl.mem dropped fault) then kept := p.first_detection.(i) :: !kept)
+      universe;
+    let first_detection = Array.of_list (List.rev !kept) in
+    { universe_size = Array.length first_detection;
+      pattern_count = p.pattern_count;
+      first_detection }
+  end
+
 let undetected p faults =
   let misses = ref [] in
   Array.iteri

@@ -43,5 +43,20 @@ val curve : profile -> (int * float) array
 (** [(k, coverage after k patterns)] for k = 1 .. pattern_count —
     exactly the simulator-supplied curve of the paper's Fig. 5 x-axis. *)
 
+val excluding :
+  profile ->
+  universe:Faults.Fault.t array ->
+  untestable:Faults.Fault.t array ->
+  profile
+(** Redundancy-corrected profile: drop the [untestable] faults (as
+    proven by the lint subsystem) from both the detection array and the
+    denominator.  [universe] must be the fault array the profile was
+    computed over — it supplies the index-to-fault mapping.  On a
+    complete test set, the corrected {!final_coverage} reaches 1.0
+    where the raw figure saturates at
+    [1 - untestable/universe_size]; feeding corrected curves to the
+    [n0] estimators removes the bias the redundant faults introduce.
+    Raises [Invalid_argument] when lengths disagree. *)
+
 val undetected : profile -> Faults.Fault.t array -> Faults.Fault.t list
 (** Faults never detected by the pattern set (redundant or hard). *)

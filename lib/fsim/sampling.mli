@@ -20,6 +20,7 @@ type estimate = {
 
 val estimate_coverage :
   ?engine:Coverage.engine ->
+  ?exclude:Faults.Fault.t array ->
   Stats.Rng.t ->
   Circuit.Netlist.t ->
   Faults.Fault.t array ->
@@ -31,4 +32,8 @@ val estimate_coverage :
     [~engine:(Coverage.Par { domains })] to grade the sample on several
     cores), and report the estimated coverage of the full universe.  If
     [sample_size >= Array.length universe] the answer is exact with a
-    zero-width interval. *)
+    zero-width interval.  [exclude] (default empty) removes statically
+    untestable faults from the universe {e before} sampling, so both the
+    draw and the reported [universe_size] refer to the
+    redundancy-corrected universe — sampling faults that no pattern can
+    detect would bias the coverage estimate low. *)

@@ -1,0 +1,70 @@
+type severity = Error | Warning | Info
+
+type t = {
+  rule : string;
+  severity : severity;
+  node : int option;
+  node_name : string;
+  message : string;
+}
+
+let make ?node (c : Circuit.Netlist.t) ~rule ~severity message =
+  let node_name =
+    match node with
+    | Some id -> c.Circuit.Netlist.node_names.(id)
+    | None -> ""
+  in
+  { rule; severity; node; node_name; message }
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let compare a b =
+  let c = Stdlib.compare (severity_rank a.severity) (severity_rank b.severity) in
+  if c <> 0 then c
+  else
+    let c = String.compare a.rule b.rule in
+    if c <> 0 then c
+    else
+      let c = Option.compare Int.compare a.node b.node in
+      if c <> 0 then c else String.compare a.message b.message
+
+let counts diagnostics =
+  List.fold_left
+    (fun (e, w, i) d ->
+      match d.severity with
+      | Error -> (e + 1, w, i)
+      | Warning -> (e, w + 1, i)
+      | Info -> (e, w, i + 1))
+    (0, 0, 0) diagnostics
+
+let render_table = function
+  | [] -> ""
+  | diagnostics ->
+    let rows =
+      List.map
+        (fun d -> [ severity_to_string d.severity; d.rule; d.node_name; d.message ])
+        diagnostics
+    in
+    Report.Table.render
+      ~aligns:[ Report.Table.Left; Report.Table.Left; Report.Table.Left;
+                Report.Table.Left ]
+      ~headers:[ "severity"; "rule"; "node"; "message" ]
+      rows
+
+let to_json d =
+  Report.Json.Obj
+    [ ("severity", Report.Json.String (severity_to_string d.severity));
+      ("rule", Report.Json.String d.rule);
+      ("node",
+       match d.node with
+       | Some id -> Report.Json.Int id
+       | None -> Report.Json.Null);
+      ("name",
+       if d.node_name = "" then Report.Json.Null
+       else Report.Json.String d.node_name);
+      ("message", Report.Json.String d.message) ]

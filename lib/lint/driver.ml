@@ -1,0 +1,157 @@
+module N = Circuit.Netlist
+module F = Faults.Fault
+
+type config = {
+  fanout_threshold : int;
+  testability : bool;
+  crosscheck : bool;
+  hard_fault_count : int;
+  hard_fault_threshold : int;
+}
+
+let default_config =
+  { fanout_threshold = 16;
+    testability = true;
+    crosscheck = true;
+    hard_fault_count = 10;
+    hard_fault_threshold = 100 }
+
+type report = {
+  circuit : N.t;
+  diagnostics : Diagnostic.t list;
+  untestable : (F.t * Testability.reason) array;
+  universe_size : int;
+  errors : int;
+  warnings : int;
+  infos : int;
+}
+
+let run ?(config = default_config) (c : N.t) =
+  let ternary = Ternary.analyze c in
+  let structural =
+    Structure.diagnostics ~fanout_threshold:config.fanout_threshold c ternary
+  in
+  let universe = Faults.Universe.all c in
+  let untestable, hard_diags =
+    if not config.testability then ([||], [])
+    else begin
+      let classes =
+        if config.crosscheck then Some (Faults.Collapse.equivalence c universe)
+        else None
+      in
+      let untestable = Testability.untestable ?classes c universe in
+      (* SCOAP hard-to-detect warnings over collapsed representatives,
+         skipping faults already proven untestable (those are not hard,
+         they are impossible). *)
+      let flagged = Hashtbl.create (Array.length untestable) in
+      Array.iter (fun (fault, _) -> Hashtbl.replace flagged fault ()) untestable;
+      let reps =
+        match classes with
+        | Some classes -> Faults.Collapse.representatives classes
+        | None -> universe
+      in
+      let scoap = Tpg.Scoap.analyze c in
+      let hard =
+        Tpg.Scoap.hardest_faults scoap c reps ~count:config.hard_fault_count
+        |> List.filter (fun (fault, difficulty) ->
+               difficulty >= config.hard_fault_threshold
+               && difficulty < Tpg.Scoap.infinite
+               && not (Hashtbl.mem flagged fault))
+        |> List.map (fun (fault, difficulty) ->
+               Diagnostic.make ~node:(F.site_node fault) c ~rule:"hard-fault"
+                 ~severity:Diagnostic.Warning
+                 (Printf.sprintf "fault %s is hard to detect (SCOAP difficulty %d)"
+                    (F.to_string c fault) difficulty))
+      in
+      (untestable, hard)
+    end
+  in
+  let untestable_diags =
+    Array.to_list untestable
+    |> List.map (fun (fault, reason) ->
+           Diagnostic.make ~node:(F.site_node fault) c ~rule:"untestable-fault"
+             ~severity:Diagnostic.Warning
+             (Printf.sprintf "stuck-at fault %s is statically untestable (%s)"
+                (F.to_string c fault)
+                (Testability.reason_to_string reason)))
+  in
+  let diagnostics =
+    List.sort Diagnostic.compare (structural @ untestable_diags @ hard_diags)
+  in
+  let errors, warnings, infos = Diagnostic.counts diagnostics in
+  { circuit = c;
+    diagnostics;
+    untestable;
+    universe_size = Array.length universe;
+    errors;
+    warnings;
+    infos }
+
+let untestable_faults report = Array.map fst report.untestable
+
+let worst_severity report =
+  if report.errors > 0 then Some Diagnostic.Error
+  else if report.warnings > 0 then Some Diagnostic.Warning
+  else if report.infos > 0 then Some Diagnostic.Info
+  else None
+
+let render_text report =
+  let buf = Buffer.create 1024 in
+  let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  addf "lint: %s\n" (Format.asprintf "%a" N.pp_summary report.circuit);
+  (match report.diagnostics with
+  | [] -> ()
+  | diagnostics ->
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf (Diagnostic.render_table diagnostics));
+  addf "\n%d error%s, %d warning%s, %d info\n" report.errors
+    (if report.errors = 1 then "" else "s")
+    report.warnings
+    (if report.warnings = 1 then "" else "s")
+    report.infos;
+  addf "untestable faults: %d of %d (universe correctable to %d)\n"
+    (Array.length report.untestable)
+    report.universe_size
+    (report.universe_size - Array.length report.untestable);
+  Buffer.contents buf
+
+let fault_json (c : N.t) (fault, reason) =
+  let site_fields =
+    match fault.F.site with
+    | F.Stem id -> [ ("site", Report.Json.String "stem"); ("node", Report.Json.Int id) ]
+    | F.Branch { gate; pin } ->
+      [ ("site", Report.Json.String "branch");
+        ("node", Report.Json.Int gate);
+        ("pin", Report.Json.Int pin) ]
+  in
+  Report.Json.Obj
+    ([ ("fault", Report.Json.String (F.to_string c fault)) ]
+    @ site_fields
+    @ [ ("polarity", Report.Json.Int (if F.polarity_bit fault.F.polarity then 1 else 0));
+        ("reason", Report.Json.String (Testability.reason_to_string reason)) ])
+
+let render_json report =
+  let c = report.circuit in
+  Report.Json.Obj
+    [ ("circuit",
+       Report.Json.Obj
+         [ ("name", Report.Json.String c.N.name);
+           ("inputs", Report.Json.Int (N.num_inputs c));
+           ("outputs", Report.Json.Int (N.num_outputs c));
+           ("gates", Report.Json.Int (N.num_gates c));
+           ("depth", Report.Json.Int (N.depth c)) ]);
+      ("diagnostics",
+       Report.Json.List (List.map Diagnostic.to_json report.diagnostics));
+      ("untestable",
+       Report.Json.List
+         (Array.to_list report.untestable |> List.map (fault_json c)));
+      ("summary",
+       Report.Json.Obj
+         [ ("errors", Report.Json.Int report.errors);
+           ("warnings", Report.Json.Int report.warnings);
+           ("infos", Report.Json.Int report.infos);
+           ("universe", Report.Json.Int report.universe_size);
+           ("untestable", Report.Json.Int (Array.length report.untestable));
+           ("corrected_universe",
+            Report.Json.Int
+              (report.universe_size - Array.length report.untestable)) ]) ]

@@ -1,0 +1,46 @@
+(** Lint driver: run every rule family over a netlist and package the
+    findings for the CLI, the test suite and the experiment pipeline.
+
+    Cyclic netlists never reach this layer — {!Circuit.Netlist.Builder}
+    and the .bench parser reject them at construction time, reporting
+    the full loop path through {!Circuit.Netlist.Cycle}. *)
+
+type config = {
+  fanout_threshold : int;   (** [excessive-fanout] bound (default 16). *)
+  testability : bool;       (** Run the untestable-fault proofs (default true). *)
+  crosscheck : bool;        (** Expand proofs through {!Faults.Collapse}
+                                equivalence classes (default true). *)
+  hard_fault_count : int;   (** Max [hard-fault] findings (default 10). *)
+  hard_fault_threshold : int;
+      (** Minimum SCOAP difficulty for a [hard-fault] warning
+          (default 100). *)
+}
+
+val default_config : config
+
+type report = {
+  circuit : Circuit.Netlist.t;
+  diagnostics : Diagnostic.t list;  (** Sorted: severity, rule, node. *)
+  untestable : (Faults.Fault.t * Testability.reason) array;
+      (** Statically proven untestable faults of {!Faults.Universe.all},
+          in universe order. *)
+  universe_size : int;              (** [|Universe.all|] for context. *)
+  errors : int;
+  warnings : int;
+  infos : int;
+}
+
+val run : ?config:config -> Circuit.Netlist.t -> report
+
+val untestable_faults : report -> Faults.Fault.t array
+(** The proven-untestable faults alone — ready for
+    {!Faults.Universe.exclude_untestable}. *)
+
+val render_text : report -> string
+(** Human-readable report: circuit summary, findings table, totals. *)
+
+val render_json : report -> Report.Json.t
+(** Machine-readable report with the same content plus fault details. *)
+
+val worst_severity : report -> Diagnostic.severity option
+(** Most urgent severity present, [None] for a clean report. *)

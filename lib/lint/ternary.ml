@@ -1,0 +1,120 @@
+type value = Const of bool | Lit of { src : int; inv : bool }
+
+type t = value array
+
+(* The freed line of [analyze_with_cut]: a literal equal to no net. *)
+let free_src = -1
+
+let negate = function
+  | Const b -> Const (not b)
+  | Lit { src; inv } -> Lit { src; inv = not inv }
+
+(* AND-reduction of abstract values; [None] = not reducible.  The dual
+   gates go through De Morgan below so the absorption logic lives in one
+   place. *)
+let and_fold values =
+  let exception Annihilated in
+  try
+    (* Keep one entry per literal source; a source seen with both
+       inversions is x AND (NOT x) = 0. *)
+    let literals = Hashtbl.create 4 in
+    let order = ref [] in
+    Array.iter
+      (fun v ->
+        match v with
+        | Const false -> raise Annihilated
+        | Const true -> ()
+        | Lit { src; inv } ->
+          (match Hashtbl.find_opt literals src with
+          | None ->
+            Hashtbl.add literals src inv;
+            order := (src, inv) :: !order
+          | Some prior -> if prior <> inv then raise Annihilated))
+      values;
+    match !order with
+    | [] -> Some (Const true)
+    | [ (src, inv) ] -> Some (Lit { src; inv })
+    | _ :: _ :: _ -> None
+  with Annihilated -> Some (Const false)
+
+let or_fold values =
+  Option.map negate (and_fold (Array.map negate values))
+
+(* XOR-reduction: each literal is src XOR inv, so pairs of equal
+   sources cancel and the inversions fold into the constant bit. *)
+let xor_fold values =
+  let bit = ref false in
+  let parity = Hashtbl.create 4 in
+  let order = ref [] in
+  Array.iter
+    (fun v ->
+      match v with
+      | Const b -> if b then bit := not !bit
+      | Lit { src; inv } ->
+        if inv then bit := not !bit;
+        (match Hashtbl.find_opt parity src with
+        | None ->
+          Hashtbl.add parity src true;
+          order := src :: !order
+        | Some odd -> Hashtbl.replace parity src (not odd)))
+    values;
+  let odd_srcs =
+    List.rev !order |> List.filter (fun src -> Hashtbl.find parity src)
+  in
+  match odd_srcs with
+  | [] -> Some (Const !bit)
+  | [ src ] -> Some (Lit { src; inv = !bit })
+  | _ :: _ :: _ -> None
+
+let analyze_internal (c : Circuit.Netlist.t) ~cut =
+  let n = Circuit.Netlist.num_nodes c in
+  let values = Array.make n (Const false) in
+  let cut_stem, cut_gate, cut_pin =
+    match cut with
+    | None -> (-1, -1, -1)
+    | Some (Faults.Fault.Stem s) -> (s, -1, -1)
+    | Some (Faults.Fault.Branch { gate; pin }) -> (-1, gate, pin)
+  in
+  Array.iter
+    (fun id ->
+      let pin_val pin =
+        if id = cut_gate && pin = cut_pin then
+          Lit { src = free_src; inv = false }
+        else values.(c.Circuit.Netlist.fanins.(id).(pin))
+      in
+      let all_pins () =
+        Array.init (Array.length c.Circuit.Netlist.fanins.(id)) pin_val
+      in
+      let reduced =
+        if id = cut_stem then None
+        else
+          match c.Circuit.Netlist.kinds.(id) with
+          | Circuit.Gate.Input -> None
+          | Circuit.Gate.Const0 -> Some (Const false)
+          | Circuit.Gate.Const1 -> Some (Const true)
+          | Circuit.Gate.Buf -> Some (pin_val 0)
+          | Circuit.Gate.Not -> Some (negate (pin_val 0))
+          | Circuit.Gate.And -> and_fold (all_pins ())
+          | Circuit.Gate.Nand -> Option.map negate (and_fold (all_pins ()))
+          | Circuit.Gate.Or -> or_fold (all_pins ())
+          | Circuit.Gate.Nor -> Option.map negate (or_fold (all_pins ()))
+          | Circuit.Gate.Xor -> xor_fold (all_pins ())
+          | Circuit.Gate.Xnor -> Option.map negate (xor_fold (all_pins ()))
+      in
+      values.(id) <-
+        (match reduced with
+        | Some v -> v
+        | None -> Lit { src = id; inv = false }))
+    c.Circuit.Netlist.topo_order;
+  values
+
+let analyze c = analyze_internal c ~cut:None
+
+let analyze_with_cut c site = analyze_internal c ~cut:(Some site)
+
+let value t id = t.(id)
+
+let const_value t id = match t.(id) with Const b -> Some b | Lit _ -> None
+
+let pin_value (c : Circuit.Netlist.t) t ~gate ~pin =
+  t.(c.Circuit.Netlist.fanins.(gate).(pin))

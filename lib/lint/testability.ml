@@ -1,0 +1,101 @@
+module N = Circuit.Netlist
+module F = Faults.Fault
+
+type reason = Unexcitable | Unobservable | Equivalent
+
+let reason_to_string = function
+  | Unexcitable -> "unexcitable"
+  | Unobservable -> "unobservable"
+  | Equivalent -> "equivalent"
+
+let not_const ternary id =
+  match Ternary.const_value ternary id with Some _ -> false | None -> true
+
+(* Sound per-fault unobservability proof: cut the fault line, then
+   forward-propagate "these two machines could differ here".  A net can
+   differ only if some fanin differs and the net is not provably
+   constant under the cut (cut constants hold in both machines). *)
+let prove_unobservable (c : N.t) site =
+  let tf = Ternary.analyze_with_cut c site in
+  let n = N.num_nodes c in
+  let diff = Array.make n false in
+  (match site with
+  | F.Stem s -> diff.(s) <- not_const tf s
+  | F.Branch { gate; pin = _ } -> diff.(gate) <- not_const tf gate);
+  Array.iter
+    (fun id ->
+      if (not diff.(id)) && not_const tf id then
+        diff.(id) <- Array.exists (fun src -> diff.(src)) c.N.fanins.(id))
+    c.N.topo_order;
+  not (Array.exists (fun o -> diff.(o)) c.N.outputs)
+
+let analyze ?classes (c : N.t) universe =
+  let t0 = Ternary.analyze c in
+  (* Global filter: a stem is worth a per-fault proof only if no
+     all-nonconstant path links it to an output.  The cut analysis
+     derives a subset of the intact circuit's constants, so it blocks
+     strictly less; any fault passing this filter would pass the cut
+     proof too, making the filter lossless. *)
+  let n = N.num_nodes c in
+  let obs = Array.make n false in
+  for i = Array.length c.N.topo_order - 1 downto 0 do
+    let id = c.N.topo_order.(i) in
+    obs.(id) <-
+      N.is_output c id
+      || Array.exists (fun g -> obs.(g) && not_const t0 g) c.N.fanouts.(id)
+  done;
+  let verdict fault =
+    let stuck = F.polarity_bit fault.F.polarity in
+    let line_value =
+      match fault.F.site with
+      | F.Stem s -> Ternary.value t0 s
+      | F.Branch { gate; pin } -> Ternary.pin_value c t0 ~gate ~pin
+    in
+    match line_value with
+    | Ternary.Const v when v = stuck -> Some Unexcitable
+    | Ternary.Const _ | Ternary.Lit _ ->
+      let globally_observable =
+        match fault.F.site with
+        | F.Stem s -> obs.(s)
+        | F.Branch { gate; pin = _ } -> obs.(gate) && not_const t0 gate
+      in
+      if globally_observable then None
+      else if prove_unobservable c fault.F.site then Some Unobservable
+      else None
+  in
+  let verdicts = Array.map verdict universe in
+  (match classes with
+  | None -> ()
+  | Some classes ->
+    (* Equivalent faults have identical detection sets, so one member's
+       untestability proof covers the whole class. *)
+    let flagged_class = Hashtbl.create 16 in
+    Array.iteri
+      (fun i fault ->
+        if verdicts.(i) <> None then
+          match Faults.Collapse.class_of classes fault with
+          | cls -> Hashtbl.replace flagged_class cls ()
+          | exception Not_found -> ())
+      universe;
+    Array.iteri
+      (fun i fault ->
+        if verdicts.(i) = None then
+          match Faults.Collapse.class_of classes fault with
+          | cls -> if Hashtbl.mem flagged_class cls then verdicts.(i) <- Some Equivalent
+          | exception Not_found -> ())
+      universe);
+  verdicts
+
+let untestable ?classes c universe =
+  let verdicts = analyze ?classes c universe in
+  let flagged = ref [] in
+  Array.iteri
+    (fun i fault ->
+      match verdicts.(i) with
+      | Some reason -> flagged := (fault, reason) :: !flagged
+      | None -> ())
+    universe;
+  Array.of_list (List.rev !flagged)
+
+let untestable_faults ?classes c universe =
+  Array.map fst (untestable ?classes c universe)

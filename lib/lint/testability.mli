@@ -1,0 +1,57 @@
+(** Static untestability proofs for stuck-at faults.
+
+    A stuck-at fault is {e untestable} (redundant) when no input vector
+    both excites it and propagates its effect to a primary output.
+    Untestable faults inflate the fault universe [N] of the paper's
+    coverage fraction [f = m/N] (Eq. 4): no test set can ever reach
+    [f = 1] on a universe containing them, which biases the escape
+    model [(1-f)^n] (Eq. 5) and every reject-rate figure and [n0] fit
+    built on it.  This module proves faults untestable {e before}
+    simulation so the universe can be corrected.
+
+    Everything flagged is a {e proof}, not a heuristic:
+
+    - {b Unexcitable}: the line is provably constant (by
+      {!Ternary.analyze} on the intact circuit) at the stuck value, so
+      the faulty machine is the fault-free machine.
+    - {b Unobservable}: with the fault line cut ({!Ternary.analyze_with_cut}
+      — every derived constant then holds regardless of the line's
+      value, faulted or not), no difference can reach a primary output:
+      a net can only differ between the two machines if some fanin
+      differs and the net is not provably constant under the cut.
+      The cut is what keeps the proof sound under reconvergent fanout —
+      a constant whose derivation passes through the fault site is
+      never used to block the fault's own propagation.
+    - {b Equivalent}: the fault shares a {!Faults.Collapse} equivalence
+      class (identical detection sets by construction) with a fault
+      proved untestable above.
+
+    The analysis is deliberately one-sided: a [None] verdict means
+    "not provably untestable", never "testable".  The test suite
+    cross-checks soundness by exhaustive simulation on small
+    circuits. *)
+
+type reason = Unexcitable | Unobservable | Equivalent
+
+val reason_to_string : reason -> string
+(** ["unexcitable"], ["unobservable"] or ["equivalent"]. *)
+
+val analyze :
+  ?classes:Faults.Collapse.t ->
+  Circuit.Netlist.t -> Faults.Fault.t array -> reason option array
+(** Per-fault verdicts, indexed like the universe.  When [classes]
+    (equivalence classes over the {e same} universe) is supplied, every
+    class containing a proven-untestable fault has its remaining
+    members flagged [Equivalent]. *)
+
+val untestable :
+  ?classes:Faults.Collapse.t ->
+  Circuit.Netlist.t -> Faults.Fault.t array ->
+  (Faults.Fault.t * reason) array
+(** The flagged subset of the universe, in universe order. *)
+
+val untestable_faults :
+  ?classes:Faults.Collapse.t ->
+  Circuit.Netlist.t -> Faults.Fault.t array -> Faults.Fault.t array
+(** {!untestable} without the reasons — the argument
+    {!Faults.Universe.exclude_untestable} expects. *)

@@ -1,0 +1,81 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape_into buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let float_into buf f =
+  match Float.classify_float f with
+  | Float.FP_nan | Float.FP_infinite -> Buffer.add_string buf "null"
+  | Float.FP_zero | Float.FP_normal | Float.FP_subnormal ->
+    let s = Printf.sprintf "%.12g" f in
+    Buffer.add_string buf s;
+    (* "%.12g" prints integral doubles without a '.'; restore it so the
+       value parses back as a double, not an int. *)
+    if not (String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s) then
+      Buffer.add_string buf ".0"
+
+let serialize ~indent value =
+  let buf = Buffer.create 256 in
+  let pad depth =
+    if indent then begin
+      Buffer.add_char buf '\n';
+      for _ = 1 to 2 * depth do Buffer.add_char buf ' ' done
+    end
+  in
+  let rec emit depth = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f -> float_into buf f
+    | String s -> escape_into buf s
+    | List [] -> Buffer.add_string buf "[]"
+    | List items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          pad (depth + 1);
+          emit (depth + 1) item)
+        items;
+      pad depth;
+      Buffer.add_char buf ']'
+    | Obj [] -> Buffer.add_string buf "{}"
+    | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (key, item) ->
+          if i > 0 then Buffer.add_char buf ',';
+          pad (depth + 1);
+          escape_into buf key;
+          Buffer.add_char buf ':';
+          if indent then Buffer.add_char buf ' ';
+          emit (depth + 1) item)
+        fields;
+      pad depth;
+      Buffer.add_char buf '}'
+  in
+  emit 0 value;
+  Buffer.contents buf
+
+let to_string value = serialize ~indent:false value
+let to_string_pretty value = serialize ~indent:true value

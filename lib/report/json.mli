@@ -1,0 +1,24 @@
+(** Minimal JSON emitter for machine-readable tool output.
+
+    The toolkit deliberately carries no third-party JSON dependency;
+    this covers the subset the reporting layers need: building a value
+    and serialising it with correct string escaping and round-trippable
+    numbers.  There is no parser — consumers of our output are external
+    tools. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact single-line serialisation.  Strings are escaped per RFC
+    8259; non-finite floats serialise as [null]; finite floats always
+    contain a ['.'] or exponent so they parse back as doubles. *)
+
+val to_string_pretty : t -> string
+(** Two-space indented serialisation, for human consumption. *)
