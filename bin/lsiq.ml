@@ -48,6 +48,61 @@ let circuit_arg =
   Arg.(value & opt Circuit_arg.conv (Circuit.Generators.c17 ()) &
        info [ "c"; "circuit" ] ~docv:"CIRCUIT" ~doc)
 
+(* ------------------------- observability --------------------------- *)
+
+let trace_arg =
+  let doc =
+    "Record a span trace of the run and write it to $(docv) as Chrome \
+     trace-event JSON (open in chrome://tracing or Perfetto); an ASCII \
+     summary tree goes to stderr."
+  in
+  let env = Cmd.Env.info "LSIQ_TRACE" ~doc:"Fallback trace file when --trace is absent." in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~env ~doc)
+
+let metrics_arg =
+  let doc =
+    "Collect metrics (counters, gauges, histograms; patterns/sec, shard \
+     imbalance, GC deltas) during the run and dump them to stderr at exit."
+  in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+(* Enable the obs subsystem around [f], then emit: the Chrome trace to
+   the requested file (summary tree to stderr), metrics text to stderr.
+   All obs output is status, never data — stdout stays pipe-clean. *)
+let with_obs ~trace ~metrics f =
+  if trace = None && not metrics then f ()
+  else begin
+    if trace <> None then begin
+      Obs.Trace.reset ();
+      Obs.Trace.set_enabled true
+    end;
+    if metrics then begin
+      Obs.Metrics.reset ();
+      Obs.Metrics.set_enabled true
+    end;
+    let finish () =
+      Obs.Trace.set_enabled false;
+      Obs.Metrics.set_enabled false;
+      (match trace with
+      | Some path ->
+        let oc = open_out path in
+        output_string oc
+          (Report.Json.to_string_pretty (Obs.Trace.to_chrome_json ()));
+        output_char oc '\n';
+        close_out oc;
+        Printf.eprintf "trace: wrote %s (%d spans)\n" path
+          (List.length (Obs.Trace.spans ()));
+        prerr_string (Obs.Trace.summary_tree ())
+      | None -> ());
+      if metrics then begin
+        prerr_newline ();
+        prerr_string (Obs.Metrics.render_text ())
+      end;
+      flush stderr
+    in
+    Fun.protect ~finally:finish f
+  end
+
 (* --------------------------- reject-rate --------------------------- *)
 
 let reject_rate_cmd =
@@ -154,7 +209,8 @@ let simulate_lot_cmd =
                  denominator.")
   in
   let action scale chips target_yield n0 clustered exclude_untestable seed
-      domains =
+      domains trace metrics =
+    with_obs ~trace ~metrics @@ fun () ->
     let config =
       { Experiments.Pipeline.default_config with
         Experiments.Pipeline.scale; lot_size = chips; target_yield;
@@ -174,7 +230,8 @@ let simulate_lot_cmd =
   let doc = "Simulate a chip lot end-to-end and print its Table-1 analogue." in
   Cmd.v (Cmd.info "simulate-lot" ~doc)
     Term.(const action $ scale $ chips $ target_yield $ n0_arg $ clustered
-          $ exclude_untestable $ seed_arg $ domains_arg)
+          $ exclude_untestable $ seed_arg $ domains_arg $ trace_arg
+          $ metrics_arg)
 
 (* ------------------------------ fsim ------------------------------- *)
 
@@ -191,7 +248,13 @@ let fsim_cmd =
            Fsim.Coverage.Parallel
          & info [ "engine" ] ~docv:"ENGINE" ~doc:"serial, ppsfp, deductive or concurrent.")
   in
-  let action circuit count engine seed domains =
+  let csv =
+    Arg.(value & flag & info [ "csv" ]
+           ~doc:"Emit the coverage curve as CSV (patterns, coverage) on \
+                 stdout; status text goes to stderr.")
+  in
+  let action circuit count engine seed domains csv trace metrics =
+    with_obs ~trace ~metrics @@ fun () ->
     let engine =
       match domains with
       | Some n -> Fsim.Coverage.Par { domains = n }
@@ -203,26 +266,38 @@ let fsim_cmd =
     let reps = Faults.Collapse.representatives classes in
     let patterns = Tpg.Random_tpg.uniform rng circuit ~count in
     let profile = Fsim.Coverage.profile ~engine circuit reps patterns in
-    Format.printf "%a@." Circuit.Netlist.pp_summary circuit;
-    Printf.printf "universe: %d faults (%d after collapsing, ratio %.2f)\n"
+    (* Progress/status on stderr; only the results on stdout, so
+       `--csv` output pipes clean. *)
+    Format.eprintf "%a@." Circuit.Netlist.pp_summary circuit;
+    Printf.eprintf "universe: %d faults (%d after collapsing, ratio %.2f)\n"
       (Array.length universe) (Array.length reps)
       (Faults.Collapse.collapse_ratio classes);
-    Printf.printf "patterns: %d random\n" count;
-    Printf.printf "coverage: %.2f%% (%d detected, %d undetected)\n"
-      (100.0 *. Fsim.Coverage.final_coverage profile)
-      (Fsim.Coverage.detected_count profile)
-      (Array.length reps - Fsim.Coverage.detected_count profile);
+    Printf.eprintf "patterns: %d random\n%!" count;
     let curve = Fsim.Coverage.curve profile in
-    let step = max 1 (Array.length curve / 16) in
-    Array.iteri
-      (fun i (k, f) ->
-        if i mod step = 0 || i = Array.length curve - 1 then
-          Printf.printf "  after %5d patterns: %.2f%%\n" k (100.0 *. f))
-      curve
+    if csv then
+      print_string
+        (Report.Csv.of_rows
+           ([ "patterns"; "coverage" ]
+           :: (Array.to_list curve
+              |> List.map (fun (k, f) ->
+                     [ string_of_int k; Printf.sprintf "%.6f" f ]))))
+    else begin
+      Printf.printf "coverage: %.2f%% (%d detected, %d undetected)\n"
+        (100.0 *. Fsim.Coverage.final_coverage profile)
+        (Fsim.Coverage.detected_count profile)
+        (Array.length reps - Fsim.Coverage.detected_count profile);
+      let step = max 1 (Array.length curve / 16) in
+      Array.iteri
+        (fun i (k, f) ->
+          if i mod step = 0 || i = Array.length curve - 1 then
+            Printf.printf "  after %5d patterns: %.2f%%\n" k (100.0 *. f))
+        curve
+    end
   in
   let doc = "Fault-simulate random patterns and print the coverage curve." in
   Cmd.v (Cmd.info "fsim" ~doc)
-    Term.(const action $ circuit_arg $ patterns $ engine $ seed_arg $ domains_arg)
+    Term.(const action $ circuit_arg $ patterns $ engine $ seed_arg
+          $ domains_arg $ csv $ trace_arg $ metrics_arg)
 
 (* ------------------------------ atpg ------------------------------- *)
 
@@ -231,13 +306,14 @@ let atpg_cmd =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
            ~doc:"Write generated patterns (one 0/1 row per pattern) to FILE.")
   in
-  let action circuit out seed =
+  let action circuit out seed trace metrics =
+    with_obs ~trace ~metrics @@ fun () ->
     let universe = Faults.Universe.all circuit in
     let classes = Faults.Collapse.equivalence circuit universe in
     let reps = Faults.Collapse.representatives classes in
     let config = { Tpg.Atpg.default_config with Tpg.Atpg.seed } in
     let report = Tpg.Atpg.run ~config circuit reps in
-    Format.printf "%a@." Circuit.Netlist.pp_summary circuit;
+    Format.eprintf "%a@." Circuit.Netlist.pp_summary circuit;
     Printf.printf "faults: %d collapsed\n" (Array.length reps);
     Printf.printf "patterns: %d (%d random + %d deterministic)\n"
       (Array.length report.Tpg.Atpg.patterns) report.Tpg.Atpg.random_patterns
@@ -255,10 +331,11 @@ let atpg_cmd =
           output_char oc '\n')
         report.Tpg.Atpg.patterns;
       close_out oc;
-      Printf.printf "patterns written to %s\n" path
+      Printf.eprintf "patterns written to %s\n" path
   in
   let doc = "Generate a test set (random + PODEM) for a circuit." in
-  Cmd.v (Cmd.info "atpg" ~doc) Term.(const action $ circuit_arg $ out $ seed_arg)
+  Cmd.v (Cmd.info "atpg" ~doc)
+    Term.(const action $ circuit_arg $ out $ seed_arg $ trace_arg $ metrics_arg)
 
 (* ------------------------------ convert ----------------------------- *)
 
@@ -272,16 +349,16 @@ let convert_cmd =
            ~doc:"Write the netlist as structural Verilog.")
   in
   let action circuit bench_out verilog_out =
-    Format.printf "%a@." Circuit.Netlist.pp_summary circuit;
+    Format.eprintf "%a@." Circuit.Netlist.pp_summary circuit;
     (match bench_out with
     | Some path ->
       Circuit.Bench_format.write_file path circuit;
-      Printf.printf "wrote %s\n" path
+      Printf.eprintf "wrote %s\n" path
     | None -> ());
     match verilog_out with
     | Some path ->
       Circuit.Verilog.write_file path circuit;
-      Printf.printf "wrote %s\n" path
+      Printf.eprintf "wrote %s\n" path
     | None -> ()
   in
   let doc = "Convert a circuit between generator specs, .bench and Verilog." in
@@ -447,16 +524,21 @@ let lint_cmd =
            ~doc:"Skip the untestable-fault and SCOAP analyses; report only \
                  structural rules.")
   in
-  let action circuit json fail_on fanout_threshold structural_only =
-    let config =
-      { Lint.Driver.default_config with
-        Lint.Driver.fanout_threshold; testability = not structural_only }
-    in
-    let report = Lint.Driver.run ~config circuit in
-    if json then
-      print_endline (Report.Json.to_string_pretty (Lint.Driver.render_json report))
-    else print_string (Lint.Driver.render_text report);
+  let action circuit json fail_on fanout_threshold structural_only trace
+      metrics =
+    (* [exit] must happen outside [with_obs]: it does not unwind the
+       stack, so the trace file would never be written. *)
     let trip =
+      with_obs ~trace ~metrics @@ fun () ->
+      let config =
+        { Lint.Driver.default_config with
+          Lint.Driver.fanout_threshold; testability = not structural_only }
+      in
+      let report = Lint.Driver.run ~config circuit in
+      if json then
+        print_endline
+          (Report.Json.to_string_pretty (Lint.Driver.render_json report))
+      else print_string (Lint.Driver.render_text report);
       match fail_on with
       | `Never -> false
       | `Error -> report.Lint.Driver.errors > 0
@@ -471,46 +553,71 @@ let lint_cmd =
   in
   Cmd.v (Cmd.info "lint" ~doc)
     Term.(const action $ circuit_arg $ json $ fail_on $ fanout_threshold
-          $ structural_only)
+          $ structural_only $ trace_arg $ metrics_arg)
 
 (* --------------------------- experiments --------------------------- *)
 
 let experiments_cmd =
   let target =
     Arg.(value & pos 0 string "comparison" & info [] ~docv:"TARGET"
-           ~doc:"fig1 fig2 fig3 fig4 fig5 fig6 table1 comparison fineline \
-                 ablation economics drift.")
+           ~doc:"fig1 fig2 fig3 fig4 fig5 fig6 table1 pipeline comparison \
+                 fineline ablation economics drift.")
   in
-  let action target =
+  let action target seed domains trace metrics =
+    (* `exit 2` on an unknown target must not skip with_obs's finaliser. *)
     let output =
+      with_obs ~trace ~metrics @@ fun () ->
       match target with
-      | "fig1" -> Experiments.Fig1.render ()
-      | "fig2" -> Experiments.Fig2_3_4.render_figure ~name:"Fig.2" ~reject:0.01
-      | "fig3" -> Experiments.Fig2_3_4.render_figure ~name:"Fig.3" ~reject:0.005
-      | "fig4" -> Experiments.Fig2_3_4.render_figure ~name:"Fig.4" ~reject:0.001
+      | "fig1" -> Some (Experiments.Fig1.render ())
+      | "fig2" ->
+        Some (Experiments.Fig2_3_4.render_figure ~name:"Fig.2" ~reject:0.01)
+      | "fig3" ->
+        Some (Experiments.Fig2_3_4.render_figure ~name:"Fig.3" ~reject:0.005)
+      | "fig4" ->
+        Some (Experiments.Fig2_3_4.render_figure ~name:"Fig.4" ~reject:0.001)
       | "fig5" ->
         let run = Experiments.Pipeline.execute Experiments.Pipeline.default_config in
-        Experiments.Fig5.render ~run ()
-      | "fig6" -> Experiments.Fig6.render ()
+        Some (Experiments.Fig5.render ~run ())
+      | "fig6" -> Some (Experiments.Fig6.render ())
       | "table1" ->
         let run = Experiments.Pipeline.execute Experiments.Pipeline.default_config in
-        Experiments.Table1.render ~run ()
-      | "comparison" -> Experiments.Comparison.render ()
-      | "fineline" -> Experiments.Fineline.render ()
-      | "ablation" -> Experiments.Ablation.render ()
-      | "economics" -> Experiments.Economics_study.render ()
-      | "drift" -> Experiments.Drift.render ()
+        Some (Experiments.Table1.render ~run ())
+      | "pipeline" ->
+        (* The end-to-end simulate-lot pipeline with the multicore
+           fault-simulation engine, so a trace shows every stage
+           boundary and each Fsim.Par domain shard. *)
+        let config =
+          { Experiments.Pipeline.default_config with
+            Experiments.Pipeline.seed;
+            fsim_engine =
+              Fsim.Coverage.Par
+                { domains = (match domains with Some n -> n | None -> 2) } }
+        in
+        let run = Experiments.Pipeline.execute config in
+        Some
+          (Experiments.Pipeline.summary run ^ "\n"
+          ^ Experiments.Table1.render ~run ())
+      | "comparison" -> Some (Experiments.Comparison.render ())
+      | "fineline" -> Some (Experiments.Fineline.render ())
+      | "ablation" -> Some (Experiments.Ablation.render ())
+      | "economics" -> Some (Experiments.Economics_study.render ())
+      | "drift" -> Some (Experiments.Drift.render ())
       | other ->
         Printf.eprintf
           "lsiq: unknown experiment %S\nvalid targets: fig1 fig2 fig3 fig4 \
-           fig5 fig6 table1 comparison fineline ablation economics drift\n"
+           fig5 fig6 table1 pipeline comparison fineline ablation economics \
+           drift\n"
           other;
-        exit 2
+        None
     in
-    print_string output
+    match output with
+    | Some text -> print_string text
+    | None -> exit 2
   in
   let doc = "Regenerate one of the paper's figures or tables." in
-  Cmd.v (Cmd.info "experiments" ~doc) Term.(const action $ target)
+  Cmd.v (Cmd.info "experiments" ~doc)
+    Term.(const action $ target $ seed_arg $ domains_arg $ trace_arg
+          $ metrics_arg)
 
 (* ------------------------------ wafer ------------------------------ *)
 

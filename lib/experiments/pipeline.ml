@@ -48,29 +48,47 @@ let calibrated_multiplicity config ~lambda =
   max 1.0 (config.target_n0 *. (1.0 -. config.target_yield) /. lambda)
 
 let execute config =
-  let circuit = Circuit.Generators.lsi_chip ~seed:config.seed ~scale:config.scale () in
-  let full_universe = Faults.Universe.all circuit in
-  let classes = Faults.Collapse.equivalence circuit full_universe in
-  let universe = Faults.Collapse.representatives classes in
+  (* Every stage boundary is a span, so a trace of [execute] shows
+     exactly where a simulate-lot run spends its time; the GC delta of
+     the whole run lands in the [pipeline.*] gauges. *)
+  Obs.Metrics.with_gc_delta "pipeline" @@ fun () ->
+  Obs.Trace.with_span "pipeline.execute" @@ fun () ->
+  let circuit =
+    Obs.Trace.with_span "pipeline.circuit" (fun () ->
+        Circuit.Generators.lsi_chip ~seed:config.seed ~scale:config.scale ())
+  in
+  Obs.Trace.add_int "gates" (Circuit.Netlist.num_gates circuit);
+  let full_universe, classes, universe =
+    Obs.Trace.with_span "pipeline.collapse" (fun () ->
+        let full_universe = Faults.Universe.all circuit in
+        let classes = Faults.Collapse.equivalence circuit full_universe in
+        (full_universe, classes, Faults.Collapse.representatives classes))
+  in
   let untestable =
     if not config.exclude_untestable then [||]
-    else begin
-      (* Restrict the proven set to the collapsed universe so that
-         [universe + untestable] is exactly the raw representative count. *)
-      let proven =
-        Lint.Testability.untestable_faults ~classes circuit full_universe
-      in
-      let set = Hashtbl.create (max 1 (Array.length proven)) in
-      Array.iter (fun fault -> Hashtbl.replace set fault ()) proven;
-      Array.of_list
-        (List.filter (Hashtbl.mem set) (Array.to_list universe))
-    end
+    else
+      Obs.Trace.with_span "pipeline.lint" (fun () ->
+          (* Restrict the proven set to the collapsed universe so that
+             [universe + untestable] is exactly the raw representative
+             count. *)
+          let proven =
+            Lint.Testability.untestable_faults ~classes circuit full_universe
+          in
+          let set = Hashtbl.create (max 1 (Array.length proven)) in
+          Array.iter (fun fault -> Hashtbl.replace set fault ()) proven;
+          Array.of_list
+            (List.filter (Hashtbl.mem set) (Array.to_list universe)))
   in
   let universe = Faults.Universe.exclude_untestable universe ~untestable in
+  Obs.Trace.add_int "faults" (Array.length universe);
   let atpg_report =
-    Tpg.Atpg.run ~config:{ config.atpg with seed = config.seed + 1 } circuit universe
+    Obs.Trace.with_span "pipeline.atpg" (fun () ->
+        Tpg.Atpg.run
+          ~config:{ config.atpg with seed = config.seed + 1 }
+          circuit universe)
   in
   let program =
+    Obs.Trace.with_span "pipeline.program" @@ fun () ->
     match config.program_style with
     | Atpg_only ->
       Tester.Pattern_set.make atpg_report.Tpg.Atpg.patterns
@@ -84,30 +102,36 @@ let execute config =
       Tester.Pattern_set.of_simulation ~engine:config.fsim_engine circuit universe
         combined
   in
-  let defect_density =
-    Fab.Yield_model.solve_defect_density ~target_yield:config.target_yield
-      ~area:1.0 ~variance_ratio:config.variance_ratio
-  in
-  let yield_model =
-    Fab.Yield_model.create ~defect_density ~area:1.0
-      ~variance_ratio:config.variance_ratio
-  in
-  let lambda = Fab.Yield_model.lambda yield_model in
+  Obs.Trace.add_int "patterns" (Tester.Pattern_set.pattern_count program);
   let defect =
+    Obs.Trace.with_span "pipeline.fab" @@ fun () ->
+    let defect_density =
+      Fab.Yield_model.solve_defect_density ~target_yield:config.target_yield
+        ~area:1.0 ~variance_ratio:config.variance_ratio
+    in
+    let yield_model =
+      Fab.Yield_model.create ~defect_density ~area:1.0
+        ~variance_ratio:config.variance_ratio
+    in
+    let lambda = Fab.Yield_model.lambda yield_model in
     Fab.Defect.create ~yield_model
       ~fault_multiplicity:(calibrated_multiplicity config ~lambda)
       ~universe_size:(Array.length universe) ()
   in
-  let rng = Stats.Rng.create ~seed:(config.seed + 2) () in
   let lot =
+    Obs.Trace.with_span "pipeline.lot" @@ fun () ->
+    let rng = Stats.Rng.create ~seed:(config.seed + 2) () in
     match config.line with
     | Clustered -> Fab.Lot.manufacture defect rng ~count:config.lot_size
     | Ideal ->
       Fab.Lot.manufacture_ideal ~yield_:config.target_yield ~n0:config.target_n0
         ~universe_size:(Array.length universe) rng ~count:config.lot_size
   in
+  Obs.Trace.add_int "chips" (Fab.Lot.size lot);
   let outcome =
-    Tester.Wafer_test.test_lot ~mode:config.tester_mode circuit universe program lot
+    Obs.Trace.with_span "pipeline.test" (fun () ->
+        Tester.Wafer_test.test_lot ~mode:config.tester_mode circuit universe
+          program lot)
   in
   { config; circuit; universe; untestable; atpg_report; program; defect; lot;
     outcome }

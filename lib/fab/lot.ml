@@ -2,13 +2,28 @@ type chip = { chip_id : int; fault_indices : int array }
 
 type t = { chips : chip array; universe_size : int }
 
+let record_lot_stats t =
+  Obs.Trace.add_int "chips" (Array.length t.chips);
+  let defective =
+    Array.fold_left
+      (fun acc chip -> if Array.length chip.fault_indices > 0 then acc + 1 else acc)
+      0 t.chips
+  in
+  Obs.Trace.add_int "defective" defective;
+  if Obs.Metrics.enabled () then begin
+    Obs.Metrics.incr ~by:(float_of_int (Array.length t.chips)) "fab.lot.chips";
+    Obs.Metrics.incr ~by:(float_of_int defective) "fab.lot.defective"
+  end;
+  t
+
 let manufacture defect rng ~count =
   if count <= 0 then invalid_arg "Lot.manufacture: nonpositive lot size";
+  Obs.Trace.with_span "fab.lot.manufacture" @@ fun () ->
   let chips =
     Array.init count (fun chip_id ->
         { chip_id; fault_indices = Defect.sample_chip defect rng })
   in
-  { chips; universe_size = Defect.universe_size defect }
+  record_lot_stats { chips; universe_size = Defect.universe_size defect }
 
 let manufacture_ideal ~yield_ ~n0 ~universe_size rng ~count =
   if count <= 0 then invalid_arg "Lot.manufacture_ideal: nonpositive lot size";
@@ -16,6 +31,7 @@ let manufacture_ideal ~yield_ ~n0 ~universe_size rng ~count =
     invalid_arg "Lot.manufacture_ideal: yield outside [0,1]";
   if n0 < 1.0 then invalid_arg "Lot.manufacture_ideal: n0 must be >= 1";
   if universe_size <= 0 then invalid_arg "Lot.manufacture_ideal: empty universe";
+  Obs.Trace.with_span "fab.lot.manufacture_ideal" @@ fun () ->
   let chips =
     Array.init count (fun chip_id ->
         let fault_indices =
@@ -29,7 +45,7 @@ let manufacture_ideal ~yield_ ~n0 ~universe_size rng ~count =
         in
         { chip_id; fault_indices })
   in
-  { chips; universe_size }
+  record_lot_stats { chips; universe_size }
 
 let size t = Array.length t.chips
 

@@ -64,6 +64,9 @@ let propagate st =
   done
 
 let run (c : Circuit.Netlist.t) faults patterns =
+  Instrument.engine_run ~engine:"concurrent" ~faults:(Array.length faults)
+    ~patterns:(Array.length patterns)
+  @@ fun () ->
   let num_nodes = Circuit.Netlist.num_nodes c in
   let st =
     { circuit = c;
@@ -82,6 +85,8 @@ let run (c : Circuit.Netlist.t) faults patterns =
       if !alive_count > 0 then begin
         if Array.length pattern <> Array.length c.inputs then
           invalid_arg "Concurrent.run: pattern width mismatch";
+        if Instrument.observing () then
+          Instrument.count_fault_evals ~engine:"concurrent" !alive_count;
         (* Apply input events (the first pattern seeds everything). *)
         Array.iteri
           (fun i id ->

@@ -1,6 +1,9 @@
 module Int_set = Fault_lists.Int_set
 
 let run (c : Circuit.Netlist.t) faults patterns =
+  Instrument.engine_run ~engine:"deductive" ~faults:(Array.length faults)
+    ~patterns:(Array.length patterns)
+  @@ fun () ->
   let site = Fault_lists.index faults in
   let num_nodes = Circuit.Netlist.num_nodes c in
   let results = Array.make (Array.length faults) None in
@@ -13,6 +16,8 @@ let run (c : Circuit.Netlist.t) faults patterns =
       if !alive_count > 0 then begin
         if Array.length pattern <> Array.length c.inputs then
           invalid_arg "Deductive.run: pattern width mismatch";
+        if Instrument.observing () then
+          Instrument.count_fault_evals ~engine:"deductive" !alive_count;
         (* True-value simulation with in-step list deduction. *)
         Array.iteri
           (fun i id ->

@@ -1,0 +1,24 @@
+(** Shared observability shims for the fault-simulation engines.
+
+    All engines report through the same span/metric vocabulary so
+    traces of different engines line up: a ["fsim.<engine>"] span with
+    [faults]/[patterns] counters, and ["fsim.<engine>.runs"],
+    [".patterns"], [".patterns_per_sec"] and [".fault_evals"] metrics.
+    Everything is a no-op (one atomic load) while both {!Obs.Trace}
+    and {!Obs.Metrics} are disabled. *)
+
+val observing : unit -> bool
+(** True when either tracing or metrics are enabled — the gate for
+    bookkeeping (e.g. [List.length] of a work list) that would cost
+    something even at batch granularity. *)
+
+val engine_run :
+  engine:string -> faults:int -> patterns:int -> (unit -> 'a) -> 'a
+(** [engine_run ~engine ~faults ~patterns f] runs [f] inside the
+    engine's span and records the run-level metrics. *)
+
+val count_fault_evals : engine:string -> int -> unit
+(** Record [n] fault-propagation evaluations (one fault graded against
+    one pattern block, or one live fault carried through one pattern)
+    onto the current span and the engine's metric counter.  Call at
+    batch granularity, gated on {!observing}. *)

@@ -31,23 +31,31 @@ let prepare c patterns =
 
 (* Grade faults [lo, hi) of [faults] against every slice, with fault
    dropping, writing first detections into the shard's own slice of
-   [results].  Mirrors Ppsfp.run_general's block loop exactly. *)
+   [results].  Mirrors Ppsfp.run_general's block loop exactly.
+   Returns the number of detections this shard made. *)
 let run_shard c slices faults results lo hi =
   let st = Ppsfp.make_state c in
   let alive = ref (List.init (hi - lo) (fun i -> lo + i)) in
+  let detected = ref 0 in
   List.iter
     (fun { block_start; live; good } ->
       if !alive <> [] then begin
+        if Instrument.observing () then
+          Instrument.count_fault_evals ~engine:"par" (List.length !alive);
         let survivors = ref [] in
         List.iter
           (fun fi ->
             let mask = Ppsfp.propagate st good ~live faults.(fi) in
             if mask = 0L then survivors := fi :: !survivors
-            else results.(fi) <- Some (block_start + Ppsfp.lowest_set_bit mask))
+            else begin
+              results.(fi) <- Some (block_start + Ppsfp.lowest_set_bit mask);
+              incr detected
+            end)
           !alive;
         alive := List.rev !survivors
       end)
-    slices
+    slices;
+  !detected
 
 let run ?domains c faults patterns =
   let n = Array.length faults in
@@ -56,16 +64,52 @@ let run ?domains c faults patterns =
   in
   if requested < 1 then invalid_arg "Par.run: need at least one domain";
   let domains = max 1 (min requested n) in
+  Instrument.engine_run ~engine:"par" ~faults:n
+    ~patterns:(Array.length patterns)
+  @@ fun () ->
+  Obs.Trace.add_int "domains" domains;
   let results = Array.make n None in
   if n > 0 then begin
-    let slices = prepare c patterns in
+    let slices =
+      Obs.Trace.with_span "fsim.par.prepare" (fun () -> prepare c patterns)
+    in
     let bounds d = d * n / domains in
+    let observing = Instrument.observing () in
+    (* Per-shard wall time and detection counts; each worker writes only
+       its own slot, Domain.join publishes the writes (same discipline
+       as [results]). *)
+    let shard_wall = Array.make domains 0.0 in
+    let shard_detected = Array.make domains 0 in
+    let graded_shard i lo hi () =
+      Obs.Trace.with_span (Printf.sprintf "fsim.par.shard[%d]" i) (fun () ->
+          let t0 = if observing then Obs.Trace.now_s () else 0.0 in
+          let detected = run_shard c slices faults results lo hi in
+          if observing then begin
+            shard_wall.(i) <- Obs.Trace.now_s () -. t0;
+            shard_detected.(i) <- detected;
+            Obs.Trace.add_int "faults" (hi - lo);
+            Obs.Trace.add_int "detected" detected
+          end)
+    in
     let workers =
       Array.init (domains - 1) (fun i ->
           let lo = bounds (i + 1) and hi = bounds (i + 2) in
-          Domain.spawn (fun () -> run_shard c slices faults results lo hi))
+          Domain.spawn (graded_shard (i + 1) lo hi))
     in
-    run_shard c slices faults results 0 (bounds 1);
-    Array.iter Domain.join workers
+    graded_shard 0 0 (bounds 1) ();
+    Array.iter Domain.join workers;
+    if Obs.Metrics.enabled () then begin
+      Array.iteri
+        (fun i wall ->
+          Obs.Metrics.observe "fsim.par.shard_wall_s" wall;
+          Obs.Metrics.observe "fsim.par.shard_detected"
+            (float_of_int shard_detected.(i)))
+        shard_wall;
+      let total = Array.fold_left ( +. ) 0.0 shard_wall in
+      let mean = total /. float_of_int domains in
+      let slowest = Array.fold_left max 0.0 shard_wall in
+      if mean > 0.0 then
+        Obs.Metrics.set "fsim.par.shard_imbalance" (slowest /. mean)
+    end
   end;
   results

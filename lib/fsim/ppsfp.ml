@@ -143,6 +143,9 @@ let lowest_set_bit w =
                     (Int64.shift_right_logical (Int64.mul isolated debruijn) 58))
 
 let run_general c faults patterns ~on_block =
+  Instrument.engine_run ~engine:"ppsfp" ~faults:(Array.length faults)
+    ~patterns:(Array.length patterns)
+  @@ fun () ->
   let st = make_state c in
   let blocks = Logicsim.Packed.blocks_of_patterns c patterns in
   let results = Array.make (Array.length faults) None in
@@ -152,6 +155,8 @@ let run_general c faults patterns ~on_block =
   List.iter
     (fun block ->
       if !alive <> [] then begin
+        if Instrument.observing () then
+          Instrument.count_fault_evals ~engine:"ppsfp" (List.length !alive);
         let good = Logicsim.Packed.eval_block c block in
         let live = Logicsim.Packed.live_mask block in
         let survivors = ref [] in

@@ -69,6 +69,9 @@ let lowest_set_bit w =
   loop 0
 
 let run c faults patterns =
+  Instrument.engine_run ~engine:"serial" ~faults:(Array.length faults)
+    ~patterns:(Array.length patterns)
+  @@ fun () ->
   let blocks = Logicsim.Packed.blocks_of_patterns c patterns in
   let results = Array.make (Array.length faults) None in
   let alive = ref (List.init (Array.length faults) (fun i -> i)) in
@@ -76,6 +79,8 @@ let run c faults patterns =
   List.iter
     (fun block ->
       if !alive <> [] then begin
+        if Instrument.observing () then
+          Instrument.count_fault_evals ~engine:"serial" (List.length !alive);
         let good = Logicsim.Packed.eval_block c block in
         let good_outputs = Logicsim.Packed.output_words c good in
         let survivors = ref [] in

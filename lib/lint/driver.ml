@@ -27,14 +27,18 @@ type report = {
 }
 
 let run ?(config = default_config) (c : N.t) =
-  let ternary = Ternary.analyze c in
+  Obs.Trace.with_span "lint.run" @@ fun () ->
+  Obs.Trace.add_int "gates" (N.num_gates c);
+  let ternary = Obs.Trace.with_span "lint.ternary" (fun () -> Ternary.analyze c) in
   let structural =
-    Structure.diagnostics ~fanout_threshold:config.fanout_threshold c ternary
+    Obs.Trace.with_span "lint.structural" (fun () ->
+        Structure.diagnostics ~fanout_threshold:config.fanout_threshold c ternary)
   in
   let universe = Faults.Universe.all c in
   let untestable, hard_diags =
     if not config.testability then ([||], [])
-    else begin
+    else
+      Obs.Trace.with_span "lint.testability" @@ fun () ->
       let classes =
         if config.crosscheck then Some (Faults.Collapse.equivalence c universe)
         else None
@@ -64,7 +68,6 @@ let run ?(config = default_config) (c : N.t) =
                     (F.to_string c fault) difficulty))
       in
       (untestable, hard)
-    end
   in
   let untestable_diags =
     Array.to_list untestable

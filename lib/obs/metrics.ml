@@ -1,0 +1,186 @@
+type kind = Counter | Gauge | Histogram
+
+let kind_name = function
+  | Counter -> "counter"
+  | Gauge -> "gauge"
+  | Histogram -> "histogram"
+
+type metric = {
+  m_kind : kind;
+  mutable m_value : float;  (* counter running total / gauge last value *)
+  mutable m_count : int;
+  mutable m_sum : float;
+  mutable m_min : float;
+  mutable m_max : float;
+  mutable m_samples : float list;  (* newest first, capped *)
+  mutable m_stored : int;
+}
+
+let sample_cap = 4096
+
+let enabled_flag = Atomic.make false
+let mutex = Mutex.create ()
+let table : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+let set_enabled b = Atomic.set enabled_flag b
+let enabled () = Atomic.get enabled_flag
+
+let reset () =
+  Mutex.lock mutex;
+  Hashtbl.reset table;
+  Mutex.unlock mutex
+
+(* Must be called with [mutex] held. *)
+let find_or_create name kind =
+  match Hashtbl.find_opt table name with
+  | Some m when m.m_kind = kind -> m
+  | Some m ->
+    Mutex.unlock mutex;
+    invalid_arg
+      (Printf.sprintf "Obs.Metrics: %s is a %s, used as a %s" name
+         (kind_name m.m_kind) (kind_name kind))
+  | None ->
+    let m =
+      { m_kind = kind; m_value = 0.0; m_count = 0; m_sum = 0.0;
+        m_min = infinity; m_max = neg_infinity; m_samples = []; m_stored = 0 }
+    in
+    Hashtbl.replace table name m;
+    m
+
+let incr ?(by = 1.0) name =
+  if Atomic.get enabled_flag then begin
+    Mutex.lock mutex;
+    let m = find_or_create name Counter in
+    m.m_value <- m.m_value +. by;
+    Mutex.unlock mutex
+  end
+
+let set name v =
+  if Atomic.get enabled_flag then begin
+    Mutex.lock mutex;
+    let m = find_or_create name Gauge in
+    m.m_value <- v;
+    Mutex.unlock mutex
+  end
+
+let observe name v =
+  if Atomic.get enabled_flag then begin
+    Mutex.lock mutex;
+    let m = find_or_create name Histogram in
+    m.m_count <- m.m_count + 1;
+    m.m_sum <- m.m_sum +. v;
+    if v < m.m_min then m.m_min <- v;
+    if v > m.m_max then m.m_max <- v;
+    if m.m_stored < sample_cap then begin
+      m.m_samples <- v :: m.m_samples;
+      m.m_stored <- m.m_stored + 1
+    end;
+    Mutex.unlock mutex
+  end
+
+let with_gc_delta prefix f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    let before = Gc.quick_stat () in
+    let finish () =
+      let after = Gc.quick_stat () in
+      set (prefix ^ ".minor_words") (after.minor_words -. before.minor_words);
+      set (prefix ^ ".major_words") (after.major_words -. before.major_words);
+      set (prefix ^ ".promoted_words")
+        (after.promoted_words -. before.promoted_words);
+      set (prefix ^ ".minor_collections")
+        (float_of_int (after.minor_collections - before.minor_collections));
+      set (prefix ^ ".major_collections")
+        (float_of_int (after.major_collections - before.major_collections))
+    in
+    Fun.protect ~finally:finish f
+  end
+
+let value name =
+  Mutex.lock mutex;
+  let v =
+    match Hashtbl.find_opt table name with
+    | Some { m_kind = Counter | Gauge; m_value; _ } -> Some m_value
+    | Some { m_kind = Histogram; _ } | None -> None
+  in
+  Mutex.unlock mutex;
+  v
+
+let sorted_samples m = List.sort compare m.m_samples
+
+let quantile_of_sorted sorted q =
+  match sorted with
+  | [] -> None
+  | _ ->
+    let arr = Array.of_list sorted in
+    let n = Array.length arr in
+    let idx =
+      int_of_float (Float.round (q *. float_of_int (n - 1)))
+      |> max 0 |> min (n - 1)
+    in
+    Some arr.(idx)
+
+let quantile name q =
+  Mutex.lock mutex;
+  let result =
+    match Hashtbl.find_opt table name with
+    | Some ({ m_kind = Histogram; _ } as m) ->
+      quantile_of_sorted (sorted_samples m) q
+    | Some _ | None -> None
+  in
+  Mutex.unlock mutex;
+  result
+
+let entries () =
+  Mutex.lock mutex;
+  let l = Hashtbl.fold (fun name m acc -> (name, m) :: acc) table [] in
+  Mutex.unlock mutex;
+  List.sort (fun (a, _) (b, _) -> compare a b) l
+
+let snapshot () =
+  let field m =
+    match m.m_kind with
+    | Counter | Gauge ->
+      Report.Json.Obj
+        [ ("kind", Report.Json.String (kind_name m.m_kind));
+          ("value", Report.Json.Float m.m_value) ]
+    | Histogram ->
+      let sorted = sorted_samples m in
+      let q p =
+        match quantile_of_sorted sorted p with
+        | Some v -> Report.Json.Float v
+        | None -> Report.Json.Null
+      in
+      Report.Json.Obj
+        [ ("kind", Report.Json.String "histogram");
+          ("count", Report.Json.Int m.m_count);
+          ("sum", Report.Json.Float m.m_sum);
+          ("min",
+           if m.m_count = 0 then Report.Json.Null else Report.Json.Float m.m_min);
+          ("max",
+           if m.m_count = 0 then Report.Json.Null else Report.Json.Float m.m_max);
+          ("p50", q 0.5);
+          ("p90", q 0.9) ]
+  in
+  Report.Json.Obj (List.map (fun (name, m) -> (name, field m)) (entries ()))
+
+let render_text () =
+  let buf = Buffer.create 512 in
+  let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  List.iter
+    (fun (name, m) ->
+      match m.m_kind with
+      | Counter -> addf "%-44s counter   %g\n" name m.m_value
+      | Gauge -> addf "%-44s gauge     %g\n" name m.m_value
+      | Histogram ->
+        let sorted = sorted_samples m in
+        let q p =
+          match quantile_of_sorted sorted p with Some v -> v | None -> nan
+        in
+        addf "%-44s histogram n=%d sum=%g min=%g p50=%g p90=%g max=%g\n" name
+          m.m_count m.m_sum
+          (if m.m_count = 0 then nan else m.m_min)
+          (q 0.5) (q 0.9)
+          (if m.m_count = 0 then nan else m.m_max))
+    (entries ());
+  Buffer.contents buf

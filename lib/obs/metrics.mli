@@ -1,0 +1,48 @@
+(** Process-wide metrics registry: counters, gauges and histograms with
+    snapshot export.
+
+    Like {!Trace}, recording is disabled by default and the disabled
+    path is one atomic load.  When enabled, updates take a single
+    global mutex — instrumentation therefore records at batch
+    granularity (per block, per shard, per stage), never per event.
+
+    Naming convention: dotted lowercase paths, e.g.
+    ["fsim.par.shard_wall_s"].  A name is permanently bound to the
+    kind of its first use; mixing kinds raises [Invalid_argument]. *)
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+val reset : unit -> unit
+(** Forget every metric. *)
+
+val incr : ?by:float -> string -> unit
+(** Counter: add [by] (default 1.0) to a monotonically growing total. *)
+
+val set : string -> float -> unit
+(** Gauge: record the latest value. *)
+
+val observe : string -> float -> unit
+(** Histogram: record one observation (count/sum/min/max and quantiles
+    over a capped sample reservoir). *)
+
+val with_gc_delta : string -> (unit -> 'a) -> 'a
+(** [with_gc_delta prefix f] runs [f] and records the [Gc.quick_stat]
+    deltas it caused as gauges [prefix ^ ".minor_words"],
+    [".major_words"], [".promoted_words"], [".minor_collections"] and
+    [".major_collections"].  When disabled, just runs [f]. *)
+
+val value : string -> float option
+(** Current value of a counter or gauge, [None] if absent. *)
+
+val quantile : string -> float -> float option
+(** [quantile name q] for a histogram, [q] in [0,1]; [None] if the
+    histogram is absent or empty. *)
+
+val snapshot : unit -> Report.Json.t
+(** All metrics as a JSON object keyed by name (sorted), each value an
+    object: counters/gauges [{"kind";"value"}], histograms
+    [{"kind";"count";"sum";"min";"max";"p50";"p90"}]. *)
+
+val render_text : unit -> string
+(** Human-readable dump, one line per metric, sorted by name. *)

@@ -1,0 +1,211 @@
+(* Lock-free-on-the-hot-path span tracer.
+
+   Each domain records into a private buffer reached through
+   domain-local storage; the only cross-domain synchronization is a
+   mutex taken once per (domain, trace-epoch) to register the buffer,
+   and an atomic flag read on every call.  Disabled tracing therefore
+   costs one atomic load per instrumentation point. *)
+
+type rec_span = {
+  r_name : string;
+  r_seq : int;
+  r_depth : int;
+  r_parent : int;
+  mutable r_t0 : float;
+  mutable r_t1 : float;
+  mutable r_counters : (string * float) list;  (* newest first *)
+}
+
+type dbuf = {
+  d_id : int;      (* raw Domain.self id, for stable cross-run ordering *)
+  d_epoch : int;   (* trace epoch this buffer belongs to *)
+  mutable d_spans : rec_span array;
+  mutable d_len : int;
+  mutable d_stack : int list;  (* indices of open spans, innermost first *)
+}
+
+let enabled_flag = Atomic.make false
+let epoch = Atomic.make 0
+let origin = Atomic.make (Unix.gettimeofday ())
+let registry_mutex = Mutex.create ()
+let registry : dbuf list ref = ref []
+
+let set_enabled b = Atomic.set enabled_flag b
+let enabled () = Atomic.get enabled_flag
+let now_s () = Unix.gettimeofday () -. Atomic.get origin
+
+let reset () =
+  Mutex.lock registry_mutex;
+  registry := [];
+  Mutex.unlock registry_mutex;
+  Atomic.incr epoch;
+  Atomic.set origin (Unix.gettimeofday ())
+
+let dummy =
+  { r_name = ""; r_seq = -1; r_depth = 0; r_parent = -1; r_t0 = 0.0;
+    r_t1 = 0.0; r_counters = [] }
+
+let dls_key : dbuf option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let buffer () =
+  let cell = Domain.DLS.get dls_key in
+  let ep = Atomic.get epoch in
+  match !cell with
+  | Some b when b.d_epoch = ep -> b
+  | _ ->
+    let b =
+      { d_id = (Domain.self () :> int); d_epoch = ep;
+        d_spans = Array.make 32 dummy; d_len = 0; d_stack = [] }
+    in
+    Mutex.lock registry_mutex;
+    registry := b :: !registry;
+    Mutex.unlock registry_mutex;
+    cell := Some b;
+    b
+
+let push b name =
+  let depth, parent =
+    match b.d_stack with
+    | [] -> (0, -1)
+    | p :: _ -> (b.d_spans.(p).r_depth + 1, p)
+  in
+  if b.d_len = Array.length b.d_spans then begin
+    let bigger = Array.make (2 * b.d_len) dummy in
+    Array.blit b.d_spans 0 bigger 0 b.d_len;
+    b.d_spans <- bigger
+  end;
+  let s =
+    { r_name = name; r_seq = b.d_len; r_depth = depth; r_parent = parent;
+      r_t0 = 0.0; r_t1 = neg_infinity; r_counters = [] }
+  in
+  b.d_spans.(b.d_len) <- s;
+  b.d_stack <- b.d_len :: b.d_stack;
+  b.d_len <- b.d_len + 1;
+  s.r_t0 <- now_s ()
+
+let with_span name f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    let b = buffer () in
+    push b name;
+    let finish () =
+      match b.d_stack with
+      | i :: rest ->
+        b.d_spans.(i).r_t1 <- now_s ();
+        b.d_stack <- rest
+      | [] -> ()
+    in
+    Fun.protect ~finally:finish f
+  end
+
+let add key v =
+  if Atomic.get enabled_flag then begin
+    let b = buffer () in
+    match b.d_stack with
+    | [] -> ()
+    | i :: _ ->
+      let s = b.d_spans.(i) in
+      let rec bump = function
+        | [] -> None
+        | (k, x) :: rest when String.equal k key -> Some ((k, x +. v) :: rest)
+        | kv :: rest ->
+          (match bump rest with Some r -> Some (kv :: r) | None -> None)
+      in
+      (match bump s.r_counters with
+      | Some updated -> s.r_counters <- updated
+      | None -> s.r_counters <- (key, v) :: s.r_counters)
+  end
+
+let add_int key n = add key (float_of_int n)
+
+type span = {
+  name : string;
+  tid : int;
+  seq : int;
+  depth : int;
+  parent : int;
+  t0 : float;
+  t1 : float;
+  counters : (string * float) list;
+}
+
+let spans () =
+  let bufs =
+    Mutex.lock registry_mutex;
+    let l = !registry in
+    Mutex.unlock registry_mutex;
+    List.sort (fun a b -> compare a.d_id b.d_id) l
+  in
+  List.concat
+    (List.mapi
+       (fun tid b ->
+         let out = ref [] in
+         for i = b.d_len - 1 downto 0 do
+           let r = b.d_spans.(i) in
+           if r.r_t1 > neg_infinity then
+             out :=
+               { name = r.r_name; tid; seq = r.r_seq; depth = r.r_depth;
+                 parent = r.r_parent; t0 = r.r_t0; t1 = r.r_t1;
+                 counters = List.rev r.r_counters }
+               :: !out
+         done;
+         !out)
+       bufs)
+
+let to_chrome_json () =
+  let event s =
+    let base =
+      [ ("name", Report.Json.String s.name);
+        ("cat", Report.Json.String "lsiq");
+        ("ph", Report.Json.String "X");
+        ("ts", Report.Json.Float (s.t0 *. 1e6));
+        ("dur", Report.Json.Float (max 0.0 (s.t1 -. s.t0) *. 1e6));
+        ("pid", Report.Json.Int 1);
+        ("tid", Report.Json.Int s.tid) ]
+    in
+    let args =
+      match s.counters with
+      | [] -> []
+      | counters ->
+        [ ("args",
+           Report.Json.Obj
+             (List.map (fun (k, v) -> (k, Report.Json.Float v)) counters)) ]
+    in
+    Report.Json.Obj (base @ args)
+  in
+  Report.Json.Obj
+    [ ("traceEvents", Report.Json.List (List.map event (spans ())));
+      ("displayTimeUnit", Report.Json.String "ms") ]
+
+let format_counter v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%g" v
+
+let summary_tree () =
+  let buf = Buffer.create 1024 in
+  let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let last_tid = ref (-1) in
+  List.iter
+    (fun s ->
+      if s.tid <> !last_tid then begin
+        addf "domain %d\n" s.tid;
+        last_tid := s.tid
+      end;
+      let label = String.make (2 * (s.depth + 1)) ' ' ^ s.name in
+      addf "%-44s %10.3f ms" label (1e3 *. (s.t1 -. s.t0));
+      List.iter (fun (k, v) -> addf "  %s=%s" k (format_counter v)) s.counters;
+      Buffer.add_char buf '\n')
+    (spans ());
+  Buffer.contents buf
+
+let tree_shape () =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun s ->
+      Buffer.add_string buf
+        (Printf.sprintf "d%d %s%s\n" s.tid (String.make (2 * s.depth) ' ')
+           s.name))
+    (spans ());
+  Buffer.contents buf

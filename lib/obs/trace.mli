@@ -1,0 +1,79 @@
+(** Span tracer: nested, named spans with wall-clock duration and
+    per-span counters, recorded into lock-free per-domain buffers.
+
+    Tracing is disabled by default and the disabled path is a single
+    atomic load, so instrumented hot paths pay (almost) nothing when
+    off.  When enabled, every domain that traces gets its own private
+    buffer (domain-local storage, registered once under a mutex), so
+    recording a span never contends with other domains — the invariant
+    the multicore fault simulator needs.
+
+    The recorded stream exports three ways: Chrome trace-event JSON
+    (load it in [chrome://tracing] or Perfetto), an ASCII summary tree
+    with durations and counters, and a timestamp-free [tree_shape]
+    used by the determinism tests (span names and nesting must be
+    reproducible at a fixed seed; wall-clock readings are not).
+
+    Spans opened and closed on a domain must nest properly; [with_span]
+    guarantees this even on exceptions.  Export functions must only be
+    called when no spans are open elsewhere (e.g. after [Domain.join]
+    on all workers). *)
+
+val set_enabled : bool -> unit
+(** Turn recording on or off.  Turning it on does not clear previously
+    recorded spans; call {!reset} for a fresh trace. *)
+
+val enabled : unit -> bool
+
+val reset : unit -> unit
+(** Drop all recorded spans and re-zero the trace clock.  Buffers held
+    by live domains are lazily re-created on their next span. *)
+
+val now_s : unit -> float
+(** Wall-clock seconds (the tracer's own clock source), usable by
+    instrumentation that wants timing without a second clock. *)
+
+val with_span : string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f ()] inside a span named [name] on the
+    calling domain.  When tracing is disabled this is just [f ()]. *)
+
+val add : string -> float -> unit
+(** [add key v] accumulates [v] onto counter [key] of the innermost
+    open span of the calling domain.  No-op when disabled or when no
+    span is open. *)
+
+val add_int : string -> int -> unit
+
+(** One closed span, as exported.  [tid] is a dense per-trace domain
+    index (domains sorted by creation order), [seq] the preorder index
+    within that domain, [parent] the [seq] of the enclosing span or
+    [-1] at the root, [t0]/[t1] seconds relative to the trace origin. *)
+type span = {
+  name : string;
+  tid : int;
+  seq : int;
+  depth : int;
+  parent : int;
+  t0 : float;
+  t1 : float;
+  counters : (string * float) list;  (** insertion order *)
+}
+
+val spans : unit -> span list
+(** All closed spans, sorted by [(tid, seq)] — i.e. per-domain
+    preorder. *)
+
+val to_chrome_json : unit -> Report.Json.t
+(** The trace as a Chrome trace-event object:
+    [{"traceEvents": [{"name";"ph":"X";"ts";"dur";"pid";"tid";"args"}],
+      "displayTimeUnit": "ms"}] with microsecond timestamps.  Counters
+    become ["args"]. *)
+
+val summary_tree : unit -> string
+(** ASCII rendering: one indented tree per domain, with per-span
+    durations and counters. *)
+
+val tree_shape : unit -> string
+(** Timestamp-free shape: one line per span, ["d<tid> <indent><name>"],
+    in per-domain preorder.  Two runs of the same seeded workload must
+    produce equal shapes. *)

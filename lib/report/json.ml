@@ -79,3 +79,189 @@ let serialize ~indent value =
 
 let to_string value = serialize ~indent:false value
 let to_string_pretty value = serialize ~indent:true value
+
+(* ------------------------------ parser ------------------------------ *)
+
+exception Parse_error of int * string
+
+let parse text =
+  let n = String.length text in
+  let pos = ref 0 in
+  let error msg = raise (Parse_error (!pos, msg)) in
+  let peek () = if !pos < n then Some text.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n
+      && (match text.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some d when d = c -> advance ()
+    | Some d -> error (Printf.sprintf "expected %C, found %C" c d)
+    | None -> error (Printf.sprintf "expected %C, found end of input" c)
+  in
+  let literal word value =
+    let len = String.length word in
+    if !pos + len <= n && String.sub text !pos len = word then begin
+      pos := !pos + len;
+      value
+    end
+    else error (Printf.sprintf "invalid literal (expected %s)" word)
+  in
+  let hex_digit c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> error "invalid \\u escape"
+  in
+  let add_utf8 buf code =
+    if code < 0x80 then Buffer.add_char buf (Char.chr code)
+    else if code < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xc0 lor (code lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xe0 lor (code lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3f)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3f)))
+    end
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      if !pos >= n then error "unterminated string";
+      let c = text.[!pos] in
+      advance ();
+      match c with
+      | '"' -> Buffer.contents buf
+      | '\\' ->
+        (if !pos >= n then error "unterminated escape";
+         let e = text.[!pos] in
+         advance ();
+         match e with
+         | '"' -> Buffer.add_char buf '"'
+         | '\\' -> Buffer.add_char buf '\\'
+         | '/' -> Buffer.add_char buf '/'
+         | 'b' -> Buffer.add_char buf '\b'
+         | 'f' -> Buffer.add_char buf '\012'
+         | 'n' -> Buffer.add_char buf '\n'
+         | 'r' -> Buffer.add_char buf '\r'
+         | 't' -> Buffer.add_char buf '\t'
+         | 'u' ->
+           if !pos + 4 > n then error "truncated \\u escape";
+           let code =
+             (hex_digit text.[!pos] lsl 12)
+             lor (hex_digit text.[!pos + 1] lsl 8)
+             lor (hex_digit text.[!pos + 2] lsl 4)
+             lor hex_digit text.[!pos + 3]
+           in
+           pos := !pos + 4;
+           add_utf8 buf code
+         | _ -> error "invalid escape character");
+        loop ()
+      | c when Char.code c < 0x20 -> error "unescaped control character"
+      | c ->
+        Buffer.add_char buf c;
+        loop ()
+    in
+    loop ()
+  in
+  let parse_number () =
+    let start = !pos in
+    if peek () = Some '-' then advance ();
+    let digits () =
+      let before = !pos in
+      while !pos < n && (match text.[!pos] with '0' .. '9' -> true | _ -> false) do
+        advance ()
+      done;
+      if !pos = before then error "malformed number"
+    in
+    digits ();
+    let fractional = peek () = Some '.' in
+    if fractional then begin
+      advance ();
+      digits ()
+    end;
+    let exponent = match peek () with Some ('e' | 'E') -> true | _ -> false in
+    if exponent then begin
+      advance ();
+      (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+      digits ()
+    end;
+    let token = String.sub text start (!pos - start) in
+    if (not fractional) && not exponent then
+      match int_of_string_opt token with
+      | Some i -> Int i
+      | None -> Float (float_of_string token)
+    else Float (float_of_string token)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> error "unexpected end of input"
+    | Some '"' -> String (parse_string ())
+    | Some 'n' -> literal "null" Null
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        List []
+      end
+      else begin
+        let items = ref [ parse_value () ] in
+        skip_ws ();
+        while peek () = Some ',' do
+          advance ();
+          items := parse_value () :: !items;
+          skip_ws ()
+        done;
+        expect ']';
+        List (List.rev !items)
+      end
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let member () =
+          skip_ws ();
+          let key = parse_string () in
+          skip_ws ();
+          expect ':';
+          let value = parse_value () in
+          (key, value)
+        in
+        let fields = ref [ member () ] in
+        skip_ws ();
+        while peek () = Some ',' do
+          advance ();
+          fields := member () :: !fields;
+          skip_ws ()
+        done;
+        expect '}';
+        Obj (List.rev !fields)
+      end
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> error (Printf.sprintf "unexpected character %C" c)
+  in
+  match
+    let value = parse_value () in
+    skip_ws ();
+    if !pos <> n then error "trailing characters after document";
+    value
+  with
+  | value -> Ok value
+  | exception Parse_error (at, msg) ->
+    Error (Printf.sprintf "JSON parse error at offset %d: %s" at msg)

@@ -1,10 +1,10 @@
-(** Minimal JSON emitter for machine-readable tool output.
+(** Minimal JSON emitter and parser for machine-readable tool output.
 
     The toolkit deliberately carries no third-party JSON dependency;
-    this covers the subset the reporting layers need: building a value
-    and serialising it with correct string escaping and round-trippable
-    numbers.  There is no parser — consumers of our output are external
-    tools. *)
+    this covers the subset the reporting layers need: building a value,
+    serialising it with correct string escaping and round-trippable
+    numbers, and parsing it back (used by the bench-smoke validation of
+    emitted trace files and by the round-trip tests). *)
 
 type t =
   | Null
@@ -22,3 +22,11 @@ val to_string : t -> string
 
 val to_string_pretty : t -> string
 (** Two-space indented serialisation, for human consumption. *)
+
+val parse : string -> (t, string) result
+(** Parse one JSON document (RFC 8259 subset: no duplicate-key checks;
+    [\uXXXX] escapes decode to UTF-8, surrogate pairs unsupported).
+    Numbers without ['.'], ['e'] or ['E'] that fit in an OCaml [int]
+    parse as [Int], everything else as [Float] — the inverse of
+    {!to_string}.  Trailing non-whitespace is an error.  Errors report
+    a byte offset. *)

@@ -22,10 +22,12 @@ type report = {
 }
 
 let run ?(config = default_config) c faults =
+  Obs.Trace.with_span "atpg.run" @@ fun () ->
   let rng = Stats.Rng.create ~seed:config.seed () in
   let random_patterns, random_profile =
-    Random_tpg.until_coverage rng c faults ~target:config.random_target
-      ~max_patterns:config.random_budget
+    Obs.Trace.with_span "atpg.random" (fun () ->
+        Random_tpg.until_coverage rng c faults ~target:config.random_target
+          ~max_patterns:config.random_budget)
   in
   let total = Array.length faults in
   let first_detection = Array.copy random_profile.Fsim.Coverage.first_detection in
@@ -89,7 +91,18 @@ let run ?(config = default_config) c faults =
         deterministic ()
       end
   in
-  deterministic ();
+  Obs.Trace.with_span "atpg.deterministic" deterministic;
+  Obs.Trace.add_int "random_patterns" (Array.length random_patterns);
+  Obs.Trace.add_int "deterministic_patterns" !extra_count;
+  Obs.Trace.add_int "untestable" !untestable;
+  Obs.Trace.add_int "aborted" !aborted;
+  if Obs.Metrics.enabled () then begin
+    Obs.Metrics.incr ~by:(float_of_int (Array.length random_patterns))
+      "atpg.random_patterns";
+    Obs.Metrics.incr ~by:(float_of_int !extra_count) "atpg.deterministic_patterns";
+    Obs.Metrics.incr ~by:(float_of_int !untestable) "atpg.untestable";
+    Obs.Metrics.incr ~by:(float_of_int !aborted) "atpg.aborted"
+  end;
   let patterns = Array.append random_patterns (Array.of_list (List.rev !extra)) in
   let profile =
     { Fsim.Coverage.universe_size = total;

@@ -250,5 +250,16 @@ let generate ?(backtrack_limit = 1000) ?(guidance = Level_based)
     Test pattern
   in
 
-  let verdict = try attempt () with Abort_search -> Aborted in
+  let verdict =
+    Obs.Trace.with_span "podem.generate" (fun () ->
+        let verdict = try attempt () with Abort_search -> Aborted in
+        Obs.Trace.add_int "backtracks" !backtracks;
+        Obs.Trace.add_int "implications" !implications;
+        verdict)
+  in
+  if Obs.Metrics.enabled () then begin
+    Obs.Metrics.incr "atpg.podem.calls";
+    Obs.Metrics.incr ~by:(float_of_int !backtracks) "atpg.podem.backtracks";
+    Obs.Metrics.incr ~by:(float_of_int !implications) "atpg.podem.implications"
+  end;
   (verdict, { backtracks = !backtracks; implications = !implications })

@@ -1,0 +1,184 @@
+(* Tests for the observability subsystem (lib/obs): span tracer and
+   metrics registry, their JSON exports, and the determinism of the
+   recorded span tree at a fixed seed. *)
+
+(* Every test leaves the global tracer/registry disabled and empty so
+   suites that run after this one see the default (no-op) behaviour. *)
+let with_obs f =
+  Obs.Trace.reset ();
+  Obs.Metrics.reset ();
+  Obs.Trace.set_enabled true;
+  Obs.Metrics.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Trace.set_enabled false;
+      Obs.Metrics.set_enabled false;
+      Obs.Trace.reset ();
+      Obs.Metrics.reset ())
+    f
+
+let span_names () = List.map (fun s -> s.Obs.Trace.name) (Obs.Trace.spans ())
+
+let test_disabled_records_nothing () =
+  Obs.Trace.reset ();
+  Obs.Metrics.reset ();
+  Alcotest.(check bool) "tracing off" false (Obs.Trace.enabled ());
+  let r = Obs.Trace.with_span "ghost" (fun () -> Obs.Trace.add "n" 1.0; 42) in
+  Alcotest.(check int) "with_span is transparent" 42 r;
+  Alcotest.(check int) "no spans recorded" 0 (List.length (Obs.Trace.spans ()));
+  Obs.Metrics.incr "ghost.count";
+  Alcotest.(check bool) "no metric recorded" true
+    (Obs.Metrics.value "ghost.count" = None)
+
+let test_nesting_and_counters () =
+  with_obs @@ fun () ->
+  let r =
+    Obs.Trace.with_span "outer" (fun () ->
+        Obs.Trace.add_int "work" 3;
+        Obs.Trace.with_span "inner" (fun () -> Obs.Trace.add "w" 0.5);
+        Obs.Trace.add_int "work" 4;
+        "done")
+  in
+  Alcotest.(check string) "return value" "done" r;
+  match Obs.Trace.spans () with
+  | [ outer; inner ] ->
+    Alcotest.(check string) "outer name" "outer" outer.Obs.Trace.name;
+    Alcotest.(check string) "inner name" "inner" inner.Obs.Trace.name;
+    Alcotest.(check int) "outer depth" 0 outer.Obs.Trace.depth;
+    Alcotest.(check int) "inner depth" 1 inner.Obs.Trace.depth;
+    Alcotest.(check int) "outer is root" (-1) outer.Obs.Trace.parent;
+    Alcotest.(check int) "inner's parent is outer" outer.Obs.Trace.seq
+      inner.Obs.Trace.parent;
+    Alcotest.(check bool) "outer closed after open" true
+      (outer.Obs.Trace.t1 >= outer.Obs.Trace.t0);
+    Alcotest.(check bool) "inner within outer" true
+      (inner.Obs.Trace.t0 >= outer.Obs.Trace.t0
+      && inner.Obs.Trace.t1 <= outer.Obs.Trace.t1);
+    Alcotest.(check (float 1e-9)) "counter accumulates" 7.0
+      (List.assoc "work" outer.Obs.Trace.counters);
+    Alcotest.(check (float 1e-9)) "inner counter" 0.5
+      (List.assoc "w" inner.Obs.Trace.counters)
+  | spans -> Alcotest.failf "expected 2 spans, got %d" (List.length spans)
+
+let test_span_closes_on_exception () =
+  with_obs @@ fun () ->
+  (try Obs.Trace.with_span "boom" (fun () -> failwith "expected") with
+  | Failure _ -> ());
+  match Obs.Trace.spans () with
+  | [ s ] ->
+    Alcotest.(check string) "span recorded" "boom" s.Obs.Trace.name;
+    Alcotest.(check bool) "span closed" true (s.Obs.Trace.t1 >= s.Obs.Trace.t0)
+  | spans -> Alcotest.failf "expected 1 span, got %d" (List.length spans)
+
+let test_reset_clears () =
+  with_obs @@ fun () ->
+  Obs.Trace.with_span "a" ignore;
+  Alcotest.(check int) "one span" 1 (List.length (Obs.Trace.spans ()));
+  Obs.Trace.reset ();
+  Alcotest.(check int) "reset drops spans" 0 (List.length (Obs.Trace.spans ()));
+  Obs.Trace.with_span "b" ignore;
+  Alcotest.(check (list string)) "recording continues after reset" [ "b" ]
+    (span_names ())
+
+let test_metrics_kinds () =
+  with_obs @@ fun () ->
+  Obs.Metrics.incr "m.count";
+  Obs.Metrics.incr ~by:2.5 "m.count";
+  Alcotest.(check (option (float 1e-9))) "counter total" (Some 3.5)
+    (Obs.Metrics.value "m.count");
+  Obs.Metrics.set "m.gauge" 1.0;
+  Obs.Metrics.set "m.gauge" 9.0;
+  Alcotest.(check (option (float 1e-9))) "gauge keeps last" (Some 9.0)
+    (Obs.Metrics.value "m.gauge");
+  List.iter (fun v -> Obs.Metrics.observe "m.hist" v) [ 1.0; 2.0; 3.0; 4.0; 5.0 ];
+  Alcotest.(check (option (float 1e-9))) "histogram median" (Some 3.0)
+    (Obs.Metrics.quantile "m.hist" 0.5);
+  Alcotest.(check (option (float 1e-9))) "histogram max" (Some 5.0)
+    (Obs.Metrics.quantile "m.hist" 1.0);
+  Alcotest.(check bool) "kind mismatch rejected" true
+    (try
+       Obs.Metrics.set "m.count" 1.0;
+       false
+     with Invalid_argument _ -> true)
+
+let test_metrics_snapshot_json () =
+  with_obs @@ fun () ->
+  Obs.Metrics.incr "a.count";
+  Obs.Metrics.set "b.gauge" 2.0;
+  Obs.Metrics.observe "c.hist" 1.0;
+  let text = Report.Json.to_string (Obs.Metrics.snapshot ()) in
+  match Report.Json.parse text with
+  | Error message -> Alcotest.failf "snapshot does not parse: %s" message
+  | Ok (Report.Json.Obj fields) ->
+    Alcotest.(check (list string)) "sorted metric names"
+      [ "a.count"; "b.gauge"; "c.hist" ]
+      (List.map fst fields)
+  | Ok _ -> Alcotest.fail "snapshot is not an object"
+
+let tiny_circuit () =
+  Circuit.Generators.random_circuit ~inputs:10 ~gates:120 ~outputs:6 ~seed:3
+
+let test_par_trace_has_shard_spans () =
+  let circuit = tiny_circuit () in
+  let universe =
+    Faults.Collapse.representatives
+      (Faults.Collapse.equivalence circuit (Faults.Universe.all circuit))
+  in
+  let patterns =
+    Tpg.Random_tpg.uniform (Stats.Rng.create ~seed:5 ()) circuit ~count:64
+  in
+  with_obs @@ fun () ->
+  ignore (Fsim.Par.run ~domains:2 circuit universe patterns);
+  let names = span_names () in
+  List.iter
+    (fun required ->
+      Alcotest.(check bool) (required ^ " present") true (List.mem required names))
+    [ "fsim.par"; "fsim.par.prepare"; "fsim.par.shard[0]"; "fsim.par.shard[1]" ];
+  let tids =
+    List.sort_uniq compare (List.map (fun s -> s.Obs.Trace.tid) (Obs.Trace.spans ()))
+  in
+  Alcotest.(check (list int)) "two dense domain ids" [ 0; 1 ] tids;
+  (* The trace export must itself be valid JSON that our parser accepts. *)
+  match Report.Json.parse (Report.Json.to_string (Obs.Trace.to_chrome_json ())) with
+  | Error message -> Alcotest.failf "chrome trace does not parse: %s" message
+  | Ok (Report.Json.Obj fields) ->
+    Alcotest.(check bool) "has traceEvents" true
+      (List.mem_assoc "traceEvents" fields)
+  | Ok _ -> Alcotest.fail "chrome trace is not an object"
+
+(* Acceptance: span tree *shape* (names and nesting; timestamps and
+   counters ignored) must be identical across runs of the same seeded
+   workload, including the multicore shard spans. *)
+let pipeline_shape () =
+  let config =
+    { Experiments.Pipeline.default_config with
+      scale = 4;
+      lot_size = 12;
+      fsim_engine = Fsim.Coverage.Par { domains = 2 } }
+  in
+  with_obs @@ fun () ->
+  ignore (Experiments.Pipeline.execute config);
+  Obs.Trace.tree_shape ()
+
+let test_tree_shape_deterministic () =
+  let shape1 = pipeline_shape () in
+  let shape2 = pipeline_shape () in
+  Alcotest.(check bool) "shape non-trivial" true
+    (String.length shape1 > 0
+    && List.exists
+         (fun line ->
+           line = "d0   pipeline.execute" || line = "d0 pipeline.execute")
+         (String.split_on_char '\n' shape1));
+  Alcotest.(check string) "identical shape across runs" shape1 shape2
+
+let suite =
+  let tc name f = Alcotest.test_case name `Quick f in
+  [ ( "obs",
+      [ tc "disabled records nothing" test_disabled_records_nothing;
+        tc "nesting and counters" test_nesting_and_counters;
+        tc "span closes on exception" test_span_closes_on_exception;
+        tc "reset clears" test_reset_clears;
+        tc "metrics kinds" test_metrics_kinds;
+        tc "metrics snapshot json" test_metrics_snapshot_json;
+        tc "par trace has shard spans" test_par_trace_has_shard_spans;
+        tc "tree shape deterministic" test_tree_shape_deterministic ] ) ]

@@ -88,6 +88,63 @@ let test_plot_rejects_tiny_canvas () =
        false
      with Invalid_argument _ -> true)
 
+(* JSON emitter/parser: escaping of quotes, backslashes and control
+   characters, non-finite floats, and print/parse round-trips —
+   including on a real Chrome trace emitted by the span tracer. *)
+
+let test_json_escaping () =
+  let open Report.Json in
+  Alcotest.(check string) "quote and backslash" {|"a\"b\\c"|}
+    (to_string (String {|a"b\c|}));
+  Alcotest.(check string) "control characters" "\"\\u0001\\t\\n\\r\""
+    (to_string (String "\x01\t\n\r"));
+  (* Every byte below 0x20 must be escaped and must parse back. *)
+  for byte = 0 to 0x1f do
+    let s = String (Printf.sprintf "x%cy" (Char.chr byte)) in
+    match parse (to_string s) with
+    | Ok parsed -> Alcotest.(check bool) "control byte round-trips" true (parsed = s)
+    | Error message -> Alcotest.failf "byte 0x%02x: %s" byte message
+  done
+
+let test_json_nonfinite_floats () =
+  let open Report.Json in
+  Alcotest.(check string) "nan is null" "null" (to_string (Float nan));
+  Alcotest.(check string) "+inf is null" "null" (to_string (Float infinity));
+  Alcotest.(check string) "-inf is null" "null" (to_string (Float neg_infinity));
+  Alcotest.(check bool) "nested non-finite floats still parse" true
+    (parse (to_string (List [ Float nan; Int 1 ])) = Ok (List [ Null; Int 1 ]))
+
+let test_json_parse_basics () =
+  let open Report.Json in
+  Alcotest.(check bool) "int vs float" true
+    (parse "[1, 1.0, 1e2]" = Ok (List [ Int 1; Float 1.0; Float 100.0 ]));
+  Alcotest.(check bool) "literals" true
+    (parse {| {"a": [true, false, null]} |}
+    = Ok (Obj [ ("a", List [ Bool true; Bool false; Null ]) ]));
+  Alcotest.(check bool) "unicode escape decodes to UTF-8" true
+    (parse "\"\\u00e9\"" = Ok (String "\xc3\xa9"));
+  Alcotest.(check bool) "trailing garbage rejected" true
+    (match parse "1 x" with Error _ -> true | Ok _ -> false);
+  Alcotest.(check bool) "unterminated string rejected" true
+    (match parse {|"abc|} with Error _ -> true | Ok _ -> false)
+
+let test_json_roundtrip_trace () =
+  let open Report.Json in
+  Obs.Trace.reset ();
+  Obs.Trace.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Trace.set_enabled false;
+      Obs.Trace.reset ())
+    (fun () ->
+      Obs.Trace.with_span "outer \"quoted\"" (fun () ->
+          Obs.Trace.add "ratio" 0.25;
+          Obs.Trace.with_span "inner\\path" ignore));
+  let trace = Obs.Trace.to_chrome_json () in
+  Alcotest.(check bool) "compact round-trip" true (parse (to_string trace) = Ok trace);
+  Alcotest.(check bool) "pretty round-trip" true
+    (parse (to_string_pretty trace) = Ok trace)
+
 let qcheck_props =
   let open QCheck in
   let printable_string =
