@@ -2,7 +2,8 @@
 
    Usage:  main.exe [target ...]
    Targets: fig1 fig2 fig3 fig4 fig5 fig6 table1 comparison fineline
-            ablation signature stafan drift economics wafer par micro all
+            ablation signature stafan drift economics wafer par analyze
+            micro all
             (default: all)
    Special: `par [FILE]` / `par-smoke [FILE]` sweep the multicore
    fault-simulation engine and write BENCH_fsim.json (or FILE);
@@ -203,6 +204,125 @@ let measure ~warmup ~repeats f =
       minor_words = g1.Gc.minor_words -. g0.Gc.minor_words;
       major_words = g1.Gc.major_words -. g0.Gc.major_words } )
 
+(* Static-analysis bench: dominator-pass and implication-closure cost
+   at several learn depths, plus a PODEM ablation — baseline vs
+   analysis-assisted — over the faults a short random pattern set
+   leaves undetected (the faults deterministic ATPG actually has to
+   work on).  Verdicts must agree fault-by-fault and the assisted run
+   must not add backtracks in total; both are hard failures here so a
+   regression breaks the build, and the numbers land in
+   BENCH_fsim.json next to the fault-simulation sweep. *)
+
+let analysis_bench ~smoke () =
+  Printf.printf "\nstatic analysis (learn depths 0/1/2 + PODEM ablation)\n\n";
+  let circuit =
+    if smoke then
+      Circuit.Generators.random_circuit ~inputs:16 ~gates:400 ~outputs:12 ~seed:7
+    else
+      Circuit.Generators.random_circuit ~inputs:32 ~gates:2000 ~outputs:24 ~seed:7
+  in
+  let warmup = 1 in
+  let repeats = if smoke then 2 else 5 in
+  let _, dom_t =
+    measure ~warmup ~repeats (fun () -> Analysis.Dominators.compute circuit)
+  in
+  Printf.printf "%-24s %10s %10s %10s\n" "pass" "min (s)" "median (s)" "p90 (s)";
+  Printf.printf "%-24s %10.4f %10.4f %10.4f\n" "dominators" (t_min dom_t)
+    (t_median dom_t) (t_p90 dom_t);
+  let learn_rows =
+    List.map
+      (fun depth ->
+        let imp, t =
+          measure ~warmup ~repeats (fun () ->
+              Analysis.Implication.learn ~depth circuit)
+        in
+        Printf.printf "%-24s %10.4f %10.4f %10.4f\n"
+          (Printf.sprintf "implications depth=%d" depth)
+          (t_min t) (t_median t) (t_p90 t);
+        Report.Json.Obj
+          [ ("depth", Report.Json.Int depth);
+            ("rounds", Report.Json.Int (Analysis.Implication.rounds imp));
+            ("learned", Report.Json.Int (Analysis.Implication.learned_count imp));
+            ("implications", Report.Json.Int (Analysis.Implication.direct_count imp));
+            ("min_s", Report.Json.Float (t_min t));
+            ("median_s", Report.Json.Float (t_median t));
+            ("p90_s", Report.Json.Float (t_p90 t)) ])
+      [ 0; 1; 2 ]
+  in
+  (* PODEM ablation on the faults random patterns leave undetected. *)
+  let classes = Faults.Collapse.equivalence circuit (Faults.Universe.all circuit) in
+  let universe = Faults.Collapse.dominance circuit classes in
+  let patterns =
+    Tpg.Random_tpg.uniform (Stats.Rng.create ~seed:99 ()) circuit
+      ~count:(if smoke then 32 else 64)
+  in
+  let profile = Fsim.Coverage.profile circuit universe patterns in
+  let hard = Array.of_list (Fsim.Coverage.undetected profile universe) in
+  let engine = Analysis.Engine.build ~learn_depth:(Some 1) circuit in
+  let sweep ?analysis () =
+    Array.map (fun fault -> Tpg.Podem.generate ?analysis circuit fault) hard
+  in
+  let baseline = sweep () in
+  let assisted = sweep ~analysis:engine () in
+  (* Under a finite backtrack limit, reordering the search legitimately
+     changes which faults abort; the soundness invariant is that the
+     two runs never return *contradicting* verdicts (Test one way,
+     Untestable the other). *)
+  let conflicts = ref 0 in
+  Array.iteri
+    (fun i (rb, _) ->
+      let ra, _ = assisted.(i) in
+      match (rb, ra) with
+      | Tpg.Podem.Test _, Tpg.Podem.Untestable
+      | Tpg.Podem.Untestable, Tpg.Podem.Test _ -> incr conflicts
+      | _ -> ())
+    baseline;
+  let total run =
+    Array.fold_left (fun acc (_, s) -> acc + s.Tpg.Podem.backtracks) 0 run
+  in
+  let aborts run =
+    Array.fold_left
+      (fun acc (r, _) -> acc + match r with Tpg.Podem.Aborted -> 1 | _ -> 0)
+      0 run
+  in
+  let baseline_backtracks = total baseline in
+  let assisted_backtracks = total assisted in
+  Printf.printf
+    "\nPODEM ablation: %d hard faults, backtracks %d -> %d (delta %d), \
+     aborts %d -> %d, %d verdict conflicts\n"
+    (Array.length hard) baseline_backtracks assisted_backtracks
+    (baseline_backtracks - assisted_backtracks)
+    (aborts baseline) (aborts assisted) !conflicts;
+  if !conflicts > 0 then
+    failwith "BENCH analyze: PODEM verdicts contradict under analysis";
+  if aborts assisted > aborts baseline then
+    failwith "BENCH analyze: analysis-assisted PODEM aborted on more faults";
+  if assisted_backtracks > baseline_backtracks then
+    failwith "BENCH analyze: analysis-assisted PODEM added backtracks";
+  Report.Json.Obj
+    [ ("circuit", Report.Json.String circuit.Circuit.Netlist.name);
+      ("gates", Report.Json.Int (Circuit.Netlist.num_gates circuit));
+      ( "dominators",
+        Report.Json.Obj
+          [ ("min_s", Report.Json.Float (t_min dom_t));
+            ("median_s", Report.Json.Float (t_median dom_t));
+            ("p90_s", Report.Json.Float (t_p90 dom_t)) ] );
+      ("implications", Report.Json.List learn_rows);
+      ( "podem_ablation",
+        Report.Json.Obj
+          [ ("hard_faults", Report.Json.Int (Array.length hard));
+            ("baseline_backtracks", Report.Json.Int baseline_backtracks);
+            ("analysis_backtracks", Report.Json.Int assisted_backtracks);
+            ( "backtracks_saved",
+              Report.Json.Int (baseline_backtracks - assisted_backtracks) );
+            ("baseline_aborted", Report.Json.Int (aborts baseline));
+            ("analysis_aborted", Report.Json.Int (aborts assisted));
+            ("verdict_conflicts", Report.Json.Int !conflicts) ] ) ]
+
+let run_analyze () =
+  section "Static-analysis bench (dominators, implications, PODEM ablation)";
+  ignore (analysis_bench ~smoke:false ())
+
 let run_par ?(out = "BENCH_fsim.json") ~smoke () =
   section
     (Printf.sprintf "Multicore PPSFP sweep%s -> %s"
@@ -277,7 +397,13 @@ let run_par ?(out = "BENCH_fsim.json") ~smoke () =
         ("warmup", Report.Json.Int warmup);
         ("repeats", Report.Json.Int repeats) ]
   in
-  let doc = Report.Json.Obj [ ("host", host); ("runs", Report.Json.List (List.rev !rows)) ] in
+  let analysis = analysis_bench ~smoke () in
+  let doc =
+    Report.Json.Obj
+      [ ("host", host);
+        ("runs", Report.Json.List (List.rev !rows));
+        ("analysis", analysis) ]
+  in
   let oc = open_out out in
   output_string oc (Report.Json.to_string_pretty doc);
   output_char oc '\n';
@@ -335,7 +461,9 @@ let run_obs_smoke ?(out = "BENCH_trace_smoke.json") () =
       ~finally:(fun () ->
         Obs.Trace.set_enabled false;
         Obs.Metrics.set_enabled false)
-      (fun () -> ignore (Fsim.Par.run ~domains:2 circuit universe patterns));
+      (fun () ->
+        ignore (Analysis.Engine.build ~learn_depth:(Some 1) circuit);
+        ignore (Fsim.Par.run ~domains:2 circuit universe patterns));
     Obs.Trace.tree_shape ()
   in
   let shape1 = traced_run () in
@@ -363,7 +491,8 @@ let run_obs_smoke ?(out = "BENCH_trace_smoke.json") () =
         obs_check
           ~what:(Printf.sprintf "span %S present" required)
           (List.mem required names))
-      [ "fsim.par"; "fsim.par.prepare"; "fsim.par.shard[0]"; "fsim.par.shard[1]" ]);
+      [ "fsim.par"; "fsim.par.prepare"; "fsim.par.shard[0]"; "fsim.par.shard[1]";
+        "analysis.build"; "analysis.dominators"; "analysis.implications" ]);
   obs_check ~what:"metrics counted fault evaluations"
     (match Obs.Metrics.value "fsim.par.fault_evals" with
     | Some v -> v > 0.0
@@ -541,12 +670,17 @@ let targets =
     ("economics", run_economics);
     ("wafer", run_wafer);
     ("par", fun () -> run_par ~smoke:false ());
+    ("analyze", run_analyze);
     ("micro", run_micro) ]
 
-(* "par" is excluded from `all`: it is a timing run that writes an
-   artifact, meaningful only when invoked on its own. *)
+(* "par" and "analyze" are excluded from `all`: they are timing runs,
+   meaningful only when invoked on their own (the `par` targets embed
+   the analyze section in BENCH_fsim.json anyway). *)
 let run_all () =
-  List.iter (fun (name, f) -> if name <> "micro" && name <> "par" then f ()) targets;
+  List.iter
+    (fun (name, f) ->
+      if name <> "micro" && name <> "par" && name <> "analyze" then f ())
+    targets;
   run_fig234_checkpoints ();
   run_micro ()
 

@@ -208,13 +208,19 @@ let simulate_lot_cmd =
                  them from the fault universe, correcting the coverage \
                  denominator.")
   in
-  let action scale chips target_yield n0 clustered exclude_untestable seed
-      domains trace metrics =
+  let collapse_dominance =
+    Arg.(value & flag & info [ "collapse-dominance" ]
+           ~doc:"Use the dominance-collapsed fault universe instead of the \
+                 plain equivalence representatives (composes with \
+                 --exclude-untestable).")
+  in
+  let action scale chips target_yield n0 clustered exclude_untestable
+      collapse_dominance seed domains trace metrics =
     with_obs ~trace ~metrics @@ fun () ->
     let config =
       { Experiments.Pipeline.default_config with
         Experiments.Pipeline.scale; lot_size = chips; target_yield;
-        target_n0 = n0; seed; exclude_untestable;
+        target_n0 = n0; seed; exclude_untestable; collapse_dominance;
         line = (if clustered then Experiments.Pipeline.Clustered
                 else Experiments.Pipeline.Ideal);
         fsim_engine =
@@ -230,8 +236,8 @@ let simulate_lot_cmd =
   let doc = "Simulate a chip lot end-to-end and print its Table-1 analogue." in
   Cmd.v (Cmd.info "simulate-lot" ~doc)
     Term.(const action $ scale $ chips $ target_yield $ n0_arg $ clustered
-          $ exclude_untestable $ seed_arg $ domains_arg $ trace_arg
-          $ metrics_arg)
+          $ exclude_untestable $ collapse_dominance $ seed_arg $ domains_arg
+          $ trace_arg $ metrics_arg)
 
 (* ------------------------------ fsim ------------------------------- *)
 
@@ -253,7 +259,13 @@ let fsim_cmd =
            ~doc:"Emit the coverage curve as CSV (patterns, coverage) on \
                  stdout; status text goes to stderr.")
   in
-  let action circuit count engine seed domains csv trace metrics =
+  let collapse_dominance =
+    Arg.(value & flag & info [ "collapse-dominance" ]
+           ~doc:"Grade the dominance-collapsed universe instead of the plain \
+                 equivalence representatives.")
+  in
+  let action circuit count engine seed domains collapse_dominance csv trace
+      metrics =
     with_obs ~trace ~metrics @@ fun () ->
     let engine =
       match domains with
@@ -263,7 +275,10 @@ let fsim_cmd =
     let rng = Stats.Rng.create ~seed () in
     let universe = Faults.Universe.all circuit in
     let classes = Faults.Collapse.equivalence circuit universe in
-    let reps = Faults.Collapse.representatives classes in
+    let reps =
+      if collapse_dominance then Faults.Collapse.dominance circuit classes
+      else Faults.Collapse.representatives classes
+    in
     let patterns = Tpg.Random_tpg.uniform rng circuit ~count in
     let profile = Fsim.Coverage.profile ~engine circuit reps patterns in
     (* Progress/status on stderr; only the results on stdout, so
@@ -297,7 +312,7 @@ let fsim_cmd =
   let doc = "Fault-simulate random patterns and print the coverage curve." in
   Cmd.v (Cmd.info "fsim" ~doc)
     Term.(const action $ circuit_arg $ patterns $ engine $ seed_arg
-          $ domains_arg $ csv $ trace_arg $ metrics_arg)
+          $ domains_arg $ collapse_dominance $ csv $ trace_arg $ metrics_arg)
 
 (* ------------------------------ atpg ------------------------------- *)
 
@@ -306,12 +321,25 @@ let atpg_cmd =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
            ~doc:"Write generated patterns (one 0/1 row per pattern) to FILE.")
   in
-  let action circuit out seed trace metrics =
+  let use_analysis =
+    Arg.(value & flag & info [ "use-analysis" ]
+           ~doc:"Build the static implication & dominator engine once and \
+                 let PODEM use it: sound pre-search untestability \
+                 verdicts, unique sensitization, learned-implication \
+                 pruning.  Verdicts are unchanged; search effort shrinks.")
+  in
+  let learn_depth =
+    Arg.(value & opt int 1 & info [ "learn-depth" ] ~docv:"N"
+           ~doc:"Implication learning sweeps for $(b,--use-analysis).")
+  in
+  let action circuit out seed use_analysis learn_depth trace metrics =
     with_obs ~trace ~metrics @@ fun () ->
     let universe = Faults.Universe.all circuit in
     let classes = Faults.Collapse.equivalence circuit universe in
     let reps = Faults.Collapse.representatives classes in
-    let config = { Tpg.Atpg.default_config with Tpg.Atpg.seed } in
+    let config =
+      { Tpg.Atpg.default_config with Tpg.Atpg.seed; use_analysis; learn_depth }
+    in
     let report = Tpg.Atpg.run ~config circuit reps in
     Format.eprintf "%a@." Circuit.Netlist.pp_summary circuit;
     Printf.printf "faults: %d collapsed\n" (Array.length reps);
@@ -335,7 +363,8 @@ let atpg_cmd =
   in
   let doc = "Generate a test set (random + PODEM) for a circuit." in
   Cmd.v (Cmd.info "atpg" ~doc)
-    Term.(const action $ circuit_arg $ out $ seed_arg $ trace_arg $ metrics_arg)
+    Term.(const action $ circuit_arg $ out $ seed_arg $ use_analysis
+          $ learn_depth $ trace_arg $ metrics_arg)
 
 (* ------------------------------ convert ----------------------------- *)
 
@@ -480,13 +509,18 @@ let sample_cmd =
   let sample_size =
     Arg.(value & opt int 500 & info [ "sample" ] ~docv:"K" ~doc:"Fault sample size.")
   in
-  let action circuit count sample_size seed =
+  let collapse_dominance =
+    Arg.(value & flag & info [ "collapse-dominance" ]
+           ~doc:"Sample from the dominance-collapsed universe.")
+  in
+  let action circuit count sample_size collapse_dominance seed =
     let rng = Stats.Rng.create ~seed () in
     let classes = Faults.Collapse.equivalence circuit (Faults.Universe.all circuit) in
     let universe = Faults.Collapse.representatives classes in
     let patterns = Tpg.Random_tpg.uniform rng circuit ~count in
     let est =
-      Fsim.Sampling.estimate_coverage rng circuit universe ~sample_size patterns
+      Fsim.Sampling.estimate_coverage ~collapse_dominance rng circuit universe
+        ~sample_size patterns
     in
     Printf.printf
       "sampled coverage: %.4f +- %.4f (95%%: [%.4f, %.4f]) from %d of %d faults\n"
@@ -498,7 +532,8 @@ let sample_cmd =
   in
   let doc = "Estimate fault coverage from a random fault sample (with CI)." in
   Cmd.v (Cmd.info "sample-coverage" ~doc)
-    Term.(const action $ circuit_arg $ patterns_count $ sample_size $ seed_arg)
+    Term.(const action $ circuit_arg $ patterns_count $ sample_size
+          $ collapse_dominance $ seed_arg)
 
 (* ------------------------------- lint ------------------------------- *)
 
@@ -524,15 +559,23 @@ let lint_cmd =
            ~doc:"Skip the untestable-fault and SCOAP analyses; report only \
                  structural rules.")
   in
-  let action circuit json fail_on fanout_threshold structural_only trace
-      metrics =
+  let learn_depth =
+    Arg.(value & opt (some int) None & info [ "learn-depth" ] ~docv:"D"
+           ~doc:"Enable the static analysis engine (dominators + implication \
+                 learning at depth $(docv)) for the stronger \
+                 learned-implication and blocked-dominator untestability \
+                 proofs.")
+  in
+  let action circuit json fail_on fanout_threshold structural_only learn_depth
+      trace metrics =
     (* [exit] must happen outside [with_obs]: it does not unwind the
        stack, so the trace file would never be written. *)
     let trip =
       with_obs ~trace ~metrics @@ fun () ->
       let config =
         { Lint.Driver.default_config with
-          Lint.Driver.fanout_threshold; testability = not structural_only }
+          Lint.Driver.fanout_threshold; testability = not structural_only;
+          learn_depth }
       in
       let report = Lint.Driver.run ~config circuit in
       if json then
@@ -553,7 +596,260 @@ let lint_cmd =
   in
   Cmd.v (Cmd.info "lint" ~doc)
     Term.(const action $ circuit_arg $ json $ fail_on $ fanout_threshold
-          $ structural_only $ trace_arg $ metrics_arg)
+          $ structural_only $ learn_depth $ trace_arg $ metrics_arg)
+
+(* ------------------------------ analyze ----------------------------- *)
+
+let analyze_cmd =
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
+  in
+  let fail_on =
+    Arg.(value
+         & opt (enum [ ("never", `Never); ("warning", `Warning); ("error", `Error) ])
+             `Never
+         & info [ "fail-on" ] ~docv:"LEVEL"
+             ~doc:"Exit non-zero at severity $(docv) (never, warning, error) \
+                   or worse: errors are implication-engine contradictions \
+                   (engine self-check), warnings are untestable faults and \
+                   unobservable stems.")
+  in
+  let learn_depth =
+    Arg.(value & opt int 1 & info [ "learn-depth" ] ~docv:"D"
+           ~doc:"Implication learning sweeps (0 disables learning).")
+  in
+  let show_dominators =
+    Arg.(value & flag & info [ "dominators" ]
+           ~doc:"List every node's dominator chain (nearest first).")
+  in
+  let show_implications =
+    Arg.(value & flag & info [ "implications" ]
+           ~doc:"List learned constants and each literal's implications.")
+  in
+  let action circuit json fail_on learn_depth show_dominators show_implications
+      trace metrics =
+    let trip =
+      with_obs ~trace ~metrics @@ fun () ->
+      let module N = Circuit.Netlist in
+      let engine =
+        Analysis.Engine.build ~learn_depth:(Some learn_depth) circuit
+      in
+      let dom = Analysis.Engine.dominators engine in
+      let imp =
+        match Analysis.Engine.implication engine with
+        | Some imp -> imp
+        | None -> assert false (* learn_depth is always Some here *)
+      in
+      let name id = circuit.N.node_names.(id) in
+      let num_nodes = N.num_nodes circuit in
+      let unobservable = Analysis.Dominators.unobservable_stems dom in
+      let constants = Analysis.Implication.constants imp in
+      let contradictory = Analysis.Implication.contradictory imp in
+      let universe = Faults.Universe.all circuit in
+      let classes = Faults.Collapse.equivalence circuit universe in
+      let equivalence_reps = Faults.Collapse.representatives classes in
+      let dominance_reps = Faults.Collapse.dominance circuit classes in
+      let untestable =
+        Lint.Testability.untestable ~classes ~analysis:engine circuit universe
+      in
+      let with_idom =
+        let count = ref 0 in
+        for id = 0 to num_nodes - 1 do
+          if Analysis.Dominators.idom dom id <> None then incr count
+        done;
+        !count
+      in
+      let errors = List.length contradictory in
+      let warnings = Array.length untestable + List.length unobservable in
+      let literal_rows f =
+        for id = 0 to num_nodes - 1 do
+          List.iter
+            (fun v ->
+              match Analysis.Implication.consequences imp id v with
+              | None | Some [] -> ()
+              | Some consequences -> f id v consequences)
+            [ false; true ]
+        done
+      in
+      if json then begin
+        let fault_row (fault, reason) =
+          Report.Json.Obj
+            [ ("fault", Report.Json.String (Faults.Fault.to_string circuit fault));
+              ("reason",
+               Report.Json.String (Lint.Testability.reason_to_string reason)) ]
+        in
+        let dominator_rows () =
+          List.filter_map
+            (fun id ->
+              match Analysis.Dominators.dominators dom id with
+              | [] -> None
+              | chain ->
+                Some
+                  (Report.Json.Obj
+                     [ ("node", Report.Json.String (name id));
+                       ("dominators",
+                        Report.Json.List
+                          (List.map (fun d -> Report.Json.String (name d)) chain))
+                     ]))
+            (List.init num_nodes Fun.id)
+        in
+        let implication_rows () =
+          let rows = ref [] in
+          literal_rows (fun id v consequences ->
+              rows :=
+                Report.Json.Obj
+                  [ ("node", Report.Json.String (name id));
+                    ("value", Report.Json.Bool v);
+                    ("implies",
+                     Report.Json.List
+                       (List.map
+                          (fun (m, w) ->
+                            Report.Json.Obj
+                              [ ("node", Report.Json.String (name m));
+                                ("value", Report.Json.Bool w) ])
+                          consequences)) ]
+                :: !rows);
+          List.rev !rows
+        in
+        let base =
+          [ ("circuit",
+             Report.Json.Obj
+               [ ("name", Report.Json.String circuit.N.name);
+                 ("inputs", Report.Json.Int (N.num_inputs circuit));
+                 ("outputs", Report.Json.Int (N.num_outputs circuit));
+                 ("gates", Report.Json.Int (N.num_gates circuit));
+                 ("depth", Report.Json.Int (N.depth circuit)) ]);
+            ("dominators",
+             Report.Json.Obj
+               ([ ("nodes", Report.Json.Int num_nodes);
+                  ("with_idom", Report.Json.Int with_idom);
+                  ("unobservable_stems",
+                   Report.Json.List
+                     (List.map (fun id -> Report.Json.String (name id))
+                        unobservable)) ]
+               @
+               if show_dominators then
+                 [ ("chains", Report.Json.List (dominator_rows ())) ]
+               else []));
+            ("implications",
+             Report.Json.Obj
+               ([ ("depth", Report.Json.Int learn_depth);
+                  ("rounds", Report.Json.Int (Analysis.Implication.rounds imp));
+                  ("learned",
+                   Report.Json.Int (Analysis.Implication.learned_count imp));
+                  ("implications",
+                   Report.Json.Int (Analysis.Implication.direct_count imp));
+                  ("constants",
+                   Report.Json.List
+                     (List.map
+                        (fun (id, v) ->
+                          Report.Json.Obj
+                            [ ("node", Report.Json.String (name id));
+                              ("value", Report.Json.Bool v) ])
+                        constants));
+                  ("contradictory",
+                   Report.Json.List
+                     (List.map (fun id -> Report.Json.String (name id))
+                        contradictory)) ]
+               @
+               if show_implications then
+                 [ ("literals", Report.Json.List (implication_rows ())) ]
+               else []));
+            ("collapse",
+             Report.Json.Obj
+               [ ("universe", Report.Json.Int (Array.length universe));
+                 ("equivalence", Report.Json.Int (Array.length equivalence_reps));
+                 ("dominance", Report.Json.Int (Array.length dominance_reps)) ]);
+            ("untestable",
+             Report.Json.List (Array.to_list untestable |> List.map fault_row));
+            ("summary",
+             Report.Json.Obj
+               [ ("errors", Report.Json.Int errors);
+                 ("warnings", Report.Json.Int warnings) ]) ]
+        in
+        print_endline (Report.Json.to_string_pretty (Report.Json.Obj base))
+      end
+      else begin
+        Format.printf "%a@." N.pp_summary circuit;
+        Printf.printf
+          "dominators: %d/%d nodes with an immediate dominator, %d \
+           unobservable stem%s\n"
+          with_idom num_nodes
+          (List.length unobservable)
+          (if List.length unobservable = 1 then "" else "s");
+        Printf.printf
+          "implications: depth %d, %d round%s, %d learned edges, %d \
+           implications, %d constant%s\n"
+          learn_depth
+          (Analysis.Implication.rounds imp)
+          (if Analysis.Implication.rounds imp = 1 then "" else "s")
+          (Analysis.Implication.learned_count imp)
+          (Analysis.Implication.direct_count imp)
+          (List.length constants)
+          (if List.length constants = 1 then "" else "s");
+        Printf.printf "collapse: %d universe -> %d equivalence -> %d dominance\n"
+          (Array.length universe)
+          (Array.length equivalence_reps)
+          (Array.length dominance_reps);
+        Printf.printf "untestable: %d of %d faults proven\n"
+          (Array.length untestable) (Array.length universe);
+        if contradictory <> [] then
+          Printf.printf "ERROR: %d contradictory node%s (engine self-check): %s\n"
+            (List.length contradictory)
+            (if List.length contradictory = 1 then "" else "s")
+            (String.concat " " (List.map name contradictory));
+        if constants <> [] then
+          Printf.printf "constants: %s\n"
+            (String.concat " "
+               (List.map
+                  (fun (id, v) -> Printf.sprintf "%s=%d" (name id)
+                      (if v then 1 else 0))
+                  constants));
+        if show_dominators then begin
+          print_endline "\ndominator chains (nearest first):";
+          for id = 0 to num_nodes - 1 do
+            match Analysis.Dominators.dominators dom id with
+            | [] -> ()
+            | chain ->
+              Printf.printf "  %-12s %s\n" (name id)
+                (String.concat " > " (List.map name chain))
+          done
+        end;
+        if show_implications then begin
+          print_endline "\nimplications:";
+          literal_rows (fun id v consequences ->
+              Printf.printf "  %s=%d => %s\n" (name id) (if v then 1 else 0)
+                (String.concat " "
+                   (List.map
+                      (fun (m, w) ->
+                        Printf.sprintf "%s=%d" (name m) (if w then 1 else 0))
+                      consequences)))
+        end;
+        if Array.length untestable > 0 then begin
+          print_endline "\nuntestable faults:";
+          Array.iter
+            (fun (fault, reason) ->
+              Printf.printf "  %-20s %s\n"
+                (Faults.Fault.to_string circuit fault)
+                (Lint.Testability.reason_to_string reason))
+            untestable
+        end
+      end;
+      match fail_on with
+      | `Never -> false
+      | `Error -> errors > 0
+      | `Warning -> errors > 0 || warnings > 0
+    in
+    if trip then exit 1
+  in
+  let doc =
+    "Static implication and dominator analysis: per-stem absolute dominators, \
+     SOCRATES-style learned implications and constants, dominance-based fault \
+     collapsing, and the untestable faults the combined engine proves."
+  in
+  Cmd.v (Cmd.info "analyze" ~doc)
+    Term.(const action $ circuit_arg $ json $ fail_on $ learn_depth
+          $ show_dominators $ show_implications $ trace_arg $ metrics_arg)
 
 (* --------------------------- experiments --------------------------- *)
 
@@ -667,4 +963,5 @@ let () =
           [ reject_rate_cmd; required_coverage_cmd; estimate_cmd;
             simulate_lot_cmd; fsim_cmd; atpg_cmd; convert_cmd; diagnose_cmd;
             compact_cmd;
-            stafan_cmd; sample_cmd; lint_cmd; experiments_cmd; wafer_cmd ]))
+            stafan_cmd; sample_cmd; lint_cmd; analyze_cmd; experiments_cmd;
+            wafer_cmd ]))

@@ -1,0 +1,18 @@
+type t = {
+  circuit : Circuit.Netlist.t;
+  dominators : Dominators.t;
+  implication : Implication.t option;
+}
+
+let build ?(learn_depth = Some 1) (c : Circuit.Netlist.t) =
+  Obs.Trace.with_span "analysis.build" @@ fun () ->
+  let dominators = Dominators.compute c in
+  let implication =
+    match learn_depth with
+    | None -> None
+    | Some depth -> Some (Implication.learn ~depth c)
+  in
+  { circuit = c; dominators; implication }
+
+let implication t = t.implication
+let dominators t = t.dominators

@@ -1,0 +1,20 @@
+(** One-stop bundle of the static analyses over a netlist.
+
+    [build] runs the dominator pass always (it is a single linear
+    sweep) and the implication engine when a learning depth is given,
+    under one ["analysis.build"] span.  Consumers — PODEM, lint,
+    dominance collapsing, the [lsiq analyze] command — take this
+    bundle instead of wiring the passes individually. *)
+
+type t = {
+  circuit : Circuit.Netlist.t;
+  dominators : Dominators.t;
+  implication : Implication.t option;  (** [None] when learning was off *)
+}
+
+val build : ?learn_depth:int option -> Circuit.Netlist.t -> t
+(** [build ?learn_depth c] — [learn_depth] defaults to [Some 1];
+    [None] skips the implication engine entirely (dominators only). *)
+
+val implication : t -> Implication.t option
+val dominators : t -> Dominators.t

@@ -15,6 +15,7 @@ type config = {
   program_style : program_style;
   fsim_engine : Fsim.Coverage.engine;
   exclude_untestable : bool;
+  collapse_dominance : bool;
 }
 
 let default_config =
@@ -29,7 +30,8 @@ let default_config =
     line = Ideal;
     program_style = Functional_prelude 192;
     fsim_engine = Fsim.Coverage.Parallel;
-    exclude_untestable = false }
+    exclude_untestable = false;
+    collapse_dominance = false }
 
 type run = {
   config : config;
@@ -62,7 +64,13 @@ let execute config =
     Obs.Trace.with_span "pipeline.collapse" (fun () ->
         let full_universe = Faults.Universe.all circuit in
         let classes = Faults.Collapse.equivalence circuit full_universe in
-        (full_universe, classes, Faults.Collapse.representatives classes))
+        let universe =
+          if config.collapse_dominance then
+            Faults.Collapse.dominance circuit classes
+          else Faults.Collapse.representatives classes
+        in
+        Obs.Trace.add_int "representatives" (Array.length universe);
+        (full_universe, classes, universe))
   in
   let untestable =
     if not config.exclude_untestable then [||]

@@ -47,6 +47,12 @@ type config = {
           before ATPG and grading.  This corrects the denominator of
           Eq. 4 — redundant faults otherwise cap coverage below 1 and
           bias the reject-rate/[n0] fits. *)
+  collapse_dominance : bool;
+      (** Use the dominance-collapsed universe
+          ({!Faults.Collapse.dominance}) instead of the plain
+          equivalence representatives.  Shrinks the Eq. 4 denominator
+          further by detection containment; composes with
+          [exclude_untestable]. *)
 }
 
 val default_config : config

@@ -122,8 +122,7 @@ let collapse_ratio t =
    condition that detects the output stuck at the complement of that
    value.  Hence that output fault is dominated by every such input
    fault and its whole equivalence class can be dropped. *)
-let dominance (c : Circuit.Netlist.t) t =
-  let dropped = Array.make (Array.length t.reps) false in
+let iter_dominated (c : Circuit.Netlist.t) t f =
   let n = Circuit.Netlist.num_nodes c in
   for gate = 0 to n - 1 do
     if Array.length c.fanins.(gate) >= 2 then begin
@@ -137,10 +136,33 @@ let dominance (c : Circuit.Netlist.t) t =
               (if forced_output then Fault.Stuck_at_0 else Fault.Stuck_at_1) }
         in
         (match Hashtbl.find_opt t.class_index dominated with
-        | Some cls -> dropped.(cls) <- true
+        | Some cls ->
+          let dominators =
+            Array.to_list c.fanins.(gate)
+            |> List.mapi (fun pin _src ->
+                   { Fault.site = Fault.Branch { gate; pin };
+                     polarity =
+                       (if controlling then Fault.Stuck_at_0
+                        else Fault.Stuck_at_1) })
+          in
+          f cls dominators
         | None -> ())
     end
-  done;
+  done
+
+let dominance (c : Circuit.Netlist.t) t =
+  let dropped = Array.make (Array.length t.reps) false in
+  iter_dominated c t (fun cls _dominators -> dropped.(cls) <- true);
   Array.to_list t.reps
   |> List.filteri (fun cls _ -> not dropped.(cls))
   |> Array.of_list
+
+let dominance_drops (c : Circuit.Netlist.t) t =
+  let acc = ref [] in
+  let seen = Array.make (Array.length t.reps) false in
+  iter_dominated c t (fun cls dominators ->
+      if not seen.(cls) then begin
+        seen.(cls) <- true;
+        acc := (t.reps.(cls), dominators) :: !acc
+      end);
+  List.rev !acc

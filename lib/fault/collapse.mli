@@ -48,3 +48,9 @@ val dominance : Circuit.Netlist.t -> t -> Fault.t array
     the collapsed set may miss it.  Property-tested on irredundant
     circuits: a pattern set detecting all dominance representatives
     detects every detectable fault of the full universe. *)
+
+val dominance_drops : Circuit.Netlist.t -> t -> (Fault.t * Fault.t list) list
+(** The evidence behind [dominance]: every class representative it
+    drops, paired with the gate-input faults that dominate it (any test
+    for one of those inputs detects the dropped fault).  Property tests
+    check exactly this pairing pattern-by-pattern. *)

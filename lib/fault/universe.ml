@@ -38,6 +38,9 @@ let stems_only (c : Circuit.Netlist.t) =
 
 let count c = 2 * Circuit.Netlist.line_count c
 
+let collapse_dominance (c : Circuit.Netlist.t) universe =
+  Collapse.dominance c (Collapse.equivalence c universe)
+
 let exclude_untestable universe ~untestable =
   if Array.length untestable = 0 then universe
   else begin

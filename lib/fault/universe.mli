@@ -21,6 +21,15 @@ val stems_only : Circuit.Netlist.t -> Fault.t array
 val count : Circuit.Netlist.t -> int
 (** [Array.length (all c)], without allocating the array. *)
 
+val collapse_dominance : Circuit.Netlist.t -> Fault.t array -> Fault.t array
+(** Equivalence then dominance collapsing in one step: the surviving
+    class representatives of [Collapse.dominance].  This is the
+    smallest universe the simulator needs to target for full detection
+    credit on irredundant circuits; like [exclude_untestable] it
+    shrinks the Eq. 4 denominator, but by provable detection
+    containment rather than by untestability proofs — the two knobs
+    compose. *)
+
 val exclude_untestable : Fault.t array -> untestable:Fault.t array -> Fault.t array
 (** Remove the (statically proven untestable) faults from a universe,
     preserving order.  Redundant faults cap measured coverage below 1

@@ -71,6 +71,21 @@ let excluding p ~universe ~untestable =
       first_detection }
   end
 
+let restrict p ~universe ~keep =
+  if Array.length universe <> p.universe_size then
+    invalid_arg "Coverage.restrict: universe does not match profile";
+  let kept_set = Hashtbl.create (Array.length keep) in
+  Array.iter (fun fault -> Hashtbl.replace kept_set fault ()) keep;
+  let kept = ref [] in
+  Array.iteri
+    (fun i fault ->
+      if Hashtbl.mem kept_set fault then kept := p.first_detection.(i) :: !kept)
+    universe;
+  let first_detection = Array.of_list (List.rev !kept) in
+  { universe_size = Array.length first_detection;
+    pattern_count = p.pattern_count;
+    first_detection }
+
 let undetected p faults =
   let misses = ref [] in
   Array.iteri

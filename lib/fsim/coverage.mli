@@ -58,5 +58,17 @@ val excluding :
     [n0] estimators removes the bias the redundant faults introduce.
     Raises [Invalid_argument] when lengths disagree. *)
 
+val restrict :
+  profile ->
+  universe:Faults.Fault.t array ->
+  keep:Faults.Fault.t array ->
+  profile
+(** Dual of {!excluding}: keep {e only} the faults of [keep] (e.g. the
+    dominance-collapsed representatives from
+    [Faults.Universe.collapse_dominance]) in both the detection array
+    and the denominator.  [universe] must be the fault array the
+    profile was computed over.  Faults of [keep] absent from [universe]
+    are ignored.  Raises [Invalid_argument] when lengths disagree. *)
+
 val undetected : profile -> Faults.Fault.t array -> Faults.Fault.t list
 (** Faults never detected by the pattern set (redundant or hard). *)

@@ -7,8 +7,12 @@ type estimate = {
   universe_size : int;
 }
 
-let estimate_coverage ?(engine = Coverage.Parallel) ?(exclude = [||]) rng c
-    universe ~sample_size patterns =
+let estimate_coverage ?(engine = Coverage.Parallel) ?(exclude = [||])
+    ?(collapse_dominance = false) rng c universe ~sample_size patterns =
+  let universe =
+    if collapse_dominance then Faults.Universe.collapse_dominance c universe
+    else universe
+  in
   let universe = Faults.Universe.exclude_untestable universe ~untestable:exclude in
   let universe_size = Array.length universe in
   if universe_size = 0 then invalid_arg "Sampling.estimate_coverage: empty universe";

@@ -21,6 +21,7 @@ type estimate = {
 val estimate_coverage :
   ?engine:Coverage.engine ->
   ?exclude:Faults.Fault.t array ->
+  ?collapse_dominance:bool ->
   Stats.Rng.t ->
   Circuit.Netlist.t ->
   Faults.Fault.t array ->
@@ -36,4 +37,8 @@ val estimate_coverage :
     untestable faults from the universe {e before} sampling, so both the
     draw and the reported [universe_size] refer to the
     redundancy-corrected universe — sampling faults that no pattern can
-    detect would bias the coverage estimate low. *)
+    detect would bias the coverage estimate low.  [collapse_dominance]
+    (default [false]) first replaces the universe by its
+    dominance-collapsed representatives
+    ({!Faults.Universe.collapse_dominance}), applied before [exclude]
+    so the two corrections compose. *)

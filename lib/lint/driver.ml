@@ -7,6 +7,7 @@ type config = {
   crosscheck : bool;
   hard_fault_count : int;
   hard_fault_threshold : int;
+  learn_depth : int option;
 }
 
 let default_config =
@@ -14,7 +15,8 @@ let default_config =
     testability = true;
     crosscheck = true;
     hard_fault_count = 10;
-    hard_fault_threshold = 100 }
+    hard_fault_threshold = 100;
+    learn_depth = None }
 
 type report = {
   circuit : N.t;
@@ -43,7 +45,15 @@ let run ?(config = default_config) (c : N.t) =
         if config.crosscheck then Some (Faults.Collapse.equivalence c universe)
         else None
       in
-      let untestable = Testability.untestable ?classes c universe in
+      let analysis =
+        match config.learn_depth with
+        | None -> None
+        | Some depth ->
+          Some
+            (Obs.Trace.with_span "lint.analysis" (fun () ->
+                 Analysis.Engine.build ~learn_depth:(Some depth) c))
+      in
+      let untestable = Testability.untestable ?classes ?analysis c universe in
       (* SCOAP hard-to-detect warnings over collapsed representatives,
          skipping faults already proven untestable (those are not hard,
          they are impossible). *)

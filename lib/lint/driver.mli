@@ -14,6 +14,12 @@ type config = {
   hard_fault_threshold : int;
       (** Minimum SCOAP difficulty for a [hard-fault] warning
           (default 100). *)
+  learn_depth : int option;
+      (** When [Some d], build the static analysis engine (dominators +
+          implication learning at depth [d]) and enable the
+          learned-implication and blocked-dominator untestability
+          proofs.  Default [None]: the quadratic-ish learning sweep is
+          opt-in ([lsiq lint --learn-depth], or the analyze command). *)
 }
 
 val default_config : config

@@ -29,8 +29,59 @@ let prove_unobservable (c : N.t) site =
     c.N.topo_order;
   not (Array.exists (fun o -> diff.(o)) c.N.outputs)
 
-let analyze ?classes (c : N.t) universe =
+(* Fanout cone of a fault site: the nodes whose value can differ
+   between the fault-free and the faulty machine.  Facts about nodes
+   outside the cone transfer to the faulty machine verbatim. *)
+let fanout_cone (c : N.t) site =
+  let cone = Array.make (N.num_nodes c) false in
+  let rec go id =
+    if not cone.(id) then begin
+      cone.(id) <- true;
+      Array.iter go c.N.fanouts.(id)
+    end
+  in
+  go (F.site_node { F.site; polarity = F.Stuck_at_0 });
+  cone
+
+(* Dominator-blocking proof: every propagation path from the site
+   crosses each of its absolute dominators; if some dominator has a
+   side input held at the controlling value by a learned constant whose
+   node lies outside the fault's fanout cone (so the constant holds in
+   the faulty machine too), the dominator's output is equal in both
+   machines and nothing ever reaches an output.  For a branch fault the
+   faulted gate itself is the first "dominator" — any {e other} pin
+   constant at the controlling value blocks it. *)
+let prove_blocked_dominators (c : N.t) analysis site =
+  match Analysis.Engine.implication analysis with
+  | None -> false
+  | Some imp ->
+    let dom = Analysis.Engine.dominators analysis in
+    let cone = lazy (fanout_cone c site) in
+    let blocked ?exclude_pin d =
+      match Circuit.Gate.controlling_value c.N.kinds.(d) with
+      | None -> false
+      | Some controlling ->
+        let hit = ref false in
+        Array.iteri
+          (fun pin src ->
+            if
+              (not !hit)
+              && Some pin <> exclude_pin
+              && (not (Lazy.force cone).(src))
+              && Analysis.Implication.constant imp src = Some controlling
+            then hit := true)
+          c.N.fanins.(d);
+        !hit
+    in
+    (match site with
+    | F.Stem s -> List.exists (fun d -> blocked d) (Analysis.Dominators.dominators dom s)
+    | F.Branch { gate; pin } ->
+      blocked ~exclude_pin:pin gate
+      || List.exists (fun d -> blocked d) (Analysis.Dominators.dominators dom gate))
+
+let analyze ?classes ?analysis (c : N.t) universe =
   let t0 = Ternary.analyze c in
+  let implication = Option.bind analysis Analysis.Engine.implication in
   (* Global filter: a stem is worth a per-fault proof only if no
      all-nonconstant path links it to an output.  The cut analysis
      derives a subset of the intact circuit's constants, so it blocks
@@ -54,14 +105,37 @@ let analyze ?classes (c : N.t) universe =
     match line_value with
     | Ternary.Const v when v = stuck -> Some Unexcitable
     | Ternary.Const _ | Ternary.Lit _ ->
-      let globally_observable =
-        match fault.F.site with
-        | F.Stem s -> obs.(s)
-        | F.Branch { gate; pin = _ } -> obs.(gate) && not_const t0 gate
+      let unexcitable_by_implication =
+        match implication with
+        | None -> false
+        | Some imp ->
+          (* The learned closure proves the activation value infeasible
+             on the fault-free line: the line always sits at the stuck
+             value, so the faulty machine is the fault-free machine.
+             Strictly stronger than the ternary constant check above —
+             backward justification and learned edges participate. *)
+          let driver =
+            match fault.F.site with
+            | F.Stem s -> s
+            | F.Branch { gate; pin } -> c.N.fanins.(gate).(pin)
+          in
+          Analysis.Implication.infeasible imp driver (not stuck)
       in
-      if globally_observable then None
-      else if prove_unobservable c fault.F.site then Some Unobservable
-      else None
+      if unexcitable_by_implication then Some Unexcitable
+      else begin
+        let globally_observable =
+          match fault.F.site with
+          | F.Stem s -> obs.(s)
+          | F.Branch { gate; pin = _ } -> obs.(gate) && not_const t0 gate
+        in
+        if (not globally_observable) && prove_unobservable c fault.F.site then
+          Some Unobservable
+        else
+          match analysis with
+          | Some a when prove_blocked_dominators c a fault.F.site ->
+            Some Unobservable
+          | Some _ | None -> None
+      end
   in
   let verdicts = Array.map verdict universe in
   (match classes with
@@ -86,8 +160,8 @@ let analyze ?classes (c : N.t) universe =
       universe);
   verdicts
 
-let untestable ?classes c universe =
-  let verdicts = analyze ?classes c universe in
+let untestable ?classes ?analysis c universe =
+  let verdicts = analyze ?classes ?analysis c universe in
   let flagged = ref [] in
   Array.iteri
     (fun i fault ->
@@ -97,5 +171,5 @@ let untestable ?classes c universe =
     universe;
   Array.of_list (List.rev !flagged)
 
-let untestable_faults ?classes c universe =
-  Array.map fst (untestable ?classes c universe)
+let untestable_faults ?classes ?analysis c universe =
+  Array.map fst (untestable ?classes ?analysis c universe)

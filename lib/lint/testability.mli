@@ -26,6 +26,19 @@
       class (identical detection sets by construction) with a fault
       proved untestable above.
 
+    With an [analysis] engine supplied, two stronger proofs join in:
+
+    - {b Unexcitable} (learned): the implication closure proves the
+      activation value infeasible on the fault-free line — backward
+      justification and contrapositive learning find constants plain
+      forward ternary propagation cannot.
+    - {b Unobservable} (blocked dominators): some absolute dominator of
+      the site has a side input held at its controlling value by a
+      learned constant whose node lies {e outside} the fault's fanout
+      cone.  Out-of-cone constants hold identically in the faulty
+      machine, so the dominator's output never differs and no
+      propagation path survives (every path crosses every dominator).
+
     The analysis is deliberately one-sided: a [None] verdict means
     "not provably untestable", never "testable".  The test suite
     cross-checks soundness by exhaustive simulation on small
@@ -38,20 +51,25 @@ val reason_to_string : reason -> string
 
 val analyze :
   ?classes:Faults.Collapse.t ->
+  ?analysis:Analysis.Engine.t ->
   Circuit.Netlist.t -> Faults.Fault.t array -> reason option array
 (** Per-fault verdicts, indexed like the universe.  When [classes]
     (equivalence classes over the {e same} universe) is supplied, every
     class containing a proven-untestable fault has its remaining
-    members flagged [Equivalent]. *)
+    members flagged [Equivalent].  [analysis] (built over the {e same}
+    netlist) enables the learned-implication and blocked-dominator
+    proofs described above. *)
 
 val untestable :
   ?classes:Faults.Collapse.t ->
+  ?analysis:Analysis.Engine.t ->
   Circuit.Netlist.t -> Faults.Fault.t array ->
   (Faults.Fault.t * reason) array
 (** The flagged subset of the universe, in universe order. *)
 
 val untestable_faults :
   ?classes:Faults.Collapse.t ->
+  ?analysis:Analysis.Engine.t ->
   Circuit.Netlist.t -> Faults.Fault.t array -> Faults.Fault.t array
 (** {!untestable} without the reasons — the argument
     {!Faults.Universe.exclude_untestable} expects. *)

@@ -6,11 +6,13 @@ type config = {
   backtrack_limit : int;
   seed : int;
   engine : engine;
+  use_analysis : bool;
+  learn_depth : int;
 }
 
 let default_config =
   { random_budget = 512; random_target = 0.90; backtrack_limit = 2000; seed = 7;
-    engine = Podem_engine }
+    engine = Podem_engine; use_analysis = false; learn_depth = 1 }
 
 type report = {
   patterns : bool array array;
@@ -23,6 +25,11 @@ type report = {
 
 let run ?(config = default_config) c faults =
   Obs.Trace.with_span "atpg.run" @@ fun () ->
+  let analysis =
+    if config.use_analysis && config.engine = Podem_engine then
+      Some (Analysis.Engine.build ~learn_depth:(Some config.learn_depth) c)
+    else None
+  in
   let rng = Stats.Rng.create ~seed:config.seed () in
   let random_patterns, random_profile =
     Obs.Trace.with_span "atpg.random" (fun () ->
@@ -52,7 +59,7 @@ let run ?(config = default_config) c faults =
           match config.engine with
           | Podem_engine ->
             (match
-               Podem.generate ~backtrack_limit:config.backtrack_limit c
+               Podem.generate ~backtrack_limit:config.backtrack_limit ?analysis c
                  faults.(target)
              with
             | Podem.Test pattern, _ -> `Test pattern

@@ -15,6 +15,15 @@ type config = {
   backtrack_limit : int;   (** Deterministic budget per fault. *)
   seed : int;
   engine : engine;
+  use_analysis : bool;
+      (** Build a static {!Analysis.Engine.t} (dominators + learned
+          implications) once per run and hand it to every
+          {!Podem.generate} call — unique sensitization, objective
+          pruning and pre-search untestability verdicts.  Verdicts are
+          unchanged; only the search effort shrinks.  Ignored by
+          {!Implication_engine}.  Default off. *)
+  learn_depth : int;
+      (** Implication learning depth when [use_analysis] is set. *)
 }
 
 val default_config : config

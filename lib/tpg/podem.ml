@@ -22,7 +22,7 @@ let fault_line_driver (c : Circuit.Netlist.t) fault =
   | Faults.Fault.Stem v -> v
   | Faults.Fault.Branch { gate; pin } -> c.fanins.(gate).(pin)
 
-let generate ?(backtrack_limit = 1000) ?(guidance = Level_based)
+let generate ?(backtrack_limit = 1000) ?(guidance = Level_based) ?analysis
     (c : Circuit.Netlist.t) fault =
   (* Cost of choosing [src] as the line to drive toward [value]; the
      search is correct for any cost, guidance only shapes its order. *)
@@ -40,6 +40,47 @@ let generate ?(backtrack_limit = 1000) ?(guidance = Level_based)
   let stuck = stuck_t3 fault.Faults.Fault.polarity in
   let implications = ref 0 in
   let backtracks = ref 0 in
+  let pruned = ref 0 in
+  let implication_graph = Option.bind analysis Analysis.Engine.implication in
+
+  (* Fanout cone of the fault site: the nodes a fault effect can reach.
+     Unique sensitization must only constrain side inputs from {e
+     outside} this cone — an in-cone line may itself have to carry the
+     effect. *)
+  let site_cone =
+    lazy
+      (let cone = Array.make num_nodes false in
+       let rec go id =
+         if not cone.(id) then begin
+           cone.(id) <- true;
+           Array.iter go c.fanouts.(id)
+         end
+       in
+       go (Faults.Fault.site_node fault);
+       cone)
+  in
+
+  (* Can the objective [src = v] still be met under the current PI
+     assignment?  Good-machine values are monotone (a defined value
+     holds for every completion of the PIs), so a learned consequence of
+     [src = v] that contradicts a defined value rules the objective out.
+     Used only to order and filter objective candidates — never to
+     prune decisions — so verdicts cannot change. *)
+  let achievable src v =
+    match implication_graph with
+    | None -> true
+    | Some imp ->
+      (match Analysis.Implication.consequences imp src v with
+      | None -> false
+      | Some consequences ->
+        List.for_all
+          (fun (m, w) ->
+            match values.(m).Logic5.good with
+            | Logic5.U -> true
+            | Logic5.T -> w
+            | Logic5.F -> not w)
+          consequences)
+  in
 
   (* Forward implication: recompute every node from the PI assignment,
      injecting the fault's faulty-machine component at its site. *)
@@ -136,6 +177,72 @@ let generate ?(backtrack_limit = 1000) ?(guidance = Level_based)
     bfs frontier
   in
 
+  (* Choose the cheapest X input of [fanins] to drive toward [v],
+     preferring candidates the implication graph does not rule out;
+     falls back to an infeasible one (the decision search sorts it out)
+     so behaviour without analysis is unchanged. *)
+  let pick_x_input fanins v =
+    let best = ref None and fallback = ref None in
+    Array.iter
+      (fun src ->
+        if Logic5.has_unknown values.(src) then
+          if achievable src v then begin
+            match !best with
+            | None -> best := Some src
+            | Some cur -> if choice_cost src v < choice_cost cur v then best := Some src
+          end
+          else begin
+            incr pruned;
+            match !fallback with
+            | None -> fallback := Some src
+            | Some cur ->
+              if choice_cost src v < choice_cost cur v then fallback := Some src
+          end)
+      fanins;
+    match !best with Some _ as s -> s | None -> !fallback
+  in
+
+  (* Unique sensitization: whatever frontier gate carries the effect
+     onward, every detection path crosses the frontier's common
+     dominators, so their out-of-cone side inputs must settle at
+     non-controlling values — schedule the first one still at X. *)
+  let unique_sensitization frontier =
+    match analysis with
+    | None -> None
+    | Some a ->
+      let doms =
+        Analysis.Dominators.common_dominators (Analysis.Engine.dominators a)
+          frontier
+      in
+      let rec try_doms = function
+        | [] -> None
+        | d :: rest ->
+          (match Circuit.Gate.controlling_value c.kinds.(d) with
+          | None -> try_doms rest
+          | Some controlling ->
+            let v = not controlling in
+            let cone = Lazy.force site_cone in
+            let candidate = ref None in
+            Array.iter
+              (fun src ->
+                if
+                  (not cone.(src))
+                  && Logic5.has_unknown values.(src)
+                  && achievable src v
+                then
+                  match !candidate with
+                  | None -> candidate := Some src
+                  | Some cur ->
+                    if choice_cost src v < choice_cost cur v then
+                      candidate := Some src)
+              c.fanins.(d);
+            (match !candidate with
+            | Some src -> Some (src, v)
+            | None -> try_doms rest))
+      in
+      try_doms doms
+  in
+
   (* Choose (node, boolean objective value). *)
   let objective () =
     let line = fault_line_driver c fault in
@@ -146,29 +253,23 @@ let generate ?(backtrack_limit = 1000) ?(guidance = Level_based)
       match d_frontier () with
       | [] -> None
       | frontier ->
-        (* Lowest-level frontier gate first: shortest remaining path. *)
-        let gate =
-          List.fold_left
-            (fun best g -> if c.levels.(g) < c.levels.(best) then g else best)
-            (List.hd frontier) frontier
-        in
-        let v =
-          match Circuit.Gate.controlling_value c.kinds.(gate) with
-          | Some controlling -> not controlling (* non-controlling value *)
-          | None -> false
-        in
-        let x_input = ref None in
-        Array.iter
-          (fun src ->
-            if Logic5.has_unknown values.(src) then
-              match !x_input with
-              | None -> x_input := Some src
-              | Some cur ->
-                if choice_cost src v < choice_cost cur v then x_input := Some src)
-          c.fanins.(gate);
-        (match !x_input with
-        | None -> None
-        | Some src -> Some (src, v))
+        (match unique_sensitization frontier with
+        | Some objective -> Some objective
+        | None ->
+          (* Lowest-level frontier gate first: shortest remaining path. *)
+          let gate =
+            List.fold_left
+              (fun best g -> if c.levels.(g) < c.levels.(best) then g else best)
+              (List.hd frontier) frontier
+          in
+          let v =
+            match Circuit.Gate.controlling_value c.kinds.(gate) with
+            | Some controlling -> not controlling (* non-controlling value *)
+            | None -> false
+          in
+          (match pick_x_input c.fanins.(gate) v with
+          | None -> None
+          | Some src -> Some (src, v)))
     end
   in
 
@@ -250,16 +351,49 @@ let generate ?(backtrack_limit = 1000) ?(guidance = Level_based)
     Test pattern
   in
 
+  (* Sound pre-search verdicts from the static analyses: a fault on a
+     stem with no path to any output is unobservable, and a fault whose
+     activation value is infeasible (the line is a learned constant at
+     the stuck value) is unexcitable. *)
+  let static_verdict =
+    match analysis with
+    | None -> None
+    | Some a ->
+      if
+        not
+          (Analysis.Dominators.observable
+             (Analysis.Engine.dominators a)
+             (Faults.Fault.site_node fault))
+      then Some Untestable
+      else begin
+        match implication_graph with
+        | None -> None
+        | Some imp ->
+          let line = fault_line_driver c fault in
+          if Analysis.Implication.infeasible imp line (stuck = Logic5.F) then
+            Some Untestable
+          else None
+      end
+  in
   let verdict =
     Obs.Trace.with_span "podem.generate" (fun () ->
-        let verdict = try attempt () with Abort_search -> Aborted in
+        let verdict =
+          match static_verdict with
+          | Some verdict ->
+            if Obs.Metrics.enabled () then
+              Obs.Metrics.incr "atpg.podem.static_untestable";
+            verdict
+          | None -> ( try attempt () with Abort_search -> Aborted)
+        in
         Obs.Trace.add_int "backtracks" !backtracks;
         Obs.Trace.add_int "implications" !implications;
+        if Option.is_some analysis then Obs.Trace.add_int "pruned" !pruned;
         verdict)
   in
   if Obs.Metrics.enabled () then begin
     Obs.Metrics.incr "atpg.podem.calls";
     Obs.Metrics.incr ~by:(float_of_int !backtracks) "atpg.podem.backtracks";
-    Obs.Metrics.incr ~by:(float_of_int !implications) "atpg.podem.implications"
+    Obs.Metrics.incr ~by:(float_of_int !implications) "atpg.podem.implications";
+    Obs.Metrics.incr ~by:(float_of_int !pruned) "atpg.podem.pruned"
   end;
   (verdict, { backtracks = !backtracks; implications = !implications })

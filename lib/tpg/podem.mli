@@ -26,9 +26,22 @@ type guidance =
 val generate :
   ?backtrack_limit:int ->
   ?guidance:guidance ->
+  ?analysis:Analysis.Engine.t ->
   Circuit.Netlist.t -> Faults.Fault.t -> result * stats
 (** [generate c fault] searches for a test.  Default backtrack limit is
     1000, default guidance {!Level_based}.  The returned pattern is
     guaranteed (and test-suite verified) to detect the fault under the
     fault simulator; the verdicts (test found / untestable) do not
-    depend on the guidance, only the search effort does. *)
+    depend on the guidance, only the search effort does.
+
+    [analysis] (built over the {e same} netlist) adds three
+    accelerations: sound pre-search [Untestable] verdicts for
+    structurally unobservable sites and infeasible activation values;
+    {e unique sensitization} — when the D-frontier shares absolute
+    dominators, their out-of-cone side inputs are scheduled toward
+    non-controlling values first; and learned-implication filtering of
+    objective candidates whose consequences contradict the current
+    state.  All three only reorder or shortcut the search — the
+    verdict for any fault is unchanged (verified against exhaustive
+    simulation), and the backtrack count can only shrink on faults
+    where the heuristics bite. *)
