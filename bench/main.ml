@@ -3,7 +3,7 @@
    Usage:  main.exe [target ...]
    Targets: fig1 fig2 fig3 fig4 fig5 fig6 table1 comparison fineline
             ablation signature stafan drift economics wafer par analyze
-            micro all
+            ndetect micro all
             (default: all)
    Special: `par [FILE]` / `par-smoke [FILE]` sweep the multicore
    fault-simulation engine and write BENCH_fsim.json (or FILE);
@@ -323,6 +323,76 @@ let run_analyze () =
   section "Static-analysis bench (dominators, implications, PODEM ablation)";
   ignore (analysis_bench ~smoke:false ())
 
+(* n-detection sweep: grade one fault universe with the drop-after-n
+   kernels at n = 1/2/4/8, cross-checking Serial/Ppsfp/Par bit-identity
+   and the n = 1 / first-detection equivalence (hard failures), and
+   recording per-n timings plus the n-detect coverage curve so
+   BENCH_fsim.json tracks the cost of deeper grading. *)
+let ndetect_bench ~warmup ~repeats circuit universe patterns =
+  Printf.printf "\nn-detection sweep (drop-after-n)\n\n";
+  let baseline = Fsim.Ppsfp.run circuit universe patterns in
+  let nf = Array.length universe in
+  let np = Array.length patterns in
+  Printf.printf "%-4s %10s %10s %10s %10s\n" "n" "min (s)" "median (s)"
+    "p90 (s)" "coverage";
+  let prev_coverage = ref infinity in
+  List.map
+    (fun n ->
+      let (detections, nth), t =
+        measure ~warmup ~repeats (fun () ->
+            Fsim.Ppsfp.run_counts ~n circuit universe patterns)
+      in
+      if Fsim.Serial.run_counts ~n circuit universe patterns <> (detections, nth)
+      then failwith "BENCH ndetect: Serial.run_counts diverged from Ppsfp";
+      if Fsim.Par.run_counts ~domains:2 ~n circuit universe patterns
+         <> (detections, nth)
+      then failwith "BENCH ndetect: Par.run_counts diverged from Ppsfp";
+      if n = 1 && nth <> baseline then
+        failwith "BENCH ndetect: n=1 grading diverged from first-detection";
+      let profile =
+        { Fsim.Coverage.universe_size = nf; pattern_count = np;
+          first_detection = nth }
+      in
+      let coverage = Fsim.Coverage.final_coverage profile in
+      if coverage > !prev_coverage +. 1e-12 then
+        failwith "BENCH ndetect: coverage increased with n";
+      prev_coverage := coverage;
+      Printf.printf "%-4d %10.3f %10.3f %10.3f %10.4f\n" n (t_min t)
+        (t_median t) (t_p90 t) coverage;
+      let checkpoints =
+        List.sort_uniq compare [ max 1 (np / 4); max 1 (np / 2);
+                                 max 1 (3 * np / 4); np ]
+      in
+      Report.Json.Obj
+        [ ("n", Report.Json.Int n);
+          ("min_s", Report.Json.Float (t_min t));
+          ("median_s", Report.Json.Float (t_median t));
+          ("p90_s", Report.Json.Float (t_p90 t));
+          ("coverage", Report.Json.Float coverage);
+          ( "curve",
+            Report.Json.List
+              (List.map
+                 (fun k ->
+                   Report.Json.Obj
+                     [ ("patterns", Report.Json.Int k);
+                       ( "coverage",
+                         Report.Json.Float
+                           (Fsim.Coverage.coverage_after profile k) ) ])
+                 checkpoints) ) ])
+    [ 1; 2; 4; 8 ]
+
+let run_ndetect () =
+  section "n-detection sweep (drop-after-n kernels)";
+  let circuit =
+    Circuit.Generators.random_circuit ~inputs:64 ~gates:6000 ~outputs:48 ~seed:7
+  in
+  let classes = Faults.Collapse.equivalence circuit (Faults.Universe.all circuit) in
+  let universe = Faults.Collapse.representatives classes in
+  let patterns =
+    Tpg.Random_tpg.uniform (Stats.Rng.create ~seed:99 ()) circuit ~count:512
+  in
+  ignore (ndetect_bench ~warmup:1 ~repeats:5 circuit universe patterns)
+
 let run_par ?(out = "BENCH_fsim.json") ~smoke () =
   section
     (Printf.sprintf "Multicore PPSFP sweep%s -> %s"
@@ -397,17 +467,28 @@ let run_par ?(out = "BENCH_fsim.json") ~smoke () =
         ("warmup", Report.Json.Int warmup);
         ("repeats", Report.Json.Int repeats) ]
   in
+  let ndetect = ndetect_bench ~warmup ~repeats circuit universe patterns in
   let analysis = analysis_bench ~smoke () in
   let doc =
     Report.Json.Obj
       [ ("host", host);
         ("runs", Report.Json.List (List.rev !rows));
+        ("ndetect", Report.Json.List ndetect);
         ("analysis", analysis) ]
   in
   let oc = open_out out in
   output_string oc (Report.Json.to_string_pretty doc);
   output_char oc '\n';
   close_out oc;
+  (* Self-check the artifact on disk: the ndetect block must survive
+     emission, so a refactor that silently drops it fails the build. *)
+  let ic = open_in out in
+  let written = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  (match Report.Json.parse written with
+  | Ok (Report.Json.Obj fields) when List.mem_assoc "ndetect" fields -> ()
+  | Ok _ -> failwith "BENCH_fsim: written JSON lacks the ndetect block"
+  | Error message -> failwith ("BENCH_fsim: written JSON unparsable: " ^ message));
   Printf.printf "\nwrote %s (all engines bit-identical)\n" out
 
 (* ------------------------------------------------------------------ *)
@@ -463,7 +544,8 @@ let run_obs_smoke ?(out = "BENCH_trace_smoke.json") () =
         Obs.Metrics.set_enabled false)
       (fun () ->
         ignore (Analysis.Engine.build ~learn_depth:(Some 1) circuit);
-        ignore (Fsim.Par.run ~domains:2 circuit universe patterns));
+        ignore (Fsim.Par.run ~domains:2 circuit universe patterns);
+        ignore (Fsim.Par.run_counts ~domains:2 ~n:2 circuit universe patterns));
     Obs.Trace.tree_shape ()
   in
   let shape1 = traced_run () in
@@ -492,9 +574,15 @@ let run_obs_smoke ?(out = "BENCH_trace_smoke.json") () =
           ~what:(Printf.sprintf "span %S present" required)
           (List.mem required names))
       [ "fsim.par"; "fsim.par.prepare"; "fsim.par.shard[0]"; "fsim.par.shard[1]";
+        "fsim.ndetect.par"; "fsim.ndetect.par.prepare";
+        "fsim.ndetect.par.shard[0]"; "fsim.ndetect.par.shard[1]";
         "analysis.build"; "analysis.dominators"; "analysis.implications" ]);
   obs_check ~what:"metrics counted fault evaluations"
     (match Obs.Metrics.value "fsim.par.fault_evals" with
+    | Some v -> v > 0.0
+    | None -> false);
+  obs_check ~what:"metrics counted n-detect fault evaluations"
+    (match Obs.Metrics.value "fsim.ndetect.par.fault_evals" with
     | Some v -> v > 0.0
     | None -> false);
   (* Shape determinism at fixed seed: a second traced run must produce
@@ -671,15 +759,19 @@ let targets =
     ("wafer", run_wafer);
     ("par", fun () -> run_par ~smoke:false ());
     ("analyze", run_analyze);
+    ("ndetect", run_ndetect);
     ("micro", run_micro) ]
 
-(* "par" and "analyze" are excluded from `all`: they are timing runs,
-   meaningful only when invoked on their own (the `par` targets embed
-   the analyze section in BENCH_fsim.json anyway). *)
+(* "par", "analyze" and "ndetect" are excluded from `all`: they are
+   timing runs, meaningful only when invoked on their own (the `par`
+   targets embed the analyze and ndetect sections in BENCH_fsim.json
+   anyway). *)
 let run_all () =
   List.iter
     (fun (name, f) ->
-      if name <> "micro" && name <> "par" && name <> "analyze" then f ())
+      if name <> "micro" && name <> "par" && name <> "analyze"
+         && name <> "ndetect"
+      then f ())
     targets;
   run_fig234_checkpoints ();
   run_micro ()

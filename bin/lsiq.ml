@@ -24,21 +24,32 @@ let seed_arg =
   let doc = "Random seed (all simulations are deterministic in it)." in
   Arg.(value & opt int 1981 & info [ "seed" ] ~docv:"SEED" ~doc)
 
+let positive_int ~what =
+  let parse s =
+    match Arg.conv_parser Arg.int s with
+    | Ok n when n >= 1 -> Ok n
+    | Ok n -> Error (`Msg (Printf.sprintf "expected %s >= 1, got %d" what n))
+    | Error _ as e -> e
+  in
+  Arg.conv (parse, Arg.conv_printer Arg.int)
+
 let domains_arg =
   let doc =
     "Shard fault simulation across $(docv) OCaml domains (the multicore PPSFP \
      engine; results are bit-identical to the serial engines)."
   in
-  let positive_int =
-    let parse s =
-      match Arg.conv_parser Arg.int s with
-      | Ok n when n >= 1 -> Ok n
-      | Ok n -> Error (`Msg (Printf.sprintf "expected a domain count >= 1, got %d" n))
-      | Error _ as e -> e
-    in
-    Arg.conv (parse, Arg.conv_printer Arg.int)
+  Arg.(value & opt (some (positive_int ~what:"a domain count")) None
+       & info [ "domains" ] ~docv:"N" ~doc)
+
+let n_detect_arg =
+  let doc =
+    "Additionally grade n-detection coverage: a fault counts as covered only \
+     once $(docv) distinct patterns have detected it (drop-after-n fault \
+     simulation).  With $(docv)=1 this reproduces the ordinary coverage \
+     bit-identically."
   in
-  Arg.(value & opt (some positive_int) None & info [ "domains" ] ~docv:"N" ~doc)
+  Arg.(value & opt (some (positive_int ~what:"a detection count")) None
+       & info [ "n-detect" ] ~docv:"N" ~doc)
 
 let circuit_arg =
   let doc =
@@ -215,12 +226,12 @@ let simulate_lot_cmd =
                  --exclude-untestable).")
   in
   let action scale chips target_yield n0 clustered exclude_untestable
-      collapse_dominance seed domains trace metrics =
+      collapse_dominance n_detect seed domains trace metrics =
     with_obs ~trace ~metrics @@ fun () ->
     let config =
       { Experiments.Pipeline.default_config with
         Experiments.Pipeline.scale; lot_size = chips; target_yield;
-        target_n0 = n0; seed; exclude_untestable; collapse_dominance;
+        target_n0 = n0; seed; exclude_untestable; collapse_dominance; n_detect;
         line = (if clustered then Experiments.Pipeline.Clustered
                 else Experiments.Pipeline.Ideal);
         fsim_engine =
@@ -231,13 +242,32 @@ let simulate_lot_cmd =
     let run = Experiments.Pipeline.execute config in
     print_string (Experiments.Pipeline.summary run);
     print_newline ();
-    print_string (Experiments.Table1.render ~run ())
+    print_string (Experiments.Table1.render ~run ());
+    match Tester.Pattern_set.n_detect run.Experiments.Pipeline.program with
+    | None -> ()
+    | Some cs ->
+      (* The same lot read off the n-detect coverage axis: each row sits
+         at the first pattern count whose n-detect coverage reaches the
+         checkpoint. *)
+      Printf.printf "\nn-detect rows (coverage = %d-detect):\n"
+        cs.Fsim.Coverage.require;
+      List.iter
+        (fun row ->
+          Printf.printf
+            "  coverage %.3f  after %4d patterns  failed %3d (%.3f)\n"
+            row.Tester.Wafer_test.coverage
+            row.Tester.Wafer_test.patterns_applied
+            row.Tester.Wafer_test.cumulative_failed
+            row.Tester.Wafer_test.fraction_failed)
+        (Tester.Wafer_test.rows_at_n_detect_coverages
+           run.Experiments.Pipeline.outcome run.Experiments.Pipeline.program
+           ~coverages:[ 0.25; 0.5; 0.75; 0.9; 0.95 ])
   in
   let doc = "Simulate a chip lot end-to-end and print its Table-1 analogue." in
   Cmd.v (Cmd.info "simulate-lot" ~doc)
     Term.(const action $ scale $ chips $ target_yield $ n0_arg $ clustered
-          $ exclude_untestable $ collapse_dominance $ seed_arg $ domains_arg
-          $ trace_arg $ metrics_arg)
+          $ exclude_untestable $ collapse_dominance $ n_detect_arg $ seed_arg
+          $ domains_arg $ trace_arg $ metrics_arg)
 
 (* ------------------------------ fsim ------------------------------- *)
 
@@ -264,8 +294,8 @@ let fsim_cmd =
            ~doc:"Grade the dominance-collapsed universe instead of the plain \
                  equivalence representatives.")
   in
-  let action circuit count engine seed domains collapse_dominance csv trace
-      metrics =
+  let action circuit count engine seed domains collapse_dominance n_detect csv
+      trace metrics =
     with_obs ~trace ~metrics @@ fun () ->
     let engine =
       match domains with
@@ -281,6 +311,11 @@ let fsim_cmd =
     in
     let patterns = Tpg.Random_tpg.uniform rng circuit ~count in
     let profile = Fsim.Coverage.profile ~engine circuit reps patterns in
+    let ndetect_counts =
+      Option.map
+        (fun n -> Fsim.Coverage.detection_counts ~engine ~n circuit reps patterns)
+        n_detect
+    in
     (* Progress/status on stderr; only the results on stdout, so
        `--csv` output pipes clean. *)
     Format.eprintf "%a@." Circuit.Netlist.pp_summary circuit;
@@ -289,18 +324,37 @@ let fsim_cmd =
       (Faults.Collapse.collapse_ratio classes);
     Printf.eprintf "patterns: %d random\n%!" count;
     let curve = Fsim.Coverage.curve profile in
-    if csv then
-      print_string
-        (Report.Csv.of_rows
-           ([ "patterns"; "coverage" ]
-           :: (Array.to_list curve
-              |> List.map (fun (k, f) ->
-                     [ string_of_int k; Printf.sprintf "%.6f" f ]))))
+    if csv then begin
+      match ndetect_counts with
+      | None ->
+        print_string
+          (Report.Csv.of_rows
+             ([ "patterns"; "coverage" ]
+             :: (Array.to_list curve
+                |> List.map (fun (k, f) ->
+                       [ string_of_int k; Printf.sprintf "%.6f" f ]))))
+      | Some cs ->
+        let ncurve = Fsim.Coverage.curve (Fsim.Coverage.n_detect_profile cs) in
+        print_string
+          (Report.Csv.of_rows
+             ([ "patterns"; "coverage"; "ndetect_coverage" ]
+             :: (Array.to_list curve
+                |> List.mapi (fun i (k, f) ->
+                       [ string_of_int k;
+                         Printf.sprintf "%.6f" f;
+                         Printf.sprintf "%.6f" (snd ncurve.(i)) ]))))
+    end
     else begin
       Printf.printf "coverage: %.2f%% (%d detected, %d undetected)\n"
         (100.0 *. Fsim.Coverage.final_coverage profile)
         (Fsim.Coverage.detected_count profile)
         (Array.length reps - Fsim.Coverage.detected_count profile);
+      (match ndetect_counts with
+      | None -> ()
+      | Some cs ->
+        Printf.printf "n-detect coverage (n=%d): %.2f%%\n"
+          cs.Fsim.Coverage.require
+          (100.0 *. Fsim.Coverage.n_detect_coverage cs));
       let step = max 1 (Array.length curve / 16) in
       Array.iteri
         (fun i (k, f) ->
@@ -312,7 +366,8 @@ let fsim_cmd =
   let doc = "Fault-simulate random patterns and print the coverage curve." in
   Cmd.v (Cmd.info "fsim" ~doc)
     Term.(const action $ circuit_arg $ patterns $ engine $ seed_arg
-          $ domains_arg $ collapse_dominance $ csv $ trace_arg $ metrics_arg)
+          $ domains_arg $ collapse_dominance $ n_detect_arg $ csv $ trace_arg
+          $ metrics_arg)
 
 (* ------------------------------ atpg ------------------------------- *)
 
@@ -513,27 +568,38 @@ let sample_cmd =
     Arg.(value & flag & info [ "collapse-dominance" ]
            ~doc:"Sample from the dominance-collapsed universe.")
   in
-  let action circuit count sample_size collapse_dominance seed =
+  let action circuit count sample_size collapse_dominance n_detect seed =
     let rng = Stats.Rng.create ~seed () in
     let classes = Faults.Collapse.equivalence circuit (Faults.Universe.all circuit) in
     let universe = Faults.Collapse.representatives classes in
     let patterns = Tpg.Random_tpg.uniform rng circuit ~count in
     let est =
-      Fsim.Sampling.estimate_coverage ~collapse_dominance rng circuit universe
-        ~sample_size patterns
+      Fsim.Sampling.estimate_coverage ~collapse_dominance ?n_detect rng circuit
+        universe ~sample_size patterns
+    in
+    let label =
+      match n_detect with
+      | Some n when n > 1 -> Printf.sprintf "sampled %d-detect coverage" n
+      | Some _ | None -> "sampled coverage"
     in
     Printf.printf
-      "sampled coverage: %.4f +- %.4f (95%%: [%.4f, %.4f]) from %d of %d faults\n"
+      "%s: %.4f +- %.4f (95%%: [%.4f, %.4f]) from %d of %d faults\n" label
       est.Fsim.Sampling.coverage est.Fsim.Sampling.std_error
       est.Fsim.Sampling.lower_95 est.Fsim.Sampling.upper_95
       est.Fsim.Sampling.sample_size est.Fsim.Sampling.universe_size;
-    let profile = Fsim.Coverage.profile circuit universe patterns in
-    Printf.printf "exact coverage:   %.4f\n" (Fsim.Coverage.final_coverage profile)
+    let exact =
+      match n_detect with
+      | None -> Fsim.Coverage.final_coverage (Fsim.Coverage.profile circuit universe patterns)
+      | Some n ->
+        Fsim.Coverage.n_detect_coverage
+          (Fsim.Coverage.detection_counts ~n circuit universe patterns)
+    in
+    Printf.printf "exact coverage:   %.4f\n" exact
   in
   let doc = "Estimate fault coverage from a random fault sample (with CI)." in
   Cmd.v (Cmd.info "sample-coverage" ~doc)
     Term.(const action $ circuit_arg $ patterns_count $ sample_size
-          $ collapse_dominance $ seed_arg)
+          $ collapse_dominance $ n_detect_arg $ seed_arg)
 
 (* ------------------------------- lint ------------------------------- *)
 

@@ -1,0 +1,64 @@
+(** n-detection generalization of the paper's escape model.
+
+    The paper treats a fault site as {e screened} the moment one test
+    pattern detects it (Eq. 4–5 count only covered/uncovered sites).
+    That is exact for the single-stuck-at model, but the defects the
+    model stands in for are not all stuck-ats: a site detected once may
+    still host a defect the detecting pattern happens to miss.  The
+    n-detection literature (Ma et al., McCluskey) models this with a {e
+    residual escape probability} [epsilon] per detection: a fault
+    detected [k] times escapes with probability [epsilon^k]
+    (independent detection opportunities), so repeated detections decay
+    the escape geometrically instead of zeroing it.
+
+    Folding the per-fault decay into a single number gives the {e
+    effective coverage}
+
+    {[ f_eff = (1/F) . sum_j (1 - epsilon^{k_j}) ]}
+
+    over the [F] faults with detection counts [k_j] — each fault
+    contributes its screening probability rather than a 0/1 covered
+    bit.  [f_eff] then replaces [f] in the paper's Eq. 5/7/8
+    unchanged.
+
+    {b Deviation from the paper:} this module is an extension, not a
+    reproduction — the paper has no [epsilon].  At [epsilon = 0] a
+    single detection screens perfectly, [f_eff] is exactly the paper's
+    coverage [f], and every function below collapses to its Eq. 5/7/8
+    counterpart.  Detection counts come from
+    [Fsim.Coverage.detection_counts] (the drop-after-n kernels saturate
+    counts at [n], which {e under}-states [f_eff]; use [n] large enough
+    that [epsilon^n] is negligible). *)
+
+val fault_escape : epsilon:float -> int -> float
+(** [fault_escape ~epsilon k]: probability that a fault detected by
+    [k] patterns still escapes — [epsilon^k], with [k = 0] giving 1
+    (an undetected fault always escapes, for any [epsilon], including
+    0).  Raises [Invalid_argument] when [epsilon] is outside [0,1] or
+    [k < 0]. *)
+
+val effective_coverage : epsilon:float -> int array -> float
+(** [effective_coverage ~epsilon counts]: mean screening probability
+    [(1/F) . sum (1 - epsilon^k)] over the per-fault detection counts.
+    Empty [counts] gives 0 (matching [Fsim.Coverage.final_coverage] on
+    an empty universe).  At [epsilon = 0] this is the ordinary fault
+    coverage: the fraction of faults with [k >= 1]. *)
+
+val q0 : epsilon:float -> faulty:int -> int array -> float
+(** Eq. 5 / A.3 at effective coverage: [(1 - f_eff)^faulty], the
+    probability that a chip with [faulty] faults passes the tests.  At
+    [epsilon = 0] equals [Escape.q0_simple] at the 1-detect
+    coverage. *)
+
+val ybg : epsilon:float -> yield_:float -> n0:float -> int array -> float
+(** Eq. 7 at effective coverage:
+    [(1 - f_eff)(1 - y) e^{-(n0-1) f_eff}].  At [epsilon = 0] equals
+    [Reject.ybg]. *)
+
+val reject_rate :
+  epsilon:float -> yield_:float -> n0:float -> int array -> float
+(** Eq. 8 at effective coverage: [r = Ybg / (y + Ybg)].  At
+    [epsilon = 0] equals [Reject.reject_rate] — the paper's field
+    reject rate.  For [epsilon > 0] the predicted reject rate is
+    higher at equal 1-detect coverage, quantifying the quality gain of
+    n-detection test sets. *)

@@ -16,6 +16,7 @@ type config = {
   fsim_engine : Fsim.Coverage.engine;
   exclude_untestable : bool;
   collapse_dominance : bool;
+  n_detect : int option;
 }
 
 let default_config =
@@ -31,7 +32,8 @@ let default_config =
     program_style = Functional_prelude 192;
     fsim_engine = Fsim.Coverage.Parallel;
     exclude_untestable = false;
-    collapse_dominance = false }
+    collapse_dominance = false;
+    n_detect = None }
 
 type run = {
   config : config;
@@ -111,6 +113,15 @@ let execute config =
         combined
   in
   Obs.Trace.add_int "patterns" (Tester.Pattern_set.pattern_count program);
+  let program =
+    match config.n_detect with
+    | None -> program
+    | Some n ->
+      Obs.Trace.with_span "pipeline.ndetect" (fun () ->
+          Obs.Trace.add_int "n" n;
+          Tester.Pattern_set.grade_n_detect ~engine:config.fsim_engine ~n
+            circuit universe program)
+  in
   let defect =
     Obs.Trace.with_span "pipeline.fab" @@ fun () ->
     let defect_density =
@@ -184,6 +195,13 @@ let summary run =
     run.atpg_report.Tpg.Atpg.random_patterns
     run.atpg_report.Tpg.Atpg.deterministic_patterns
     (100.0 *. Tester.Pattern_set.final_coverage run.program);
+  (match Tester.Pattern_set.n_detect run.program with
+   | None -> ()
+   | Some cs ->
+     addf "n-detect: coverage at n=%d is %.2f%% (1-detect %.2f%%)\n"
+       cs.Fsim.Coverage.require
+       (100.0 *. Fsim.Coverage.n_detect_coverage cs)
+       (100.0 *. Tester.Pattern_set.final_coverage run.program));
   addf "atpg: %d untestable, %d aborted\n" run.atpg_report.Tpg.Atpg.untestable
     run.atpg_report.Tpg.Atpg.aborted;
   addf "fab: lambda=%.3f defects/chip, multiplicity=%.3f, model yield=%.4f\n"

@@ -53,6 +53,13 @@ type config = {
           equivalence representatives.  Shrinks the Eq. 4 denominator
           further by detection containment; composes with
           [exclude_untestable]. *)
+  n_detect : int option;
+      (** When [Some n], additionally grade the test program with the
+          drop-after-n kernels ({!Fsim.Coverage.detection_counts}) so
+          [run.program] carries per-fault detection counts and the
+          n-detect coverage curve; the {!summary} then reports both
+          coverage figures.  [None] (the default) skips the extra
+          grading pass. *)
 }
 
 val default_config : config

@@ -19,6 +19,32 @@ let profile ?(engine = Parallel) c faults patterns =
     pattern_count = Array.length patterns;
     first_detection }
 
+type counts = {
+  require : int;
+  detections : int array;
+  nth_profile : profile;
+}
+
+let detection_counts ?(engine = Parallel) ~n c faults patterns =
+  let detections, nth_detection =
+    match engine with
+    | Serial -> Serial.run_counts ~n c faults patterns
+    | Parallel | Deductive | Concurrent ->
+      (* The deductive and concurrent engines have no drop-after-n
+         kernel; all engines produce identical detection sets, so they
+         fall back to the PPSFP kernel. *)
+      Ppsfp.run_counts ~n c faults patterns
+    | Par { domains } -> Par.run_counts ~domains ~n c faults patterns
+  in
+  { require = n;
+    detections;
+    nth_profile =
+      { universe_size = Array.length faults;
+        pattern_count = Array.length patterns;
+        first_detection = nth_detection } }
+
+let n_detect_profile cs = cs.nth_profile
+
 let detected_count p =
   Array.fold_left
     (fun acc d -> match d with Some _ -> acc + 1 | None -> acc)
@@ -52,6 +78,10 @@ let curve p =
   Array.init p.pattern_count (fun k ->
       running := !running + new_detections.(k + 1);
       (k + 1, float_of_int !running /. total))
+
+let n_detect_coverage cs = final_coverage cs.nth_profile
+
+let n_detect_coverage_after cs k = coverage_after cs.nth_profile k
 
 let excluding p ~universe ~untestable =
   if Array.length universe <> p.universe_size then

@@ -29,6 +29,49 @@ val profile :
     {!Deductive} give identical results at different costs) and package
     the result. *)
 
+type counts = {
+  require : int;
+      (** The n of n-detect ([>= 1]). *)
+  detections : int array;
+      (** Per fault, detecting patterns seen, saturated at [require]. *)
+  nth_profile : profile;
+      (** The [require]-th detection viewed as a {!profile}:
+          [first_detection.(j)] is the index of the [require]-th
+          pattern detecting fault [j] ([None] when fewer than
+          [require] patterns detect it). *)
+}
+(** n-detection profile: single-detection coverage overstates defect
+    screening (Pomeranz & Reddy), so production flows grade how {e
+    often} each fault is detected.  Computed with a drop-after-n
+    policy: a fault leaves the simulation once [require] distinct
+    patterns have detected it. *)
+
+val detection_counts :
+  ?engine:engine ->
+  n:int ->
+  Circuit.Netlist.t -> Faults.Fault.t array -> bool array array -> counts
+(** Run n-detection fault simulation.  {!Serial}, {!Parallel} and
+    {!Par} use their native drop-after-n kernels ({!Serial.run_counts},
+    {!Ppsfp.run_counts}, {!Par.run_counts}); {!Deductive} and
+    {!Concurrent} fall back to the PPSFP kernel (all engines agree on
+    detection sets).  With [n = 1], [nth_detection] is bit-identical to
+    the {!profile}'s [first_detection] on every engine.  Raises
+    [Invalid_argument] when [n < 1]. *)
+
+val n_detect_profile : counts -> profile
+(** [nth_profile], as a function: the n-detection result as an
+    ordinary {!profile} whose "first detection" is the [require]-th
+    detection — every downstream consumer ({!coverage_after}, {!curve},
+    {!undetected}, the virtual tester) then reports n-detect
+    figures. *)
+
+val n_detect_coverage : counts -> float
+(** Fraction of faults detected at least [require] times. *)
+
+val n_detect_coverage_after : counts -> int -> float
+(** [n_detect_coverage_after cs k]: fraction of faults whose
+    [require]-th detection happens within the first [k] patterns. *)
+
 val detected_count : profile -> int
 (** Number of detected faults. *)
 

@@ -57,33 +57,41 @@ let run_shard c slices faults results lo hi =
     slices;
   !detected
 
-let run ?domains c faults patterns =
+(* Shared domain-spawning driver for both first-detection and
+   n-detection grading: shard faults [0, n) into contiguous ranges, run
+   [grade slices lo hi] (returning the shard's detection count) on one
+   domain per shard, and record per-shard wall/imbalance observability
+   under [engine] ("par" or "ndetect.par").  [annotate] adds
+   engine-specific span attributes inside the top-level span. *)
+let drive ~engine ?(annotate = fun () -> ()) ?domains c faults patterns grade =
   let n = Array.length faults in
   let requested =
     match domains with Some d -> d | None -> Domain.recommended_domain_count ()
   in
-  if requested < 1 then invalid_arg "Par.run: need at least one domain";
+  if requested < 1 then invalid_arg "Par: need at least one domain";
   let domains = max 1 (min requested n) in
-  Instrument.engine_run ~engine:"par" ~faults:n
+  Instrument.engine_run ~engine ~faults:n
     ~patterns:(Array.length patterns)
   @@ fun () ->
   Obs.Trace.add_int "domains" domains;
-  let results = Array.make n None in
+  annotate ();
   if n > 0 then begin
     let slices =
-      Obs.Trace.with_span "fsim.par.prepare" (fun () -> prepare c patterns)
+      Obs.Trace.with_span ("fsim." ^ engine ^ ".prepare") (fun () ->
+          prepare c patterns)
     in
     let bounds d = d * n / domains in
     let observing = Instrument.observing () in
     (* Per-shard wall time and detection counts; each worker writes only
        its own slot, Domain.join publishes the writes (same discipline
-       as [results]). *)
+       as the result arrays). *)
     let shard_wall = Array.make domains 0.0 in
     let shard_detected = Array.make domains 0 in
     let graded_shard i lo hi () =
-      Obs.Trace.with_span (Printf.sprintf "fsim.par.shard[%d]" i) (fun () ->
+      Obs.Trace.with_span (Printf.sprintf "fsim.%s.shard[%d]" engine i)
+        (fun () ->
           let t0 = if observing then Obs.Trace.now_s () else 0.0 in
-          let detected = run_shard c slices faults results lo hi in
+          let detected = grade slices lo hi in
           if observing then begin
             shard_wall.(i) <- Obs.Trace.now_s () -. t0;
             shard_detected.(i) <- detected;
@@ -99,17 +107,62 @@ let run ?domains c faults patterns =
     graded_shard 0 0 (bounds 1) ();
     Array.iter Domain.join workers;
     if Obs.Metrics.enabled () then begin
+      let prefix = "fsim." ^ engine in
       Array.iteri
         (fun i wall ->
-          Obs.Metrics.observe "fsim.par.shard_wall_s" wall;
-          Obs.Metrics.observe "fsim.par.shard_detected"
+          Obs.Metrics.observe (prefix ^ ".shard_wall_s") wall;
+          Obs.Metrics.observe (prefix ^ ".shard_detected")
             (float_of_int shard_detected.(i)))
         shard_wall;
       let total = Array.fold_left ( +. ) 0.0 shard_wall in
       let mean = total /. float_of_int domains in
       let slowest = Array.fold_left max 0.0 shard_wall in
       if mean > 0.0 then
-        Obs.Metrics.set "fsim.par.shard_imbalance" (slowest /. mean)
+        Obs.Metrics.set (prefix ^ ".shard_imbalance") (slowest /. mean)
     end
-  end;
+  end
+
+let run ?domains c faults patterns =
+  let results = Array.make (Array.length faults) None in
+  drive ~engine:"par" ?domains c faults patterns (fun slices lo hi ->
+      run_shard c slices faults results lo hi);
   results
+
+(* n-detection shard: the Ppsfp drop-after-n policy over [lo, hi),
+   writing counts and n-th-detection indices into the shard's disjoint
+   slices of [detections]/[nth].  Per-fault state never crosses shard
+   boundaries, so the merge (array concatenation by construction) is
+   deterministic for every domain count. *)
+let run_shard_counts ~n c slices faults detections nth lo hi =
+  let st = Ppsfp.make_state c in
+  let alive = ref (List.init (hi - lo) (fun i -> lo + i)) in
+  let detected = ref 0 in
+  List.iter
+    (fun { block_start; live; good } ->
+      if !alive <> [] then begin
+        if Instrument.observing () then
+          Instrument.count_fault_evals ~engine:"ndetect.par"
+            (List.length !alive);
+        let survivors = ref [] in
+        List.iter
+          (fun fi ->
+            let mask = Ppsfp.propagate st good ~live faults.(fi) in
+            if Ppsfp.record_detections ~n ~block_start ~detections ~nth mask fi
+            then survivors := fi :: !survivors
+            else incr detected)
+          !alive;
+        alive := List.rev !survivors
+      end)
+    slices;
+  !detected
+
+let run_counts ?domains ~n c faults patterns =
+  if n < 1 then invalid_arg "Par.run_counts: n must be >= 1";
+  let nf = Array.length faults in
+  let detections = Array.make nf 0 in
+  let nth = Array.make nf None in
+  drive ~engine:"ndetect.par"
+    ~annotate:(fun () -> Obs.Trace.add_int "n" n)
+    ?domains c faults patterns
+    (fun slices lo hi -> run_shard_counts ~n c slices faults detections nth lo hi);
+  (detections, nth)

@@ -16,3 +16,16 @@ val run :
     [Domain.recommended_domain_count ()] and is clamped to the fault
     count; it must be >= 1.  [run ~domains:1] degenerates to the serial
     engine without spawning. *)
+
+val run_counts :
+  ?domains:int ->
+  n:int ->
+  Circuit.Netlist.t -> Faults.Fault.t array -> bool array array ->
+  int array * int option array
+(** Multicore n-detection grading; same contract as
+    {!Ppsfp.run_counts} (per-fault detection count saturated at [n] and
+    the index of the [n]-th detecting pattern, drop-after-n policy).
+    Each shard owns a contiguous fault range and writes disjoint slices
+    of both result arrays, so the merged output is bit-identical to
+    {!Ppsfp.run_counts} for every domain count.  Raises
+    [Invalid_argument] when [n < 1] or [domains < 1]. *)

@@ -142,6 +142,53 @@ let lowest_set_bit w =
   debruijn_index.(Int64.to_int
                     (Int64.shift_right_logical (Int64.mul isolated debruijn) 58))
 
+(* Branch-free SWAR popcount: pairwise sums, then nibble sums, then one
+   multiply to fold the byte counts into the top byte. *)
+let popcount w =
+  let open Int64 in
+  let w = sub w (logand (shift_right_logical w 1) 0x5555555555555555L) in
+  let w =
+    add
+      (logand w 0x3333333333333333L)
+      (logand (shift_right_logical w 2) 0x3333333333333333L)
+  in
+  let w = logand (add w (shift_right_logical w 4)) 0x0F0F0F0F0F0F0F0FL in
+  to_int (shift_right_logical (mul w 0x0101010101010101L) 56)
+
+(* Index of the k-th (1-based) set bit: clear the k-1 lowest set bits
+   with [w land (w - 1)], then take the lowest survivor. *)
+let nth_set_bit w k =
+  if k < 1 then invalid_arg "nth_set_bit: k must be >= 1";
+  let w = ref w in
+  for _ = 2 to k do
+    if !w = 0L then invalid_arg "nth_set_bit: fewer than k set bits";
+    w := Int64.logand !w (Int64.sub !w 1L)
+  done;
+  if !w = 0L then invalid_arg "nth_set_bit: fewer than k set bits";
+  lowest_set_bit !w
+
+(* Drop-after-n bookkeeping shared by all n-detection engines: fold the
+   detection mask of fault [fi] on one block into its running count and
+   report whether the fault stays alive.  The count saturates at [n]
+   and the index of the n-th detecting pattern is recorded exactly
+   once; with [n = 1] the recorded index is [lowest_set_bit mask], i.e.
+   bit-identical to the first-detection engines. *)
+let record_detections ~n ~block_start ~detections ~nth mask fi =
+  if mask = 0L then true
+  else begin
+    let seen = detections.(fi) in
+    let hits = popcount mask in
+    if seen + hits >= n then begin
+      detections.(fi) <- n;
+      nth.(fi) <- Some (block_start + nth_set_bit mask (n - seen));
+      false
+    end
+    else begin
+      detections.(fi) <- seen + hits;
+      true
+    end
+  end
+
 let run_general c faults patterns ~on_block =
   Instrument.engine_run ~engine:"ppsfp" ~faults:(Array.length faults)
     ~patterns:(Array.length patterns)
@@ -186,3 +233,38 @@ let run_curve c faults patterns =
         checkpoints := (patterns_applied, detected) :: !checkpoints)
   in
   (results, List.rev !checkpoints)
+
+let run_counts ~n c faults patterns =
+  if n < 1 then invalid_arg "Ppsfp.run_counts: n must be >= 1";
+  Instrument.engine_run ~engine:"ndetect.ppsfp" ~faults:(Array.length faults)
+    ~patterns:(Array.length patterns)
+  @@ fun () ->
+  Obs.Trace.add_int "n" n;
+  let st = make_state c in
+  let blocks = Logicsim.Packed.blocks_of_patterns c patterns in
+  let nf = Array.length faults in
+  let detections = Array.make nf 0 in
+  let nth = Array.make nf None in
+  let alive = ref (List.init nf Fun.id) in
+  let block_start = ref 0 in
+  List.iter
+    (fun block ->
+      if !alive <> [] then begin
+        if Instrument.observing () then
+          Instrument.count_fault_evals ~engine:"ndetect.ppsfp"
+            (List.length !alive);
+        let good = Logicsim.Packed.eval_block c block in
+        let live = Logicsim.Packed.live_mask block in
+        let survivors = ref [] in
+        List.iter
+          (fun fi ->
+            let mask = propagate st good ~live faults.(fi) in
+            if record_detections ~n ~block_start:!block_start ~detections ~nth
+                 mask fi
+            then survivors := fi :: !survivors)
+          !alive;
+        alive := List.rev !survivors
+      end;
+      block_start := !block_start + block.Logicsim.Packed.pattern_count)
+    blocks;
+  (detections, nth)

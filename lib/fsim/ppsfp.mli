@@ -36,6 +36,28 @@ val lowest_set_bit : int64 -> int
 (** Index of the lowest set bit (constant time; raises
     [Invalid_argument] on zero).  Bit [i] is pattern [i] of a block. *)
 
+val popcount : int64 -> int
+(** Number of set bits (branch-free SWAR). *)
+
+val nth_set_bit : int64 -> int -> int
+(** [nth_set_bit w k] is the index of the [k]-th (1-based) set bit of
+    [w]; [nth_set_bit w 1 = lowest_set_bit w].  Raises
+    [Invalid_argument] when [w] has fewer than [k] set bits or
+    [k < 1]. *)
+
+val record_detections :
+  n:int ->
+  block_start:int ->
+  detections:int array ->
+  nth:int option array ->
+  int64 -> int -> bool
+(** Drop-after-n bookkeeping shared by the n-detection engines: fold
+    the detection [mask] of fault [fi] on the block starting at pattern
+    [block_start] into [detections.(fi)] (saturating at [n]), record
+    the n-th detecting pattern index in [nth.(fi)] when the count
+    reaches [n], and return whether the fault stays alive (i.e. still
+    needs detections). *)
+
 val run_curve :
   Circuit.Netlist.t ->
   Faults.Fault.t array ->
@@ -46,3 +68,16 @@ val run_curve :
     — the "cumulative fault coverage as a function of the number of test
     patterns" the paper's Section 5 procedure asks the fault simulator
     for. *)
+
+val run_counts :
+  n:int ->
+  Circuit.Netlist.t -> Faults.Fault.t array -> bool array array ->
+  int array * int option array
+(** n-detection grading with the drop-after-n policy: per fault, count
+    detecting patterns until [n] of them have been seen, then drop the
+    fault.  Returns [(detections, nth)]: the per-fault detection count
+    saturated at [n], and the index of the [n]-th detecting pattern
+    ([None] when fewer than [n] patterns detect the fault).  With
+    [n = 1] the result is bit-identical to {!run}: [nth] equals the
+    first-detection array and [detections] is its indicator.  Raises
+    [Invalid_argument] when [n < 1]. *)

@@ -7,8 +7,26 @@ type estimate = {
   universe_size : int;
 }
 
+let z_95 = 1.959963984540054
+
+(* Wilson score interval at effective sample size [n_eff].  Unlike the
+   Wald interval (p +/- z*se), the score interval stays non-degenerate
+   at the endpoints: a sample coverage of exactly 0 or 1 still gets a
+   positive-width interval (at p = 1 the lower bound is
+   n/(n + z^2) < 1), because the uncertainty is evaluated under the
+   hypothesised p rather than the observed one. *)
+let wilson_95 ~p ~n_eff =
+  let z2 = z_95 *. z_95 in
+  let denom = 1.0 +. (z2 /. n_eff) in
+  let center = (p +. (z2 /. (2.0 *. n_eff))) /. denom in
+  let half =
+    z_95 /. denom
+    *. sqrt ((p *. (1.0 -. p) /. n_eff) +. (z2 /. (4.0 *. n_eff *. n_eff)))
+  in
+  (max 0.0 (center -. half), min 1.0 (center +. half))
+
 let estimate_coverage ?(engine = Coverage.Parallel) ?(exclude = [||])
-    ?(collapse_dominance = false) rng c universe ~sample_size patterns =
+    ?(collapse_dominance = false) ?n_detect rng c universe ~sample_size patterns =
   let universe =
     if collapse_dominance then Faults.Universe.collapse_dominance c universe
     else universe
@@ -25,7 +43,11 @@ let estimate_coverage ?(engine = Coverage.Parallel) ?(exclude = [||])
       |> Array.map (fun i -> universe.(i))
   in
   let results =
-    (Coverage.profile ~engine c sample patterns).Coverage.first_detection
+    match n_detect with
+    | None -> (Coverage.profile ~engine c sample patterns).Coverage.first_detection
+    | Some n ->
+      (Coverage.n_detect_profile (Coverage.detection_counts ~engine ~n c sample patterns))
+        .Coverage.first_detection
   in
   let detected =
     Array.fold_left (fun acc d -> if d <> None then acc + 1 else acc) 0 results
@@ -39,10 +61,13 @@ let estimate_coverage ?(engine = Coverage.Parallel) ?(exclude = [||])
       /. float_of_int (universe_size - 1)
   in
   let std_error = sqrt (coverage *. (1.0 -. coverage) /. k *. fpc) in
-  let margin = 1.959963984540054 *. std_error in
-  { coverage;
-    std_error;
-    lower_95 = max 0.0 (coverage -. margin);
-    upper_95 = min 1.0 (coverage +. margin);
-    sample_size;
-    universe_size }
+  (* The finite-population correction shrinks the variance by fpc;
+     folding it into the Wilson interval as an effective sample size
+     n_eff = k / fpc keeps the score shape while matching the corrected
+     variance.  A full sample (fpc = 0, n_eff infinite) is exact: the
+     interval collapses to the point estimate. *)
+  let lower_95, upper_95 =
+    if fpc = 0.0 then (coverage, coverage)
+    else wilson_95 ~p:coverage ~n_eff:(k /. fpc)
+  in
+  { coverage; std_error; lower_95; upper_95; sample_size; universe_size }

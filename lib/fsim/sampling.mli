@@ -6,13 +6,18 @@
     fault-coverage figure entering the paper's model is itself often a
     sample estimate.  Sampling without replacement from a universe of
     [N] faults makes the detected count hypergeometric; the interval
-    below uses the normal approximation with the finite-population
-    correction. *)
+    below is a Wilson score interval with the finite-population
+    correction folded in as an effective sample size.  (The Wald
+    interval [p +/- z*se] used previously is degenerate at the
+    endpoints — a sample that detects all or none of its faults got a
+    zero-width interval, overstating certainty exactly where samples
+    mislead most.) *)
 
 type estimate = {
   coverage : float;        (** Sample fault coverage. *)
-  std_error : float;       (** With finite-population correction. *)
-  lower_95 : float;        (** Clamped to [0, 1]. *)
+  std_error : float;       (** Wald standard error, with finite-population
+                               correction (reported for reference). *)
+  lower_95 : float;        (** Wilson score bound, in [0, 1]. *)
   upper_95 : float;
   sample_size : int;
   universe_size : int;
@@ -22,6 +27,7 @@ val estimate_coverage :
   ?engine:Coverage.engine ->
   ?exclude:Faults.Fault.t array ->
   ?collapse_dominance:bool ->
+  ?n_detect:int ->
   Stats.Rng.t ->
   Circuit.Netlist.t ->
   Faults.Fault.t array ->
@@ -41,4 +47,7 @@ val estimate_coverage :
     (default [false]) first replaces the universe by its
     dominance-collapsed representatives
     ({!Faults.Universe.collapse_dominance}), applied before [exclude]
-    so the two corrections compose. *)
+    so the two corrections compose.  [n_detect] (default off) grades
+    the sample with {!Coverage.detection_counts} instead: a fault
+    counts as covered only when detected [n] times, so the estimate is
+    the n-detect coverage with the same interval machinery. *)

@@ -96,6 +96,40 @@ let run c faults patterns =
     blocks;
   results
 
+let run_counts ~n c faults patterns =
+  if n < 1 then invalid_arg "Serial.run_counts: n must be >= 1";
+  Instrument.engine_run ~engine:"ndetect.serial" ~faults:(Array.length faults)
+    ~patterns:(Array.length patterns)
+  @@ fun () ->
+  Obs.Trace.add_int "n" n;
+  let blocks = Logicsim.Packed.blocks_of_patterns c patterns in
+  let nf = Array.length faults in
+  let detections = Array.make nf 0 in
+  let nth = Array.make nf None in
+  let alive = ref (List.init nf Fun.id) in
+  let block_start = ref 0 in
+  List.iter
+    (fun block ->
+      if !alive <> [] then begin
+        if Instrument.observing () then
+          Instrument.count_fault_evals ~engine:"ndetect.serial"
+            (List.length !alive);
+        let good = Logicsim.Packed.eval_block c block in
+        let good_outputs = Logicsim.Packed.output_words c good in
+        let survivors = ref [] in
+        List.iter
+          (fun fi ->
+            let mask = detect_word c ~good_outputs faults.(fi) block in
+            if Ppsfp.record_detections ~n ~block_start:!block_start ~detections
+                 ~nth mask fi
+            then survivors := fi :: !survivors)
+          !alive;
+        alive := List.rev !survivors
+      end;
+      block_start := !block_start + block.Logicsim.Packed.pattern_count)
+    blocks;
+  (detections, nth)
+
 (* Multiple-fault injection: per-line AND/OR masks.  A stuck-at-0 clears
    the line's word (and_mask = 0), a stuck-at-1 sets it (or_mask = -1);
    applying AND first then OR makes sa1 win on a (physically impossible)

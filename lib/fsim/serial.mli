@@ -26,6 +26,16 @@ val run :
     first pattern that detects it ([None] = undetected).  Detected
     faults are dropped from later blocks. *)
 
+val run_counts :
+  n:int ->
+  Circuit.Netlist.t -> Faults.Fault.t array -> bool array array ->
+  int array * int option array
+(** n-detection grading with the drop-after-n policy; same contract as
+    {!Ppsfp.run_counts} (per-fault detection count saturated at [n],
+    and the index of the [n]-th detecting pattern).  With [n = 1] the
+    result is bit-identical to {!run}.  Raises [Invalid_argument] when
+    [n < 1]. *)
+
 val eval_with_fault_set :
   Circuit.Netlist.t -> Faults.Fault.t array -> Logicsim.Packed.block -> int64 array
 (** Multiple-fault machine: all faults of the set injected at once.

@@ -20,6 +20,8 @@ let test_chip mode c universe program (chip : Fab.Lot.chip) =
 let test_lot ?(mode = Table_lookup) c universe program (lot : Fab.Lot.t) =
   if lot.Fab.Lot.universe_size <> Array.length universe then
     invalid_arg "Wafer_test.test_lot: lot was manufactured against a different universe";
+  if Array.length lot.Fab.Lot.chips = 0 then
+    invalid_arg "Wafer_test.test_lot: empty lot (yield and fail fractions are undefined)";
   { outcomes = Array.map (test_chip mode c universe program) lot.Fab.Lot.chips;
     pattern_count = Pattern_set.pattern_count program;
     lot_size = Array.length lot.Fab.Lot.chips }
@@ -63,15 +65,47 @@ let row_at result program k =
 let rows_at_patterns result program ~checkpoints =
   List.map (row_at result program) checkpoints
 
+(* First k in [1, total] with coverage_at k >= target, None when even
+   the full program falls short.  coverage_at must be monotone
+   non-decreasing in k (cumulative coverage is), which makes the
+   predicate [coverage_at k >= target] monotone and binary-searchable:
+   O(log total) instead of the former linear scan. *)
+let first_reaching ~total coverage_at target =
+  if total < 1 || coverage_at total < target then None
+  else begin
+    (* Invariant: coverage_at !hi >= target; !lo is below target
+       (lo = 0 stands for the empty prefix, coverage 0 <= any target
+       reachable here). *)
+    let lo = ref 0 and hi = ref total in
+    while !hi - !lo > 1 do
+      let mid = !lo + ((!hi - !lo) / 2) in
+      if coverage_at mid >= target then hi := mid else lo := mid
+    done;
+    Some !hi
+  end
+
 let rows_at_coverages result program ~coverages =
   let total = result.pattern_count in
   List.filter_map
     (fun target ->
-      (* First k with coverage(k) >= target. *)
-      let rec search k =
-        if k > total then None
-        else if Pattern_set.coverage_after program k >= target then Some k
-        else search (k + 1)
-      in
-      Option.map (row_at result program) (search 1))
+      Option.map (row_at result program)
+        (first_reaching ~total
+           (fun k -> Pattern_set.coverage_after program k)
+           target))
     coverages
+
+let rows_at_n_detect_coverages result program ~coverages =
+  match Pattern_set.n_detect program with
+  | None ->
+    invalid_arg
+      "Wafer_test.rows_at_n_detect_coverages: pattern set carries no \
+       n-detect grading (run Pattern_set.grade_n_detect first)"
+  | Some cs ->
+    let coverage_at k = Fsim.Coverage.n_detect_coverage_after cs k in
+    let total = result.pattern_count in
+    List.filter_map
+      (fun target ->
+        Option.map
+          (fun k -> { (row_at result program k) with coverage = coverage_at k })
+          (first_reaching ~total coverage_at target))
+      coverages

@@ -36,12 +36,19 @@ val test_lot :
   result
 (** [test_lot c universe program lot]: the universe must be the one the
     lot's fault indices refer to and the program was simulated
-    against. *)
+    against.  Raises [Invalid_argument] on an empty lot — every
+    fraction below divides by the lot size, and an empty lot would
+    silently turn them all into NaN. *)
 
 val failed_by : result -> int -> int
-(** Chips whose first fail is before pattern [k] (cumulative count). *)
+(** Chips failed within the first [k] patterns.  [first_fail] indices
+    are 0-based, so this counts outcomes with [first_fail < k]: a chip
+    with [first_fail = Some 0] fails the very first applied pattern
+    and is already counted by [failed_by result 1], while
+    [failed_by result 0] (no patterns applied yet) is always 0. *)
 
 val fraction_failed_by : result -> int -> float
+(** [failed_by] over the lot size (never NaN: lots are non-empty). *)
 
 val apparent_yield : result -> float
 (** Fraction of chips passing the whole program — what the line sees,
@@ -63,4 +70,17 @@ val rows_at_patterns : result -> Pattern_set.t -> checkpoints:int list -> row li
 
 val rows_at_coverages : result -> Pattern_set.t -> coverages:float list -> row list
 (** Table-1-style rows at the first pattern reaching each coverage
-    level (levels the program never reaches are skipped). *)
+    level (levels the program never reaches are skipped).  Checkpoint
+    lookup binary-searches the monotone cumulative-coverage curve —
+    O(log patterns) per level. *)
+
+val rows_at_n_detect_coverages :
+  result -> Pattern_set.t -> coverages:float list -> row list
+(** {!rows_at_coverages} against the program's {e n-detect} coverage
+    curve: each row sits at the first pattern count whose n-detect
+    coverage reaches the target, and the row's [coverage] field
+    reports the n-detect figure.  The same lot fails later on the
+    n-detect axis than on the 1-detect axis — reaching coverage [f]
+    n-times-over takes more patterns.  Raises [Invalid_argument] when
+    the program carries no n-detect grading
+    ({!Pattern_set.grade_n_detect}). *)

@@ -315,6 +315,187 @@ let test_lowest_set_bit_matches_naive () =
        false
      with Invalid_argument _ -> true)
 
+(* ------------------------------ n-detect ----------------------------- *)
+
+let test_popcount_matches_naive () =
+  let naive w =
+    let count = ref 0 in
+    for i = 0 to 63 do
+      if Logicsim.Packed.bit w i then incr count
+    done;
+    !count
+  in
+  Alcotest.(check int) "zero word" 0 (Fsim.Ppsfp.popcount 0L);
+  Alcotest.(check int) "all ones" 64 (Fsim.Ppsfp.popcount (-1L));
+  for i = 0 to 63 do
+    Alcotest.(check int) "single bit" 1 (Fsim.Ppsfp.popcount (Int64.shift_left 1L i))
+  done;
+  let rng = Stats.Rng.create ~seed:78 () in
+  for _ = 1 to 10_000 do
+    let w = Stats.Rng.bits64 rng in
+    Alcotest.(check int) "random word" (naive w) (Fsim.Ppsfp.popcount w)
+  done
+
+let test_nth_set_bit_matches_naive () =
+  let naive w k =
+    let found = ref 0 and answer = ref (-1) in
+    for i = 0 to 63 do
+      if !answer < 0 && Logicsim.Packed.bit w i then begin
+        incr found;
+        if !found = k then answer := i
+      end
+    done;
+    !answer
+  in
+  let rejects f =
+    try
+      ignore (f ());
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check int) "nth 1 = lowest" 0 (Fsim.Ppsfp.nth_set_bit 1L 1);
+  Alcotest.(check bool) "k = 0 rejected" true
+    (rejects (fun () -> Fsim.Ppsfp.nth_set_bit (-1L) 0));
+  let rng = Stats.Rng.create ~seed:79 () in
+  for _ = 1 to 2_000 do
+    let w = Stats.Rng.bits64 rng in
+    let total = Fsim.Ppsfp.popcount w in
+    for k = 1 to min total 5 do
+      Alcotest.(check int) "random word" (naive w k) (Fsim.Ppsfp.nth_set_bit w k)
+    done;
+    (* Asking past the population must be rejected, not wrap. *)
+    Alcotest.(check bool) "too few set bits rejected" true
+      (rejects (fun () -> Fsim.Ppsfp.nth_set_bit w (total + 1)))
+  done
+
+let test_ndetect_n1_equals_first_detection () =
+  (* The n = 1 drop-after-n run must be bit-identical to the ordinary
+     first-detection run: same indices, counts saturated at one. *)
+  List.iter
+    (fun seed ->
+      let c = Circuit.Generators.random_circuit ~inputs:10 ~gates:150 ~outputs:8 ~seed in
+      let universe = Faults.Universe.all c in
+      let patterns = random_patterns ~seed:(seed * 13) ~count:100 c in
+      let reference = Fsim.Ppsfp.run c universe patterns in
+      let detections, nth = Fsim.Ppsfp.run_counts ~n:1 c universe patterns in
+      Alcotest.(check bool) "indices bit-identical" true (nth = reference);
+      Array.iteri
+        (fun i d ->
+          Alcotest.(check int) "count saturates at 1"
+            (if reference.(i) = None then 0 else 1)
+            d)
+        detections)
+    [ 1; 2; 3 ]
+
+let test_ndetect_engines_bit_identical () =
+  List.iter
+    (fun seed ->
+      let c = Circuit.Generators.random_circuit ~inputs:10 ~gates:150 ~outputs:8 ~seed in
+      let universe = Faults.Universe.all c in
+      let patterns = random_patterns ~seed:(seed * 17) ~count:100 c in
+      List.iter
+        (fun n ->
+          let reference = Fsim.Ppsfp.run_counts ~n c universe patterns in
+          if Fsim.Serial.run_counts ~n c universe patterns <> reference then
+            Alcotest.failf "serial diverges at n=%d seed=%d" n seed;
+          List.iter
+            (fun domains ->
+              if Fsim.Par.run_counts ~domains ~n c universe patterns <> reference
+              then Alcotest.failf "par(%d) diverges at n=%d seed=%d" domains n seed)
+            [ 1; 2; 3; 8 ])
+        [ 1; 2; 4 ])
+    [ 4; 5 ]
+
+let test_ndetect_exhaustive_oracle () =
+  (* c17 exhaustively: per fault, collect every detecting pattern by
+     single-pattern simulation; the saturated count and the n-th
+     detection index then follow by definition. *)
+  let c = Circuit.Generators.c17 () in
+  let universe = Faults.Universe.all c in
+  let patterns = exhaustive_patterns 5 in
+  let detecting fault =
+    Array.to_list patterns
+    |> List.mapi (fun i p -> (i, (Fsim.Serial.run c [| fault |] [| p |]).(0) = Some 0))
+    |> List.filter_map (fun (i, d) -> if d then Some i else None)
+  in
+  let oracle = Array.map detecting universe in
+  List.iter
+    (fun n ->
+      let detections, nth = Fsim.Ppsfp.run_counts ~n c universe patterns in
+      Array.iteri
+        (fun j fault ->
+          let dets = oracle.(j) in
+          Alcotest.(check int)
+            (Printf.sprintf "%s count at n=%d" (F.to_string c fault) n)
+            (min n (List.length dets))
+            detections.(j);
+          Alcotest.(check bool)
+            (Printf.sprintf "%s index at n=%d" (F.to_string c fault) n)
+            true
+            (nth.(j) = List.nth_opt dets (n - 1)))
+        universe)
+    [ 1; 2; 3; 4 ]
+
+let test_ndetect_coverage_monotone_in_n () =
+  let c = Circuit.Generators.alu ~bits:3 in
+  let universe = Faults.Universe.all c in
+  let patterns = random_patterns ~seed:61 ~count:96 c in
+  let css =
+    List.map (fun n -> Fsim.Coverage.detection_counts ~n c universe patterns) [ 1; 2; 4; 8 ]
+  in
+  (* Demanding more detections can only push coverage down, at every
+     point of the curve. *)
+  let rec pairwise = function
+    | a :: (b :: _ as rest) ->
+      for k = 0 to Array.length patterns do
+        Alcotest.(check bool) "curve non-increasing in n" true
+          (Fsim.Coverage.n_detect_coverage_after b k
+          <= Fsim.Coverage.n_detect_coverage_after a k +. 1e-12)
+      done;
+      pairwise rest
+    | [ _ ] | [] -> ()
+  in
+  pairwise css;
+  (* At n = 1 the counts view is the ordinary profile. *)
+  let profile = Fsim.Coverage.profile c universe patterns in
+  let cs1 = List.hd css in
+  Alcotest.(check bool) "n=1 profile equal" true
+    ((Fsim.Coverage.n_detect_profile cs1).Fsim.Coverage.first_detection
+    = profile.Fsim.Coverage.first_detection);
+  Alcotest.(check (float 1e-12)) "n=1 coverage equal"
+    (Fsim.Coverage.final_coverage profile)
+    (Fsim.Coverage.n_detect_coverage cs1)
+
+let test_ndetect_via_coverage_engine () =
+  (* Every engine choice must agree through the detection_counts
+     dispatcher, including the fall-back engines. *)
+  let c = Circuit.Generators.parity_tree ~bits:6 in
+  let universe = Faults.Universe.all c in
+  let patterns = random_patterns ~seed:23 ~count:50 c in
+  let reference = Fsim.Coverage.detection_counts ~n:3 c universe patterns in
+  List.iter
+    (fun engine ->
+      Alcotest.(check bool) "counts equal" true
+        (Fsim.Coverage.detection_counts ~engine ~n:3 c universe patterns = reference))
+    [ Fsim.Coverage.Serial; Fsim.Coverage.Parallel; Fsim.Coverage.Deductive;
+      Fsim.Coverage.Concurrent; Fsim.Coverage.Par { domains = 3 } ]
+
+let test_ndetect_invalid_n_rejected () =
+  let c = Circuit.Generators.c17 () in
+  let universe = Faults.Universe.all c in
+  let patterns = exhaustive_patterns 5 in
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) "n < 1 rejected" true
+        (try
+           ignore (f ());
+           false
+         with Invalid_argument _ -> true))
+    [ (fun () -> ignore (Fsim.Ppsfp.run_counts ~n:0 c universe patterns));
+      (fun () -> ignore (Fsim.Serial.run_counts ~n:0 c universe patterns));
+      (fun () -> ignore (Fsim.Par.run_counts ~n:0 c universe patterns));
+      (fun () -> ignore (Fsim.Coverage.detection_counts ~n:(-2) c universe patterns)) ]
+
 (* ------------------------------- stafan ------------------------------ *)
 
 let test_stafan_controllabilities () =
@@ -447,6 +628,70 @@ let test_sampling_interval_bounds () =
     && est.Fsim.Sampling.coverage <= est.Fsim.Sampling.upper_95
     && est.Fsim.Sampling.upper_95 <= 1.0)
 
+let test_sampling_wilson_endpoints () =
+  (* The Wald interval was degenerate at the endpoints: a partial
+     sample that detects all (or none) of its faults got a zero-width
+     interval.  The Wilson interval must stay open there. *)
+  let c = Circuit.Generators.c17 () in
+  let universe = Faults.Universe.all c in
+  let full = exhaustive_patterns 5 in
+  let est =
+    Fsim.Sampling.estimate_coverage
+      (Stats.Rng.create ~seed:48 ())
+      c universe ~sample_size:10 full
+  in
+  Alcotest.(check (float 1e-12)) "sample coverage 1" 1.0 est.Fsim.Sampling.coverage;
+  Alcotest.(check (float 1e-12)) "upper clamps to 1" 1.0 est.Fsim.Sampling.upper_95;
+  Alcotest.(check bool) "lower strictly below 1" true (est.Fsim.Sampling.lower_95 < 1.0);
+  Alcotest.(check bool) "lower well above 0" true (est.Fsim.Sampling.lower_95 > 0.5);
+  (* No patterns detect nothing: the other endpoint. *)
+  let est0 =
+    Fsim.Sampling.estimate_coverage
+      (Stats.Rng.create ~seed:49 ())
+      c universe ~sample_size:10 [||]
+  in
+  Alcotest.(check (float 1e-12)) "sample coverage 0" 0.0 est0.Fsim.Sampling.coverage;
+  Alcotest.(check (float 1e-12)) "lower clamps to 0" 0.0 est0.Fsim.Sampling.lower_95;
+  Alcotest.(check bool) "upper strictly above 0" true (est0.Fsim.Sampling.upper_95 > 0.0);
+  (* A full sample stays exact: the interval collapses to the point. *)
+  let exact =
+    Fsim.Sampling.estimate_coverage
+      (Stats.Rng.create ~seed:50 ())
+      c universe ~sample_size:(Array.length universe) full
+  in
+  Alcotest.(check (float 1e-12)) "full sample lower" exact.Fsim.Sampling.coverage
+    exact.Fsim.Sampling.lower_95;
+  Alcotest.(check (float 1e-12)) "full sample upper" exact.Fsim.Sampling.coverage
+    exact.Fsim.Sampling.upper_95
+
+let test_sampling_n_detect () =
+  let c = Circuit.Generators.ripple_carry_adder ~bits:4 in
+  let universe = Faults.Universe.all c in
+  let patterns = random_patterns ~seed:44 ~count:64 c in
+  let estimate ?n_detect ~sample_size seed =
+    Fsim.Sampling.estimate_coverage ?n_detect
+      (Stats.Rng.create ~seed ())
+      c universe ~sample_size patterns
+  in
+  (* Same seed, same sample: n_detect = 1 is the default estimator. *)
+  let base = estimate ~sample_size:60 9 in
+  let n1 = estimate ~n_detect:1 ~sample_size:60 9 in
+  Alcotest.(check (float 1e-12)) "n_detect 1 = default" base.Fsim.Sampling.coverage
+    n1.Fsim.Sampling.coverage;
+  (* Demanding four detections cannot raise the estimate. *)
+  let n4 = estimate ~n_detect:4 ~sample_size:60 9 in
+  Alcotest.(check bool) "n=4 <= n=1" true
+    (n4.Fsim.Sampling.coverage <= n1.Fsim.Sampling.coverage);
+  (* A full sample reports the exact n-detect coverage. *)
+  let full = Array.length universe in
+  let exact =
+    Fsim.Coverage.n_detect_coverage
+      (Fsim.Coverage.detection_counts ~n:4 c universe patterns)
+  in
+  Alcotest.(check (float 1e-12)) "full sample exact"
+    exact
+    (estimate ~n_detect:4 ~sample_size:full 9).Fsim.Sampling.coverage
+
 (* ----------------------- multiple-fault machine --------------------- *)
 
 let test_multifault_single_matches () =
@@ -564,6 +809,15 @@ let suite =
         tc "coverage engine plumbing" test_par_via_coverage_engine;
         tc "empty universe" test_par_empty_universe;
         tc "lowest_set_bit = naive scan" test_lowest_set_bit_matches_naive ] );
+    ( "fsim.ndetect",
+      [ tc "popcount = naive scan" test_popcount_matches_naive;
+        tc "nth_set_bit = naive scan" test_nth_set_bit_matches_naive;
+        tc "n=1 bit-identical to first detection" test_ndetect_n1_equals_first_detection;
+        tc "serial = ppsfp = par (n in 1,2,4)" test_ndetect_engines_bit_identical;
+        tc "exhaustive nth-index oracle (c17)" test_ndetect_exhaustive_oracle;
+        tc "coverage non-increasing in n" test_ndetect_coverage_monotone_in_n;
+        tc "coverage engine plumbing" test_ndetect_via_coverage_engine;
+        tc "n < 1 rejected" test_ndetect_invalid_n_rejected ] );
     ( "fsim.stafan",
       [ tc "controllabilities" test_stafan_controllabilities;
         tc "PO observability" test_stafan_po_observability;
@@ -574,7 +828,9 @@ let suite =
       [ tc "full sample exact" test_sampling_full_sample_is_exact;
         tc "engine choice invariant" test_sampling_engine_invariant;
         tc "interval covers truth" test_sampling_estimate_near_truth;
-        tc "interval bounds" test_sampling_interval_bounds ] );
+        tc "interval bounds" test_sampling_interval_bounds;
+        tc "Wilson interval open at endpoints" test_sampling_wilson_endpoints;
+        tc "n-detect sampling" test_sampling_n_detect ] );
     ( "fsim.multifault",
       [ tc "singleton set = single fault" test_multifault_single_matches;
         tc "dominating pair" test_multifault_masking_example;

@@ -185,6 +185,161 @@ let test_exact_tester_multifault_lot_runs () =
   Alcotest.(check bool) "rejects most defective chips" true
     (float_of_int rejected > 0.85 *. float_of_int defective)
 
+let test_empty_lot_rejected () =
+  (* Every fraction the tester reports divides by the lot size; an
+     empty lot must be rejected up front, not surface as NaN later. *)
+  let c, universe, program = Lazy.force rig in
+  let lot = { Fab.Lot.chips = [||]; universe_size = Array.length universe } in
+  Alcotest.(check bool) "empty lot rejected" true
+    (try
+       ignore (Tester.Wafer_test.test_lot c universe program lot);
+       false
+     with Invalid_argument _ -> true)
+
+let test_failed_by_off_by_one () =
+  (* first_fail indices are 0-based and failed_by counts first_fail < k:
+     a chip failing the very first pattern is counted by k = 1, never
+     by k = 0. *)
+  let c, universe, program = Lazy.force rig in
+  let first = program.Tester.Pattern_set.profile.Fsim.Coverage.first_detection in
+  match
+    Array.to_list (Array.mapi (fun i d -> (i, d)) first)
+    |> List.find_opt (fun (_, d) -> d = Some 0)
+  with
+  | None -> Alcotest.fail "expected a fault detected at pattern 0"
+  | Some (i, _) ->
+    let chips = [| { Fab.Lot.chip_id = 0; fault_indices = [| i |] } |] in
+    let lot = { Fab.Lot.chips; universe_size = Array.length universe } in
+    let result = Tester.Wafer_test.test_lot c universe program lot in
+    Alcotest.(check bool) "fails at pattern 0" true
+      (result.Tester.Wafer_test.outcomes.(0).Tester.Wafer_test.first_fail = Some 0);
+    Alcotest.(check int) "failed_by 0 = 0" 0 (Tester.Wafer_test.failed_by result 0);
+    Alcotest.(check int) "failed_by 1 = 1" 1 (Tester.Wafer_test.failed_by result 1);
+    Alcotest.(check (float 1e-12)) "fraction at 1" 1.0
+      (Tester.Wafer_test.fraction_failed_by result 1)
+
+let test_rows_at_coverages_binary_equals_linear () =
+  (* The binary search over the monotone coverage curve must agree with
+     the linear-scan definition at every target, including targets that
+     hit a curve value exactly. *)
+  let c, universe, program = Lazy.force rig in
+  let lot = make_lot (Array.length universe) in
+  let result = Tester.Wafer_test.test_lot c universe program lot in
+  let total = result.Tester.Wafer_test.pattern_count in
+  let linear_first target =
+    let rec search k =
+      if k > total then None
+      else if Tester.Pattern_set.coverage_after program k >= target then Some k
+      else search (k + 1)
+    in
+    search 1
+  in
+  let grid = List.init 101 (fun i -> float_of_int i /. 100.0) in
+  let exact_values =
+    List.init total (fun k -> Tester.Pattern_set.coverage_after program (k + 1))
+  in
+  let coverages = grid @ exact_values in
+  let rows = Tester.Wafer_test.rows_at_coverages result program ~coverages in
+  Alcotest.(check (list int)) "same checkpoints"
+    (List.filter_map linear_first coverages)
+    (List.map (fun r -> r.Tester.Wafer_test.patterns_applied) rows)
+
+let test_grade_n_detect_validation () =
+  let c, universe, program = Lazy.force rig in
+  let rejects f =
+    try
+      ignore (f ());
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "universe mismatch rejected" true
+    (rejects (fun () ->
+         Tester.Pattern_set.grade_n_detect ~n:2 c
+           (Array.sub universe 0 (Array.length universe - 1))
+           program));
+  Alcotest.(check bool) "n = 0 rejected" true
+    (rejects (fun () -> Tester.Pattern_set.grade_n_detect ~n:0 c universe program));
+  Alcotest.(check bool) "ungraded program carries no counts" true
+    (Tester.Pattern_set.n_detect program = None);
+  let graded = Tester.Pattern_set.grade_n_detect ~n:2 c universe program in
+  (match Tester.Pattern_set.n_detect_final_coverage graded with
+  | None -> Alcotest.fail "graded program lost its counts"
+  | Some f2 ->
+    (* Needing a second detection can only lower coverage. *)
+    Alcotest.(check bool) "2-detect <= 1-detect" true
+      (f2 <= Tester.Pattern_set.final_coverage graded +. 1e-12))
+
+let test_rows_at_n_detect_coverages () =
+  let c, universe, program = Lazy.force rig in
+  let lot = make_lot (Array.length universe) in
+  let result = Tester.Wafer_test.test_lot c universe program lot in
+  Alcotest.(check bool) "ungraded program rejected" true
+    (try
+       ignore
+         (Tester.Wafer_test.rows_at_n_detect_coverages result program
+            ~coverages:[ 0.5 ]);
+       false
+     with Invalid_argument _ -> true);
+  let graded = Tester.Pattern_set.grade_n_detect ~n:2 c universe program in
+  let targets = [ 0.25; 0.5; 0.75 ] in
+  let rows =
+    Tester.Wafer_test.rows_at_n_detect_coverages result graded ~coverages:targets
+  in
+  Alcotest.(check int) "all targets reachable" (List.length targets)
+    (List.length rows);
+  List.iter2
+    (fun target row ->
+      Alcotest.(check bool) "n-detect target reached" true
+        (row.Tester.Wafer_test.coverage >= target -. 1e-9);
+      (* The n-detect axis lags the 1-detect axis: the same target
+         needs at least as many patterns. *)
+      match Tester.Wafer_test.rows_at_coverages result graded ~coverages:[ target ] with
+      | [ one ] ->
+        Alcotest.(check bool) "n-detect needs >= patterns" true
+          (row.Tester.Wafer_test.patterns_applied >= one.Tester.Wafer_test.patterns_applied)
+      | _ -> Alcotest.fail "1-detect row missing")
+    targets rows
+
+let qcheck_props =
+  let open QCheck in
+  [ Test.make ~count:60 ~name:"rows_at_coverages binary search = linear scan"
+      (pair (int_range 1 60) (int_range 1 40))
+      (fun (faults, pattern_count) ->
+        (* Synthetic profile with deterministic pseudo-random
+           detections; targets include every exact curve value so the
+           boundary case (coverage_after k = target) is exercised. *)
+        let first_detection =
+          Array.init faults (fun i ->
+              let h = (i * 2654435761) land 0xFFFF in
+              if h mod 3 = 0 then None else Some (h mod pattern_count))
+        in
+        let profile =
+          { Fsim.Coverage.universe_size = faults; pattern_count; first_detection }
+        in
+        let program = Tester.Pattern_set.make (Array.make pattern_count [||]) profile in
+        let result =
+          { Tester.Wafer_test.outcomes =
+              [| { Tester.Wafer_test.chip_id = 0; fault_count = 0; first_fail = None } |];
+            pattern_count;
+            lot_size = 1 }
+        in
+        let linear_first target =
+          let rec search k =
+            if k > pattern_count then None
+            else if Tester.Pattern_set.coverage_after program k >= target then Some k
+            else search (k + 1)
+          in
+          search 1
+        in
+        let coverages =
+          [ 0.0; 0.3; 0.7; 1.0; 1.5 ]
+          @ List.init pattern_count (fun k ->
+                Tester.Pattern_set.coverage_after program (k + 1))
+        in
+        let rows = Tester.Wafer_test.rows_at_coverages result program ~coverages in
+        List.filter_map linear_first coverages
+        = List.map (fun r -> r.Tester.Wafer_test.patterns_applied) rows) ]
+
 (* ----------------------------- signature ----------------------------- *)
 
 let signature_rig =
@@ -269,14 +424,21 @@ let suite =
       [ tc "basics" test_pattern_set_basics;
         tc "first_fail = min of detections" test_first_fail_matches_min;
         tc "undetected-only chip passes" test_first_fail_undetected_chip_passes;
-        tc "make validation" test_pattern_set_make_validation ] );
+        tc "make validation" test_pattern_set_make_validation;
+        tc "grade_n_detect validation" test_grade_n_detect_validation ] );
     ( "tester.wafer_test",
       [ tc "lot accounting" test_lot_testing_consistency;
         tc "universe mismatch rejected" test_lot_universe_mismatch_rejected;
+        tc "empty lot rejected" test_empty_lot_rejected;
+        tc "failed_by counts first_fail < k" test_failed_by_off_by_one;
         tc "rows at coverages" test_rows_at_coverages;
+        tc "binary search = linear scan" test_rows_at_coverages_binary_equals_linear;
+        tc "rows at n-detect coverages" test_rows_at_n_detect_coverages;
         tc "rows at patterns monotone" test_rows_at_patterns_monotone;
         tc "exact = lookup on single-fault chips" test_exact_tester_agrees_on_single_fault_chips;
         tc "exact tester on multi-fault lot" test_exact_tester_multifault_lot_runs ] );
+    ( "tester.properties",
+      List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_props );
     ( "tester.signature",
       [ tc "deterministic" test_signature_deterministic;
         tc "undetected fault keeps good signature" test_signature_fault_free_equals_good;
