@@ -393,6 +393,123 @@ let run_ndetect () =
   in
   ignore (ndetect_bench ~warmup:1 ~repeats:5 circuit universe patterns)
 
+(* Static testability: the predicted coverage band (interval analysis,
+   no simulation) against STAFAN's estimate and exact fault simulation.
+   Containment is a hard check: the *measured* coverage of one random
+   pattern set is a realization of the expected coverage the band
+   provably contains, so it must land inside the band widened by a
+   3-sigma sampling slack (the mean of F Bernoulli detections has
+   standard deviation at most 1/(2*sqrt F)). *)
+
+let testability_bench ~smoke () =
+  section "static testability: predicted band vs STAFAN vs exact fsim";
+  let workloads =
+    let g = Circuit.Generators.of_spec in
+    [ (g "c17", 256); (g "dec:5", 512); (g "parity:8", 128) ]
+    @
+    if smoke then []
+    else
+      [ (g "dec:6", 1024);
+        (Circuit.Generators.random_circuit ~inputs:10 ~gates:60 ~outputs:4
+           ~seed:5, 256) ]
+  in
+  let rows = ref [] in
+  Printf.printf "%-10s %-8s %-18s %-10s %-10s\n" "circuit" "patterns"
+    "predicted band" "stafan" "exact";
+  List.iter
+    (fun (circuit, pattern_count) ->
+      let classes =
+        Faults.Collapse.equivalence circuit (Faults.Universe.all circuit)
+      in
+      let reps = Faults.Collapse.representatives classes in
+      let det =
+        Analysis.Detectability.analyze (Analysis.Signal_prob.analyze circuit)
+      in
+      let rng = Stats.Rng.create ~seed:77 () in
+      let patterns = Tpg.Random_tpg.uniform rng circuit ~count:pattern_count in
+      let profile = Fsim.Coverage.profile circuit reps patterns in
+      let st = Fsim.Stafan.analyze circuit patterns in
+      let slack =
+        (3.0 /. (2.0 *. sqrt (float_of_int (Array.length reps)))) +. 1e-9
+      in
+      List.iter
+        (fun n ->
+          let band = Analysis.Detectability.coverage_band det reps ~patterns:n in
+          let lo = band.Analysis.Signal_prob.lo
+          and hi = band.Analysis.Signal_prob.hi in
+          let exact = Fsim.Coverage.coverage_after profile n in
+          let stafan = Fsim.Stafan.expected_coverage st reps ~pattern_count:n in
+          Printf.printf "%-10s %-8d [%.4f, %.4f]   %-10.4f %-10.4f\n"
+            circuit.Circuit.Netlist.name n lo hi stafan exact;
+          if exact < lo -. slack || exact > hi +. slack then
+            failwith
+              (Printf.sprintf
+                 "BENCH testability: %s at n=%d: measured coverage %.4f \
+                  outside predicted band [%.4f, %.4f] (slack %.4f)"
+                 circuit.Circuit.Netlist.name n exact lo hi slack);
+          rows :=
+            Report.Json.Obj
+              [ ("circuit", Report.Json.String circuit.Circuit.Netlist.name);
+                ("faults", Report.Json.Int (Array.length reps));
+                ("patterns", Report.Json.Int n);
+                ("predicted_lo", Report.Json.Float lo);
+                ("predicted_hi", Report.Json.Float hi);
+                ("stafan", Report.Json.Float stafan);
+                ("exact", Report.Json.Float exact) ]
+            :: !rows)
+        [ max 1 (pattern_count / 16); pattern_count / 4; pattern_count ])
+    workloads;
+  (* Hybrid ATPG ablation on a random-pattern-resistant circuit: the
+     statically predicted cutover must beat pure random patterns on
+     both axes — at least the coverage, with fewer patterns. *)
+  let circuit = Circuit.Generators.decoder ~bits:(if smoke then 5 else 6) in
+  let budget = if smoke then 1024 else 2048 in
+  let classes =
+    Faults.Collapse.equivalence circuit (Faults.Universe.all circuit)
+  in
+  let reps = Faults.Collapse.representatives classes in
+  let config =
+    { Tpg.Atpg.default_config with
+      Tpg.Atpg.random_budget = budget;
+      random_target = 1.0;
+      hybrid = true;
+      resistant_threshold = 0.02 }
+  in
+  let report = Tpg.Atpg.run ~config circuit reps in
+  let rng = Stats.Rng.create ~seed:config.Tpg.Atpg.seed () in
+  let pure = Tpg.Random_tpg.uniform rng circuit ~count:budget in
+  let pure_coverage =
+    Fsim.Coverage.final_coverage (Fsim.Coverage.profile circuit reps pure)
+  in
+  let hybrid_coverage = Tpg.Atpg.coverage report in
+  let hybrid_patterns = Array.length report.Tpg.Atpg.patterns in
+  Printf.printf
+    "\nhybrid ATPG on %s: %d patterns (cutover %s) coverage %.4f | pure \
+     random: %d patterns coverage %.4f\n"
+    circuit.Circuit.Netlist.name hybrid_patterns
+    (match report.Tpg.Atpg.predicted_cutover with
+    | Some n -> string_of_int n
+    | None -> "none")
+    hybrid_coverage budget pure_coverage;
+  if hybrid_coverage < pure_coverage then
+    failwith "BENCH testability: hybrid ATPG lost coverage vs pure random";
+  if hybrid_patterns >= budget then
+    failwith "BENCH testability: hybrid ATPG used no fewer patterns than pure random";
+  Report.Json.Obj
+    [ ("curves", Report.Json.List (List.rev !rows));
+      ("hybrid",
+       Report.Json.Obj
+         [ ("circuit", Report.Json.String circuit.Circuit.Netlist.name);
+           ("budget", Report.Json.Int budget);
+           ("predicted_cutover",
+            (match report.Tpg.Atpg.predicted_cutover with
+            | Some n -> Report.Json.Int n
+            | None -> Report.Json.Null));
+           ("hybrid_patterns", Report.Json.Int hybrid_patterns);
+           ("hybrid_coverage", Report.Json.Float hybrid_coverage);
+           ("pure_random_patterns", Report.Json.Int budget);
+           ("pure_random_coverage", Report.Json.Float pure_coverage) ]) ]
+
 let run_par ?(out = "BENCH_fsim.json") ~smoke () =
   section
     (Printf.sprintf "Multicore PPSFP sweep%s -> %s"
@@ -469,12 +586,14 @@ let run_par ?(out = "BENCH_fsim.json") ~smoke () =
   in
   let ndetect = ndetect_bench ~warmup ~repeats circuit universe patterns in
   let analysis = analysis_bench ~smoke () in
+  let testability = testability_bench ~smoke () in
   let doc =
     Report.Json.Obj
       [ ("host", host);
         ("runs", Report.Json.List (List.rev !rows));
         ("ndetect", Report.Json.List ndetect);
-        ("analysis", analysis) ]
+        ("analysis", analysis);
+        ("testability", testability) ]
   in
   let oc = open_out out in
   output_string oc (Report.Json.to_string_pretty doc);
@@ -486,8 +605,10 @@ let run_par ?(out = "BENCH_fsim.json") ~smoke () =
   let written = really_input_string ic (in_channel_length ic) in
   close_in ic;
   (match Report.Json.parse written with
-  | Ok (Report.Json.Obj fields) when List.mem_assoc "ndetect" fields -> ()
-  | Ok _ -> failwith "BENCH_fsim: written JSON lacks the ndetect block"
+  | Ok (Report.Json.Obj fields)
+    when List.mem_assoc "ndetect" fields && List.mem_assoc "testability" fields
+    -> ()
+  | Ok _ -> failwith "BENCH_fsim: written JSON lacks the ndetect or testability block"
   | Error message -> failwith ("BENCH_fsim: written JSON unparsable: " ^ message));
   Printf.printf "\nwrote %s (all engines bit-identical)\n" out
 
@@ -576,13 +697,22 @@ let run_obs_smoke ?(out = "BENCH_trace_smoke.json") () =
       [ "fsim.par"; "fsim.par.prepare"; "fsim.par.shard[0]"; "fsim.par.shard[1]";
         "fsim.ndetect.par"; "fsim.ndetect.par.prepare";
         "fsim.ndetect.par.shard[0]"; "fsim.ndetect.par.shard[1]";
-        "analysis.build"; "analysis.dominators"; "analysis.implications" ]);
+        "analysis.build"; "analysis.dominators"; "analysis.implications";
+        "analysis.prob.signal"; "analysis.prob.observability" ]);
   obs_check ~what:"metrics counted fault evaluations"
     (match Obs.Metrics.value "fsim.par.fault_evals" with
     | Some v -> v > 0.0
     | None -> false);
   obs_check ~what:"metrics counted n-detect fault evaluations"
     (match Obs.Metrics.value "fsim.ndetect.par.fault_evals" with
+    | Some v -> v > 0.0
+    | None -> false);
+  obs_check ~what:"metrics counted signal-probability nodes"
+    (match Obs.Metrics.value "analysis.prob.nodes" with
+    | Some v -> v > 0.0
+    | None -> false);
+  obs_check ~what:"metrics counted cut reconvergent stems"
+    (match Obs.Metrics.value "analysis.prob.cut_stems" with
     | Some v -> v > 0.0
     | None -> false);
   (* Shape determinism at fixed seed: a second traced run must produce
@@ -760,17 +890,18 @@ let targets =
     ("par", fun () -> run_par ~smoke:false ());
     ("analyze", run_analyze);
     ("ndetect", run_ndetect);
+    ("testability", fun () -> ignore (testability_bench ~smoke:false ()));
     ("micro", run_micro) ]
 
-(* "par", "analyze" and "ndetect" are excluded from `all`: they are
-   timing runs, meaningful only when invoked on their own (the `par`
-   targets embed the analyze and ndetect sections in BENCH_fsim.json
-   anyway). *)
+(* "par", "analyze", "ndetect" and "testability" are excluded from
+   `all`: they are timing/validation runs, meaningful only when invoked
+   on their own (the `par` targets embed the analyze, ndetect and
+   testability sections in BENCH_fsim.json anyway). *)
 let run_all () =
   List.iter
     (fun (name, f) ->
       if name <> "micro" && name <> "par" && name <> "analyze"
-         && name <> "ndetect"
+         && name <> "ndetect" && name <> "testability"
       then f ())
     targets;
   run_fig234_checkpoints ();

@@ -917,6 +917,258 @@ let analyze_cmd =
     Term.(const action $ circuit_arg $ json $ fail_on $ learn_depth
           $ show_dominators $ show_implications $ trace_arg $ metrics_arg)
 
+(* ---------------------------- testability --------------------------- *)
+
+let testability_cmd =
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
+  in
+  let csv =
+    Arg.(value & flag & info [ "csv" ]
+           ~doc:"Emit the predicted coverage curve as CSV (patterns, \
+                 coverage_lo, coverage_hi[, reject_lo, reject_hi]) on \
+                 stdout; status text goes to stderr.")
+  in
+  let threshold =
+    Arg.(value & opt float 0.01 & info [ "threshold" ] ~docv:"T"
+           ~doc:"Detection-probability bound below which a fault counts as \
+                 random-pattern-resistant.")
+  in
+  let predict_curve =
+    Arg.(value & opt (some (list int)) None
+         & info [ "predict-curve" ] ~docv:"N1,N2,..."
+             ~doc:"Pattern counts for the predicted-coverage band rows \
+                   (default 1,4,16,64,256,1024).")
+  in
+  let test_length =
+    Arg.(value & opt (some float) None & info [ "test-length" ] ~docv:"F"
+           ~doc:"Also report the smallest pattern counts at which the \
+                 guaranteed (band lower edge) and optimistic (upper edge) \
+                 predicted coverage reach $(docv).")
+  in
+  let max_patterns =
+    Arg.(value & opt int 65536 & info [ "max-patterns" ] ~docv:"N"
+           ~doc:"Search bound for $(b,--test-length).")
+  in
+  let yield_opt =
+    Arg.(value & opt (some float) None & info [ "y"; "yield" ] ~docv:"Y"
+           ~doc:"Process yield: adds the predicted field reject-rate band \
+                 r(f(n)) (paper Eq. 8 on the coverage band) to every curve \
+                 row.")
+  in
+  let fail_on =
+    Arg.(value
+         & opt (enum [ ("never", `Never); ("warning", `Warning); ("error", `Error) ])
+             `Never
+         & info [ "fail-on" ] ~docv:"LEVEL"
+             ~doc:"Exit non-zero at severity $(docv) (never, warning, error) \
+                   or worse: errors are detection-bound self-check violations \
+                   (an interval outside [0,1] or inverted), warnings are \
+                   random-pattern-resistant faults.")
+  in
+  let action circuit json csv threshold predict_curve test_length max_patterns
+      yield_opt n0 fail_on trace metrics =
+    (* [exit] must happen outside [with_obs]: it does not unwind the
+       stack, so the trace file would never be written. *)
+    let trip =
+      with_obs ~trace ~metrics @@ fun () ->
+      let module N = Circuit.Netlist in
+      let module SP = Analysis.Signal_prob in
+      let module D = Analysis.Detectability in
+      let sp = SP.analyze circuit in
+      let det = D.analyze sp in
+      let universe = Faults.Universe.all circuit in
+      let classes = Faults.Collapse.equivalence circuit universe in
+      let reps = Faults.Collapse.representatives classes in
+      let untestable = D.untestable det reps in
+      let resistant = D.resistant det reps ~threshold in
+      (* Self-check: every published interval must be a genuine
+         subinterval of [0,1].  A violation is an engine bug, never a
+         property of the circuit. *)
+      let violations =
+        Array.fold_left
+          (fun acc fault ->
+            let d = D.detection det fault in
+            if d.SP.lo < 0.0 || d.SP.hi > 1.0 || d.SP.lo > d.SP.hi then acc + 1
+            else acc)
+          0 reps
+      in
+      let counts =
+        match predict_curve with
+        | Some counts -> Array.of_list counts
+        | None -> [| 1; 4; 16; 64; 256; 1024 |]
+      in
+      let curve = D.predicted_curve det reps ~counts in
+      let reject_band f_band =
+        Option.map
+          (fun y ->
+            Quality.Reject.reject_band ~yield_:y ~n0 (f_band.SP.lo, f_band.SP.hi))
+          yield_opt
+      in
+      let lengths =
+        Option.map
+          (fun target -> D.test_length det reps ~target ~max_patterns)
+          test_length
+      in
+      if csv then begin
+        Format.eprintf "%a@." N.pp_summary circuit;
+        let header =
+          [ "patterns"; "coverage_lo"; "coverage_hi" ]
+          @ (if yield_opt = None then [] else [ "reject_lo"; "reject_hi" ])
+        in
+        print_string
+          (Report.Csv.of_rows
+             (header
+             :: (Array.to_list curve
+                |> List.map (fun (n, band) ->
+                       [ string_of_int n;
+                         Printf.sprintf "%.6f" band.SP.lo;
+                         Printf.sprintf "%.6f" band.SP.hi ]
+                       @
+                       match reject_band band with
+                       | None -> []
+                       | Some (r_lo, r_hi) ->
+                         [ Printf.sprintf "%.6f" r_lo;
+                           Printf.sprintf "%.6f" r_hi ]))))
+      end
+      else if json then begin
+        let interval_json (i : SP.interval) =
+          Report.Json.Obj
+            [ ("lo", Report.Json.Float i.SP.lo); ("hi", Report.Json.Float i.SP.hi) ]
+        in
+        let fault_json fault =
+          Report.Json.String (Faults.Fault.to_string circuit fault)
+        in
+        let curve_json =
+          Report.Json.List
+            (Array.to_list curve
+            |> List.map (fun (n, band) ->
+                   Report.Json.Obj
+                     ([ ("patterns", Report.Json.Int n);
+                        ("coverage", interval_json band) ]
+                     @
+                     match reject_band band with
+                     | None -> []
+                     | Some (r_lo, r_hi) ->
+                       [ ("reject",
+                          Report.Json.Obj
+                            [ ("lo", Report.Json.Float r_lo);
+                              ("hi", Report.Json.Float r_hi) ]) ])))
+        in
+        let length_json =
+          match lengths with
+          | None -> []
+          | Some (guaranteed, optimistic) ->
+            let field = function
+              | Some n -> Report.Json.Int n
+              | None -> Report.Json.Null
+            in
+            [ ("test_length",
+               Report.Json.Obj
+                 [ ("target", Report.Json.Float (Option.get test_length));
+                   ("guaranteed", field guaranteed);
+                   ("optimistic", field optimistic);
+                   ("max_patterns", Report.Json.Int max_patterns) ]) ]
+        in
+        print_endline
+          (Report.Json.to_string_pretty
+             (Report.Json.Obj
+                ([ ("circuit",
+                    Report.Json.Obj
+                      [ ("name", Report.Json.String circuit.N.name);
+                        ("inputs", Report.Json.Int (N.num_inputs circuit));
+                        ("outputs", Report.Json.Int (N.num_outputs circuit));
+                        ("gates", Report.Json.Int (N.num_gates circuit)) ]);
+                   ("signal_probabilities",
+                    Report.Json.Obj
+                      [ ("cut_stems", Report.Json.Int (SP.cut_count sp));
+                        ("exact", Report.Json.Bool (D.exact det)) ]);
+                   ("faults",
+                    Report.Json.Obj
+                      [ ("universe", Report.Json.Int (Array.length universe));
+                        ("representatives", Report.Json.Int (Array.length reps)) ]);
+                   ("untestable", Report.Json.List (List.map fault_json untestable));
+                   ("resistant",
+                    Report.Json.Obj
+                      [ ("threshold", Report.Json.Float threshold);
+                        ("faults",
+                         Report.Json.List
+                           (List.map
+                              (fun (fault, d) ->
+                                Report.Json.Obj
+                                  [ ("fault", fault_json fault);
+                                    ("detection", interval_json d) ])
+                              resistant)) ]);
+                   ("curve", curve_json) ]
+                @ length_json
+                @ [ ("summary",
+                     Report.Json.Obj
+                       [ ("errors", Report.Json.Int violations);
+                         ("warnings", Report.Json.Int (List.length resistant)) ])
+                  ])))
+      end
+      else begin
+        Format.printf "%a@." N.pp_summary circuit;
+        Printf.printf
+          "signal probabilities: %d reconvergent stem%s cut, bounds are %s\n"
+          (SP.cut_count sp)
+          (if SP.cut_count sp = 1 then "" else "s")
+          (if D.exact det then "exact (fanout-free)" else "sound intervals");
+        Printf.printf "faults: %d universe, %d collapsed\n"
+          (Array.length universe) (Array.length reps);
+        Printf.printf "untestable (detection probability provably 0): %d\n"
+          (List.length untestable);
+        Printf.printf "random-pattern-resistant (d < %g): %d\n" threshold
+          (List.length resistant);
+        List.iter
+          (fun (fault, d) ->
+            Printf.printf "  %-20s d in [%.6f, %.6f]\n"
+              (Faults.Fault.to_string circuit fault) d.SP.lo d.SP.hi)
+          resistant;
+        print_endline "\npredicted coverage of n uniform random patterns:";
+        Array.iter
+          (fun (n, band) ->
+            Printf.printf "  n=%-6d f in [%.4f, %.4f]%s\n" n band.SP.lo
+              band.SP.hi
+              (match reject_band band with
+              | None -> ""
+              | Some (r_lo, r_hi) ->
+                Printf.sprintf "   reject in [%.6f, %.6f]" r_lo r_hi))
+          curve;
+        (match lengths with
+        | None -> ()
+        | Some (guaranteed, optimistic) ->
+          let show = function
+            | Some n -> string_of_int n
+            | None -> Printf.sprintf "> %d" max_patterns
+          in
+          Printf.printf
+            "test length for coverage %.4f: guaranteed %s, optimistic %s\n"
+            (Option.get test_length) (show guaranteed) (show optimistic));
+        if violations > 0 then
+          Printf.printf "ERROR: %d detection bound%s failed the [0,1] self-check\n"
+            violations
+            (if violations = 1 then "" else "s")
+      end;
+      match fail_on with
+      | `Never -> false
+      | `Error -> violations > 0
+      | `Warning -> violations > 0 || resistant <> []
+    in
+    if trip then exit 1
+  in
+  let doc =
+    "Static random-pattern testability: signal-probability bounds \
+     (Parker-McCluskey with cutting at reconvergent fanout), per-fault \
+     detection-probability intervals, predicted coverage and reject-rate \
+     bands, and random-pattern-resistant fault identification - all without \
+     fault simulation."
+  in
+  Cmd.v (Cmd.info "testability" ~doc)
+    Term.(const action $ circuit_arg $ json $ csv $ threshold $ predict_curve
+          $ test_length $ max_patterns $ yield_opt $ n0_arg $ fail_on
+          $ trace_arg $ metrics_arg)
+
 (* --------------------------- experiments --------------------------- *)
 
 let experiments_cmd =
@@ -1029,5 +1281,5 @@ let () =
           [ reject_rate_cmd; required_coverage_cmd; estimate_cmd;
             simulate_lot_cmd; fsim_cmd; atpg_cmd; convert_cmd; diagnose_cmd;
             compact_cmd;
-            stafan_cmd; sample_cmd; lint_cmd; analyze_cmd; experiments_cmd;
-            wafer_cmd ]))
+            stafan_cmd; sample_cmd; lint_cmd; analyze_cmd; testability_cmd;
+            experiments_cmd; wafer_cmd ]))

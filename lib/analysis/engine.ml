@@ -2,6 +2,8 @@ type t = {
   circuit : Circuit.Netlist.t;
   dominators : Dominators.t;
   implication : Implication.t option;
+  prob : Signal_prob.t;
+  detectability : Detectability.t;
 }
 
 let build ?(learn_depth = Some 1) (c : Circuit.Netlist.t) =
@@ -12,7 +14,11 @@ let build ?(learn_depth = Some 1) (c : Circuit.Netlist.t) =
     | None -> None
     | Some depth -> Some (Implication.learn ~depth c)
   in
-  { circuit = c; dominators; implication }
+  let prob = Signal_prob.analyze c in
+  let detectability = Detectability.analyze ~dominators prob in
+  { circuit = c; dominators; implication; prob; detectability }
 
 let implication t = t.implication
 let dominators t = t.dominators
+let prob t = t.prob
+let detectability t = t.detectability

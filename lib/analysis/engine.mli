@@ -10,11 +10,17 @@ type t = {
   circuit : Circuit.Netlist.t;
   dominators : Dominators.t;
   implication : Implication.t option;  (** [None] when learning was off *)
+  prob : Signal_prob.t;                (** Static signal-probability bounds. *)
+  detectability : Detectability.t;     (** Per-fault detection-probability bounds. *)
 }
 
 val build : ?learn_depth:int option -> Circuit.Netlist.t -> t
 (** [build ?learn_depth c] — [learn_depth] defaults to [Some 1];
-    [None] skips the implication engine entirely (dominators only). *)
+    [None] skips the implication engine entirely (dominators,
+    signal-probability and detectability passes always run; all three
+    are linear sweeps plus one [O(N^2/w)] reconvergence pass). *)
 
 val implication : t -> Implication.t option
 val dominators : t -> Dominators.t
+val prob : t -> Signal_prob.t
+val detectability : t -> Detectability.t

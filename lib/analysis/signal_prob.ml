@@ -1,0 +1,209 @@
+type interval = { lo : float; hi : float }
+
+let clamp01 v = if v < 0.0 then 0.0 else if v > 1.0 then 1.0 else v
+
+let make lo hi =
+  let lo = clamp01 lo and hi = clamp01 hi in
+  (* Guard against float round-off inverting a mathematically equal
+     pair; never widen. *)
+  if lo > hi then { lo = hi; hi = lo } else { lo; hi }
+
+let point p = make p p
+let width i = i.hi -. i.lo
+let complement i = make (1.0 -. i.hi) (1.0 -. i.lo)
+let conj_indep a b = make (a.lo *. b.lo) (a.hi *. b.hi)
+
+let conj_frechet a b =
+  make (Float.max 0.0 (a.lo +. b.lo -. 1.0)) (Float.min a.hi b.hi)
+
+module Support = struct
+  type set = int array
+
+  let bits_per_word = Sys.int_size - 1
+
+  let create words = Array.make words 0
+
+  let add set pos =
+    set.(pos / bits_per_word) <-
+      set.(pos / bits_per_word) lor (1 lsl (pos mod bits_per_word))
+
+  let disjoint a b =
+    let ok = ref true in
+    Array.iteri (fun w av -> if av land b.(w) <> 0 then ok := false) a;
+    !ok
+
+  let union a b = Array.mapi (fun w av -> av lor b.(w)) a
+  let is_empty a = Array.for_all (fun w -> w = 0) a
+
+  let union_into ~into b =
+    Array.iteri (fun w bv -> into.(w) <- into.(w) lor bv) b
+end
+
+type t = {
+  circuit : Circuit.Netlist.t;
+  lo : float array;
+  hi : float array;
+  reconvergent : bool array;
+  cut_count : int;
+  supports : Support.set array;
+  branches : (int * int) array array;
+}
+
+let circuit t = t.circuit
+let probability t id = { lo = t.lo.(id); hi = t.hi.(id) }
+
+let pin_probability t ~gate ~pin =
+  probability t t.circuit.Circuit.Netlist.fanins.(gate).(pin)
+
+let reconvergent t id = t.reconvergent.(id)
+let cut_count t = t.cut_count
+let exact t = t.cut_count = 0
+let support t id = t.supports.(id)
+let branches t id = t.branches.(id)
+
+let empty_support t =
+  match t.supports with
+  | [||] -> Support.create 1
+  | sups -> Array.map (fun _ -> 0) sups.(0)
+
+(* Fanout branches as (gate, pin) edges, from the fanin side so a gate
+   consuming a node on two pins yields two distinct edges. *)
+let compute_branches (c : Circuit.Netlist.t) =
+  let n = Circuit.Netlist.num_nodes c in
+  let acc = Array.make n [] in
+  for gate = n - 1 downto 0 do
+    let srcs = c.Circuit.Netlist.fanins.(gate) in
+    for pin = Array.length srcs - 1 downto 0 do
+      acc.(srcs.(pin)) <- (gate, pin) :: acc.(srcs.(pin))
+    done
+  done;
+  Array.map Array.of_list acc
+
+(* Reconvergence: a stem is reconvergent when two of its fanout edges
+   reach a common node.  Descendant bitsets over nodes, reverse
+   topological order, O(N^2 / word_size). *)
+let compute_reconvergent (c : Circuit.Netlist.t) branches =
+  let n = Circuit.Netlist.num_nodes c in
+  let words = (n + Support.bits_per_word - 1) / Support.bits_per_word in
+  let words = max words 1 in
+  let desc = Array.init n (fun _ -> Support.create words) in
+  let reach_of (gate, _pin) =
+    let r = Array.copy desc.(gate) in
+    Support.add r gate;
+    r
+  in
+  let reconv = Array.make n false in
+  let topo = c.Circuit.Netlist.topo_order in
+  for i = Array.length topo - 1 downto 0 do
+    let id = topo.(i) in
+    let edges = branches.(id) in
+    (match Array.length edges with
+    | 0 | 1 -> ()
+    | _ ->
+      (* Incremental overlap test: some pair of fanout edges shares a
+         reachable node iff some edge overlaps the union of the
+         previous ones. *)
+      let seen = Support.create words in
+      Array.iter
+        (fun edge ->
+          let r = reach_of edge in
+          if not (Support.disjoint seen r) then reconv.(id) <- true;
+          Support.union_into ~into:seen r)
+        edges);
+    Array.iter
+      (fun (gate, _pin) ->
+        Support.union_into ~into:desc.(id) desc.(gate);
+        Support.add desc.(id) gate)
+      edges
+  done;
+  reconv
+
+let compute_supports (c : Circuit.Netlist.t) =
+  let n = Circuit.Netlist.num_nodes c in
+  let ninputs = Array.length c.Circuit.Netlist.inputs in
+  let words = (ninputs + Support.bits_per_word - 1) / Support.bits_per_word in
+  let words = max words 1 in
+  let input_pos = Array.make n (-1) in
+  Array.iteri (fun pos id -> input_pos.(id) <- pos) c.Circuit.Netlist.inputs;
+  let supports = Array.init n (fun _ -> Support.create words) in
+  Array.iter
+    (fun id ->
+      if input_pos.(id) >= 0 then Support.add supports.(id) input_pos.(id)
+      else
+        Array.iter
+          (fun src -> Support.union_into ~into:supports.(id) supports.(src))
+          c.Circuit.Netlist.fanins.(id))
+    c.Circuit.Netlist.topo_order;
+  supports
+
+let xor_pair (a : interval) (b : interval) =
+  (* P(A xor B) = p + q - 2pq for independent arguments: bilinear, so
+     extremes over a box sit at the corners. *)
+  let f p q = p +. q -. (2.0 *. p *. q) in
+  let c1 = f a.lo b.lo and c2 = f a.lo b.hi in
+  let c3 = f a.hi b.lo and c4 = f a.hi b.hi in
+  make
+    (Float.min (Float.min c1 c2) (Float.min c3 c4))
+    (Float.max (Float.max c1 c2) (Float.max c3 c4))
+
+let analyze (c : Circuit.Netlist.t) =
+  Obs.Trace.with_span "analysis.prob.signal" @@ fun () ->
+  let n = Circuit.Netlist.num_nodes c in
+  let branches = compute_branches c in
+  let reconvergent = compute_reconvergent c branches in
+  let supports = compute_supports c in
+  let lo = Array.make n 0.0 and hi = Array.make n 1.0 in
+  let cut_count = ref 0 in
+  Array.iter (fun r -> if r then incr cut_count) reconvergent;
+  let pin src =
+    (* A branch of a reconvergent stem is cut: downstream cones must
+       not assume anything about its correlation, so it ranges over
+       the whole of [0,1]. *)
+    if reconvergent.(src) then { lo = 0.0; hi = 1.0 }
+    else { lo = lo.(src); hi = hi.(src) }
+  in
+  Array.iter
+    (fun id ->
+      let srcs = c.Circuit.Netlist.fanins.(id) in
+      let fold_and () =
+        Array.fold_left
+          (fun acc src -> conj_indep acc (pin src))
+          (point 1.0) srcs
+      in
+      let fold_or () =
+        complement
+          (Array.fold_left
+             (fun acc src -> conj_indep acc (complement (pin src)))
+             (point 1.0) srcs)
+      in
+      let fold_xor () =
+        let acc = ref (pin srcs.(0)) in
+        for i = 1 to Array.length srcs - 1 do
+          acc := xor_pair !acc (pin srcs.(i))
+        done;
+        !acc
+      in
+      let v =
+        match c.Circuit.Netlist.kinds.(id) with
+        | Circuit.Gate.Input -> point 0.5
+        | Circuit.Gate.Const0 -> point 0.0
+        | Circuit.Gate.Const1 -> point 1.0
+        | Circuit.Gate.Buf -> pin srcs.(0)
+        | Circuit.Gate.Not -> complement (pin srcs.(0))
+        | Circuit.Gate.And -> fold_and ()
+        | Circuit.Gate.Nand -> complement (fold_and ())
+        | Circuit.Gate.Or -> fold_or ()
+        | Circuit.Gate.Nor -> complement (fold_or ())
+        | Circuit.Gate.Xor -> fold_xor ()
+        | Circuit.Gate.Xnor -> complement (fold_xor ())
+      in
+      lo.(id) <- v.lo;
+      hi.(id) <- v.hi)
+    c.Circuit.Netlist.topo_order;
+  if Obs.Metrics.enabled () then begin
+    Obs.Metrics.incr ~by:(float_of_int !cut_count) "analysis.prob.cut_stems";
+    Obs.Metrics.set "analysis.prob.nodes" (float_of_int n)
+  end;
+  Obs.Trace.add_int "cut_stems" !cut_count;
+  { circuit = c; lo; hi; reconvergent; cut_count = !cut_count; supports;
+    branches }

@@ -23,6 +23,12 @@ let reject_rate ~yield_ ~n0 f =
   if yield_ +. bad_passing = 0.0 then 0.0
   else bad_passing /. (yield_ +. bad_passing)
 
+let reject_band ~yield_ ~n0 (f_lo, f_hi) =
+  if f_lo > f_hi then invalid_arg "Reject.reject_band: inverted coverage band";
+  (* r(f) is strictly decreasing in f, so the coverage band's upper
+     edge gives the reject band's lower edge and vice versa. *)
+  (reject_rate ~yield_ ~n0 f_hi, reject_rate ~yield_ ~n0 f_lo)
+
 let p_reject ~yield_ ~n0 f =
   check ~yield_ ~n0 f;
   (1.0 -. yield_) *. (1.0 -. ((1.0 -. f) *. exp (-.(n0 -. 1.0) *. f)))

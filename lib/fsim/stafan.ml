@@ -94,8 +94,11 @@ let detection_probability t fault =
     | Faults.Fault.Stuck_at_0 -> c1
     | Faults.Fault.Stuck_at_1 -> 1.0 -. c1
   in
-  (* Independence approximation: P(activated and observed). *)
-  activation *. line_b
+  (* Independence approximation: P(activated and observed).  Clamped
+     at the source: both factors are empirical fractions, but float
+     round-off (and any future weighting of the factors) must never
+     leak a probability outside [0,1] to consumers that use it raw. *)
+  Float.min 1.0 (Float.max 0.0 (activation *. line_b))
 
 let expected_coverage t universe ~pattern_count =
   if pattern_count < 0 then invalid_arg "Stafan.expected_coverage: negative count";

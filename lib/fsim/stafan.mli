@@ -33,7 +33,8 @@ val observability : t -> int -> float
 (** B of a node's stem. *)
 
 val detection_probability : t -> Faults.Fault.t -> float
-(** Estimated per-pattern detection probability of a stuck-at fault. *)
+(** Estimated per-pattern detection probability of a stuck-at fault.
+    Clamped to [0,1] at the source. *)
 
 val expected_coverage :
   t -> Faults.Fault.t array -> pattern_count:int -> float

@@ -8,6 +8,8 @@ type config = {
   hard_fault_count : int;
   hard_fault_threshold : int;
   learn_depth : int option;
+  resistant_threshold : float;
+  resistant_count : int;
 }
 
 let default_config =
@@ -16,7 +18,9 @@ let default_config =
     crosscheck = true;
     hard_fault_count = 10;
     hard_fault_threshold = 100;
-    learn_depth = None }
+    learn_depth = None;
+    resistant_threshold = 0.01;
+    resistant_count = 10 }
 
 type report = {
   circuit : N.t;
@@ -77,7 +81,35 @@ let run ?(config = default_config) (c : N.t) =
                  (Printf.sprintf "fault %s is hard to detect (SCOAP difficulty %d)"
                     (F.to_string c fault) difficulty))
       in
-      (untestable, hard)
+      (* Random-pattern-resistant warnings: faults whose statically
+         bounded detection probability stays below the threshold under
+         uniform random patterns.  Unlike hard-fault this is a sound
+         bound, not a heuristic cost; d_hi = 0 faults are excluded
+         here (they are untestable, not resistant). *)
+      let resistant =
+        if config.resistant_count = 0 then []
+        else begin
+          let det =
+            match analysis with
+            | Some a -> Analysis.Engine.detectability a
+            | None ->
+              Analysis.Detectability.analyze (Analysis.Signal_prob.analyze c)
+          in
+          Analysis.Detectability.resistant det reps
+            ~threshold:config.resistant_threshold
+          |> List.filter (fun (fault, _) -> not (Hashtbl.mem flagged fault))
+          |> List.filteri (fun i _ -> i < config.resistant_count)
+          |> List.map (fun (fault, d) ->
+                 Diagnostic.make ~node:(F.site_node fault) c
+                   ~rule:"resistant-fault" ~severity:Diagnostic.Warning
+                   (Printf.sprintf
+                      "fault %s is random-pattern-resistant (detection \
+                       probability < %g per uniform pattern)"
+                      (F.to_string c fault)
+                      d.Analysis.Signal_prob.hi))
+        end
+      in
+      (untestable, hard @ resistant)
   in
   let untestable_diags =
     Array.to_list untestable

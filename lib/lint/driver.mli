@@ -20,6 +20,14 @@ type config = {
           learned-implication and blocked-dominator untestability
           proofs.  Default [None]: the quadratic-ish learning sweep is
           opt-in ([lsiq lint --learn-depth], or the analyze command). *)
+  resistant_threshold : float;
+      (** Detection-probability bound below which
+          {!Analysis.Detectability} flags a fault as
+          random-pattern-resistant (default 0.01 — an expected
+          hundred-plus uniform patterns per fault). *)
+  resistant_count : int;
+      (** Max [resistant-fault] findings (default 10); [0] disables
+          the rule. *)
 }
 
 val default_config : config

@@ -8,11 +8,14 @@ type config = {
   engine : engine;
   use_analysis : bool;
   learn_depth : int;
+  hybrid : bool;
+  resistant_threshold : float;
 }
 
 let default_config =
   { random_budget = 512; random_target = 0.90; backtrack_limit = 2000; seed = 7;
-    engine = Podem_engine; use_analysis = false; learn_depth = 1 }
+    engine = Podem_engine; use_analysis = false; learn_depth = 1;
+    hybrid = false; resistant_threshold = 0.01 }
 
 type report = {
   patterns : bool array array;
@@ -21,20 +24,54 @@ type report = {
   deterministic_patterns : int;
   untestable : int;
   aborted : int;
+  predicted_cutover : int option;
 }
 
 let run ?(config = default_config) c faults =
   Obs.Trace.with_span "atpg.run" @@ fun () ->
   let analysis =
-    if config.use_analysis && config.engine = Podem_engine then
-      Some (Analysis.Engine.build ~learn_depth:(Some config.learn_depth) c)
+    if (config.use_analysis && config.engine = Podem_engine) || config.hybrid
+    then
+      Some
+        (Analysis.Engine.build
+           ~learn_depth:
+             (if config.use_analysis then Some config.learn_depth else None)
+           c)
     else None
+  in
+  let podem_analysis = if config.use_analysis then analysis else None in
+  let detectability =
+    match analysis with
+    | Some a when config.hybrid -> Some (Analysis.Engine.detectability a)
+    | _ -> None
+  in
+  (* Hybrid cutover: stop random generation where the statically
+     predicted marginal gain of the next block flattens, instead of
+     burning the whole budget; PODEM picks up the resistant tail. *)
+  let predicted_cutover =
+    match detectability with
+    | Some det ->
+      Some
+        (Analysis.Detectability.cutover det faults
+           ~max_patterns:config.random_budget ())
+    | None -> None
+  in
+  let random_cap =
+    match predicted_cutover with
+    | Some n -> n
+    | None -> config.random_budget
   in
   let rng = Stats.Rng.create ~seed:config.seed () in
   let random_patterns, random_profile =
     Obs.Trace.with_span "atpg.random" (fun () ->
-        Random_tpg.until_coverage rng c faults ~target:config.random_target
-          ~max_patterns:config.random_budget)
+        if random_cap = 0 then
+          ( [||],
+            { Fsim.Coverage.universe_size = Array.length faults;
+              pattern_count = 0;
+              first_detection = Array.make (Array.length faults) None } )
+        else
+          Random_tpg.until_coverage rng c faults ~target:config.random_target
+            ~max_patterns:random_cap)
   in
   let total = Array.length faults in
   let first_detection = Array.copy random_profile.Fsim.Coverage.first_detection in
@@ -42,7 +79,23 @@ let run ?(config = default_config) c faults =
   Array.iteri
     (fun i d -> if d = None then remaining := i :: !remaining)
     first_detection;
-  let remaining = ref (List.rev !remaining) in
+  let remaining_order =
+    let order = List.rev !remaining in
+    match detectability with
+    | Some det ->
+      (* Target the provably random-pattern-resistant faults first:
+         their patterns also mop up the merely-unlucky ones. *)
+      let resistant, rest =
+        List.partition
+          (fun i ->
+            (Analysis.Detectability.detection det faults.(i))
+              .Analysis.Signal_prob.hi < config.resistant_threshold)
+          order
+      in
+      resistant @ rest
+    | None -> order
+  in
+  let remaining = ref remaining_order in
   let extra = ref [] in
   let extra_count = ref 0 in
   let untestable = ref 0 in
@@ -59,8 +112,8 @@ let run ?(config = default_config) c faults =
           match config.engine with
           | Podem_engine ->
             (match
-               Podem.generate ~backtrack_limit:config.backtrack_limit ?analysis c
-                 faults.(target)
+               Podem.generate ~backtrack_limit:config.backtrack_limit
+                 ?analysis:podem_analysis c faults.(target)
              with
             | Podem.Test pattern, _ -> `Test pattern
             | Podem.Untestable, _ -> `Untestable
@@ -99,6 +152,9 @@ let run ?(config = default_config) c faults =
       end
   in
   Obs.Trace.with_span "atpg.deterministic" deterministic;
+  (match predicted_cutover with
+  | Some n -> Obs.Trace.add_int "predicted_cutover" n
+  | None -> ());
   Obs.Trace.add_int "random_patterns" (Array.length random_patterns);
   Obs.Trace.add_int "deterministic_patterns" !extra_count;
   Obs.Trace.add_int "untestable" !untestable;
@@ -118,6 +174,6 @@ let run ?(config = default_config) c faults =
   in
   { patterns; profile; random_patterns = Array.length random_patterns;
     deterministic_patterns = !extra_count; untestable = !untestable;
-    aborted = !aborted }
+    aborted = !aborted; predicted_cutover }
 
 let coverage report = Fsim.Coverage.final_coverage report.profile

@@ -24,6 +24,20 @@ type config = {
           {!Implication_engine}.  Default off. *)
   learn_depth : int;
       (** Implication learning depth when [use_analysis] is set. *)
+  hybrid : bool;
+      (** Principled random/deterministic cutover: cap the random
+          phase at {!Analysis.Detectability.cutover} — the statically
+          predicted pattern count where the marginal gain of another
+          64-pattern block flattens — instead of the full
+          [random_budget], and order the deterministic phase so the
+          provably random-pattern-resistant faults
+          ([d_hi < resistant_threshold]) are targeted first.  On
+          random-pattern-resistant circuits this reaches at least the
+          pure-random coverage with fewer total patterns (hard-checked
+          by the [testability] bench target).  Default off. *)
+  resistant_threshold : float;
+      (** Detection-probability bound below which a fault counts as
+          random-pattern-resistant in hybrid mode (default 0.01). *)
 }
 
 val default_config : config
@@ -35,6 +49,9 @@ type report = {
   deterministic_patterns : int;       (** Patterns from PODEM. *)
   untestable : int;                   (** Proved redundant. *)
   aborted : int;                      (** PODEM gave up. *)
+  predicted_cutover : int option;
+      (** Static random-phase cap used by hybrid mode; [None] when
+          [hybrid] was off. *)
 }
 
 val run :

@@ -144,3 +144,31 @@ let hardest_faults t c universe ~count =
   |> List.map (fun fault -> (fault, fault_difficulty t c fault))
   |> List.sort (fun (_, a) (_, b) -> compare b a)
   |> List.filteri (fun i _ -> i < count)
+
+let csv_escape s =
+  if String.exists (fun ch -> ch = ',' || ch = '"' || ch = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let hardest_to_csv t c universe ~count =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "fault,difficulty,saturated\n";
+  List.iter
+    (fun (fault, difficulty) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s,%d,%b\n"
+           (csv_escape (Faults.Fault.to_string c fault))
+           difficulty
+           (difficulty >= infinite)))
+    (hardest_faults t c universe ~count);
+  Buffer.contents buf
+
+let hardest_to_json t c universe ~count =
+  Report.Json.List
+    (List.map
+       (fun (fault, difficulty) ->
+         Report.Json.Obj
+           [ ("fault", Report.Json.String (Faults.Fault.to_string c fault));
+             ("difficulty", Report.Json.Int difficulty);
+             ("saturated", Report.Json.Bool (difficulty >= infinite)) ])
+       (hardest_faults t c universe ~count))

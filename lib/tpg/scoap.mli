@@ -12,7 +12,19 @@
 type t
 
 val infinite : int
-(** Saturation value for impossible goals. *)
+(** Saturation value for impossible goals.  Set to [max_int / 4]
+    rather than [max_int] deliberately: {!saturating_add} computes
+    [a + b] {e before} clamping, so the representable headroom must
+    cover at least the sum of two saturated operands plus the [+ 1]
+    depth bumps — with [max_int / 4] even
+    [infinite + infinite + infinite] stays far below [max_int], and no
+    intermediate can wrap to a negative cost.  The regression tests in
+    [test/test_tpg.ml] pin this down. *)
+
+val saturating_add : int -> int -> int
+(** [min infinite (a + b)] — the only addition used anywhere in the
+    cost propagation.  Results never exceed {!infinite} and, given the
+    headroom above, never overflow for any pair of in-range costs. *)
 
 val analyze : Circuit.Netlist.t -> t
 
@@ -41,3 +53,14 @@ val hardest_faults :
   t -> Circuit.Netlist.t -> Faults.Fault.t array -> count:int ->
   (Faults.Fault.t * int) list
 (** The [count] faults with the highest difficulty, hardest first. *)
+
+val hardest_to_csv :
+  t -> Circuit.Netlist.t -> Faults.Fault.t array -> count:int -> string
+(** {!hardest_faults} as CSV with a [fault,difficulty,saturated]
+    header; [saturated] marks costs pinned at {!infinite}. *)
+
+val hardest_to_json :
+  t -> Circuit.Netlist.t -> Faults.Fault.t array -> count:int ->
+  Report.Json.t
+(** {!hardest_faults} as a JSON array of
+    [{"fault"; "difficulty"; "saturated"}] objects. *)

@@ -562,6 +562,40 @@ let test_stafan_curve_monotone () =
       if i > 0 then Alcotest.(check bool) "monotone" true (snd curve.(i - 1) <= f +. 1e-12))
     curve
 
+let test_stafan_rejects_empty_pattern_set () =
+  (* Zero patterns would divide by zero in every estimate; refuse at
+     construction rather than return NaN-laced controllabilities. *)
+  let c = Circuit.Generators.c17 () in
+  Alcotest.(check bool) "no patterns raises" true
+    (try
+       ignore (Fsim.Stafan.analyze c [||]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_stafan_empty_universe () =
+  (* An empty fault universe has nothing to cover: 0, not 0/0. *)
+  let c = Circuit.Generators.c17 () in
+  let st = Fsim.Stafan.analyze c (exhaustive_patterns 5) in
+  Alcotest.(check (float 1e-12)) "empty universe coverage" 0.0
+    (Fsim.Stafan.expected_coverage st [||] ~pattern_count:64)
+
+let test_stafan_detection_probability_strict_clamp () =
+  (* The clamp lives at the source: no tolerance slack needed. *)
+  List.iter
+    (fun (c, seed, count) ->
+      let rng = Stats.Rng.create ~seed () in
+      let patterns = Tpg.Random_tpg.uniform rng c ~count in
+      let st = Fsim.Stafan.analyze c patterns in
+      Array.iter
+        (fun fault ->
+          let d = Fsim.Stafan.detection_probability st fault in
+          Alcotest.(check bool) "d in [0,1] exactly" true (d >= 0.0 && d <= 1.0))
+        (Faults.Universe.all c))
+    [ (Circuit.Generators.c17 (), 9, 3);
+      (Circuit.Generators.alu ~bits:3, 10, 1);
+      (Circuit.Generators.random_circuit ~inputs:10 ~gates:80 ~outputs:4 ~seed:12,
+       11, 17) ]
+
 (* ------------------------------ sampling ----------------------------- *)
 
 let test_sampling_full_sample_is_exact () =
@@ -823,7 +857,10 @@ let suite =
         tc "PO observability" test_stafan_po_observability;
         tc "detection probability bounds" test_stafan_detection_probability_bounds;
         tc "predicts real coverage" test_stafan_predicts_coverage;
-        tc "predicted curve monotone" test_stafan_curve_monotone ] );
+        tc "predicted curve monotone" test_stafan_curve_monotone;
+        tc "rejects empty pattern set" test_stafan_rejects_empty_pattern_set;
+        tc "empty universe" test_stafan_empty_universe;
+        tc "detection probability strict clamp" test_stafan_detection_probability_strict_clamp ] );
     ( "fsim.sampling",
       [ tc "full sample exact" test_sampling_full_sample_is_exact;
         tc "engine choice invariant" test_sampling_engine_invariant;

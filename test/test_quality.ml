@@ -188,6 +188,24 @@ let test_eq11_inverts_eq8 () =
       close ~eps:1e-10 reject (Quality.Reject.reject_rate ~yield_:y ~n0 f))
     [ (0.01, 8.0, 0.8); (0.001, 2.0, 0.95); (0.005, 10.0, 0.4) ]
 
+let test_reject_band () =
+  (* reject_rate is decreasing in f, so the band endpoints swap: the
+     pessimistic reject rate comes from the optimistic coverage edge. *)
+  let y = 0.07 and n0 = 8.0 in
+  let r_lo, r_hi = Quality.Reject.reject_band ~yield_:y ~n0 (0.6, 0.9) in
+  close ~eps:1e-12 (Quality.Reject.reject_rate ~yield_:y ~n0 0.9) r_lo;
+  close ~eps:1e-12 (Quality.Reject.reject_rate ~yield_:y ~n0 0.6) r_hi;
+  Alcotest.(check bool) "band ordered" true (r_lo <= r_hi);
+  (* A point band collapses to the point reject rate. *)
+  let r_lo, r_hi = Quality.Reject.reject_band ~yield_:y ~n0 (0.5, 0.5) in
+  close ~eps:1e-12 r_lo r_hi;
+  (* Inverted coverage bands are a caller bug, not a clamp case. *)
+  Alcotest.(check bool) "inverted band rejected" true
+    (try
+       ignore (Quality.Reject.reject_band ~yield_:y ~n0 (0.9, 0.6));
+       false
+     with Invalid_argument _ -> true)
+
 (* --------------------------- requirement ---------------------------- *)
 
 let test_required_coverage_is_root () =
@@ -783,7 +801,8 @@ let suite =
         tc "Eq.8 boundaries + monotone" test_eq8_boundaries_and_monotonicity;
         tc "Eq.9 identity" test_eq9_identity;
         tc "Eq.10 slope" test_eq10_slope;
-        tc "Eq.11 inverts Eq.8" test_eq11_inverts_eq8 ] );
+        tc "Eq.11 inverts Eq.8" test_eq11_inverts_eq8;
+        tc "reject band from coverage band" test_reject_band ] );
     ( "quality.requirement",
       [ tc "solution is a root" test_required_coverage_is_root;
         tc "zero-coverage case" test_required_coverage_zero_case;

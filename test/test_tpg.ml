@@ -280,6 +280,58 @@ let test_podem_scoap_guidance_same_verdicts () =
         universe)
     [ 41; 42 ]
 
+let test_scoap_saturating_add () =
+  let inf = Tpg.Scoap.infinite in
+  (* [infinite = max_int / 4] leaves headroom: even a three-way sum of
+     saturated costs is computed before the clamp without wrapping. *)
+  Alcotest.(check int) "inf + inf = inf" inf (Tpg.Scoap.saturating_add inf inf);
+  Alcotest.(check int) "inf + 1 = inf" inf (Tpg.Scoap.saturating_add inf 1);
+  Alcotest.(check int) "1 + inf = inf" inf (Tpg.Scoap.saturating_add 1 inf);
+  Alcotest.(check int) "0 + 0 = 0" 0 (Tpg.Scoap.saturating_add 0 0);
+  Alcotest.(check int) "near clamp" inf (Tpg.Scoap.saturating_add (inf - 1) 2);
+  Alcotest.(check int) "below clamp" (inf - 1)
+    (Tpg.Scoap.saturating_add (inf - 3) 2);
+  (* Never negative, never above infinite — i.e. no silent overflow. *)
+  List.iter
+    (fun (a, b) ->
+      let s = Tpg.Scoap.saturating_add a b in
+      Alcotest.(check bool) "in [0, infinite]" true (s >= 0 && s <= inf))
+    [ (inf, inf); (inf - 1, inf - 1); (inf, 0); (12345, inf - 1) ];
+  (* Fault difficulties inherit the bound. *)
+  let c = Circuit.Generators.redundant_demo () in
+  let t = Tpg.Scoap.analyze c in
+  Array.iter
+    (fun fault ->
+      let d = Tpg.Scoap.fault_difficulty t c fault in
+      Alcotest.(check bool) "difficulty in [0, infinite]" true (d >= 0 && d <= inf))
+    (Faults.Universe.all c)
+
+let test_scoap_export () =
+  let c = Circuit.Generators.c17 () in
+  let t = Tpg.Scoap.analyze c in
+  let universe = Faults.Universe.all c in
+  let count = 5 in
+  let csv = Tpg.Scoap.hardest_to_csv t c universe ~count in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  (match lines with
+  | header :: rows ->
+    Alcotest.(check string) "csv header" "fault,difficulty,saturated" header;
+    Alcotest.(check int) "csv rows" count (List.length rows)
+  | [] -> Alcotest.fail "empty csv");
+  match Tpg.Scoap.hardest_to_json t c universe ~count with
+  | Report.Json.List entries ->
+    Alcotest.(check int) "json entries" count (List.length entries);
+    List.iter
+      (function
+        | Report.Json.Obj fields ->
+          List.iter
+            (fun key ->
+              Alcotest.(check bool) key true (List.mem_assoc key fields))
+            [ "fault"; "difficulty"; "saturated" ]
+        | _ -> Alcotest.fail "entry is not an object")
+      entries
+  | _ -> Alcotest.fail "json export is not a list"
+
 (* ------------------------- implication atpg ------------------------- *)
 
 let check_implication_on c width =
@@ -461,6 +513,44 @@ let test_atpg_deterministic () =
   let b = Tpg.Atpg.run c universe in
   Alcotest.(check bool) "same patterns" true (a.Tpg.Atpg.patterns = b.Tpg.Atpg.patterns)
 
+let test_atpg_hybrid_cutover () =
+  (* A 5-to-32 decoder is the canonical random-pattern-resistant
+     circuit: most faults need one specific minterm on the select
+     lines.  The hybrid flow must cut the random phase short at the
+     statically predicted knee and still reach at least the coverage
+     of a pure-random run over the full budget, with fewer patterns. *)
+  let c = Circuit.Generators.decoder ~bits:5 in
+  let classes = Faults.Collapse.equivalence c (Faults.Universe.all c) in
+  let reps = Faults.Collapse.representatives classes in
+  let budget = 1024 in
+  let config =
+    { Tpg.Atpg.default_config with
+      random_budget = budget;
+      random_target = 1.0;
+      hybrid = true;
+      resistant_threshold = 0.02 }
+  in
+  let report = Tpg.Atpg.run ~config c reps in
+  (match report.Tpg.Atpg.predicted_cutover with
+  | Some n ->
+    Alcotest.(check bool) "cutover within budget" true (n >= 0 && n <= budget);
+    Alcotest.(check bool) "cutover on a block boundary" true (n mod 64 = 0);
+    Alcotest.(check bool) "random phase capped" true
+      (report.Tpg.Atpg.random_patterns <= n)
+  | None -> Alcotest.fail "hybrid mode must predict a cutover");
+  (* Pure-random baseline: same seed family, full budget. *)
+  let rng = Stats.Rng.create ~seed:config.Tpg.Atpg.seed () in
+  let pure = Tpg.Random_tpg.uniform rng c ~count:budget in
+  let pure_profile = Fsim.Coverage.profile c reps pure in
+  Alcotest.(check bool) "hybrid coverage >= pure random" true
+    (Tpg.Atpg.coverage report >= Fsim.Coverage.final_coverage pure_profile);
+  Alcotest.(check bool) "hybrid uses fewer patterns" true
+    (Array.length report.Tpg.Atpg.patterns < budget);
+  (* Off by default: no cutover is predicted, behaviour unchanged. *)
+  let plain = Tpg.Atpg.run c reps in
+  Alcotest.(check bool) "predicted_cutover off by default" true
+    (plain.Tpg.Atpg.predicted_cutover = None)
+
 let qcheck_props =
   let open QCheck in
   [ Test.make ~count:20 ~name:"podem tests verified by fault simulation"
@@ -500,7 +590,9 @@ let suite =
         tc "xor controllability" test_scoap_xor_controllability;
         tc "difficulty ranks depth" test_scoap_fault_difficulty_ranks_depth;
         tc "hardest faults sorted" test_scoap_hardest_faults;
-        tc "podem guidance preserves verdicts" test_podem_scoap_guidance_same_verdicts ] );
+        tc "podem guidance preserves verdicts" test_podem_scoap_guidance_same_verdicts;
+        tc "saturating add clamps" test_scoap_saturating_add;
+        tc "hardest-fault export" test_scoap_export ] );
     ( "tpg.implication_atpg",
       [ tc "c17 sound and complete" test_implication_c17;
         tc "adder sound and complete" test_implication_adder;
@@ -516,6 +608,7 @@ let suite =
       [ tc "c17 full coverage" test_atpg_full_coverage_small;
         tc "multiplier accounted" test_atpg_multiplier;
         tc "profile consistent" test_atpg_profile_consistent;
-        tc "deterministic" test_atpg_deterministic ] );
+        tc "deterministic" test_atpg_deterministic;
+        tc "hybrid cutover" test_atpg_hybrid_cutover ] );
     ( "tpg.properties",
       List.map (QCheck_alcotest.to_alcotest ~long:false) qcheck_props ) ]
