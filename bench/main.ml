@@ -5,10 +5,14 @@
             ablation signature stafan drift economics wafer par analyze
             ndetect micro all
             (default: all)
-   Special: `par [FILE]` / `par-smoke [FILE]` sweep the multicore
-   fault-simulation engine and write BENCH_fsim.json (or FILE);
-   `obs-smoke [FILE]` runs one tiny traced iteration and validates the
-   emitted Chrome trace JSON (BENCH_trace_smoke.json by default);
+   Special: `par [FILE]` / `par-smoke [FILE [HISTORY]]` sweep the
+   multicore fault-simulation engine, write BENCH_fsim.json (or FILE)
+   and append a run block to the bench history (BENCH_history.jsonl or
+   HISTORY); `diff HISTORY [CURRENT]` compares the latest same-host
+   entries with noise-aware thresholds and exits 1 on regression;
+   `obs-smoke [FILE [JOURNAL]]` runs one tiny traced iteration,
+   validates the emitted Chrome trace JSON (BENCH_trace_smoke.json by
+   default) and hard-asserts the --journal event sequence;
    `csv DIR` exports the analytic figure series.
 
    Every figure and table of the paper's evaluation is regenerated and
@@ -510,7 +514,8 @@ let testability_bench ~smoke () =
            ("pure_random_patterns", Report.Json.Int budget);
            ("pure_random_coverage", Report.Json.Float pure_coverage) ]) ]
 
-let run_par ?(out = "BENCH_fsim.json") ~smoke () =
+let run_par ?(out = "BENCH_fsim.json") ?(history = "BENCH_history.jsonl")
+    ~smoke () =
   section
     (Printf.sprintf "Multicore PPSFP sweep%s -> %s"
        (if smoke then " (smoke)" else "") out);
@@ -610,7 +615,83 @@ let run_par ?(out = "BENCH_fsim.json") ~smoke () =
     -> ()
   | Ok _ -> failwith "BENCH_fsim: written JSON lacks the ndetect or testability block"
   | Error message -> failwith ("BENCH_fsim: written JSON unparsable: " ^ message));
-  Printf.printf "\nwrote %s (all engines bit-identical)\n" out
+  (* Append the run to the history so `diff` has a trajectory to
+     compare against; entries are keyed by host context at read time. *)
+  Obs.History.append ~path:history
+    (Obs.History.entry ~time_unix:(Unix.gettimeofday ()) doc);
+  Printf.printf "\nwrote %s (all engines bit-identical)\n" out;
+  Printf.printf "appended history entry to %s\n" history
+
+(* ------------------------------------------------------------------ *)
+(* Bench-history regression gate: compare a current BENCH_fsim.json
+   document against the most recent same-host baseline in the history,
+   with the noise-aware thresholds of Obs.History (Time metrics need
+   both a 1.5x ratio and a 2ms absolute excess; Exact metrics flag on
+   any change).  Exits 1 naming every regressed block, so CI can gate
+   on it; an empty or foreign-host history compares nothing and
+   passes. *)
+
+let read_doc path =
+  let ic = open_in path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  match Report.Json.parse text with
+  | Ok doc -> doc
+  | Error message -> failwith (Printf.sprintf "bench diff: %s: %s" path message)
+
+let run_diff ~history ?current () =
+  section
+    (Printf.sprintf "Bench history diff (%s%s)" history
+       (match current with Some c -> " vs " ^ c | None -> ", last two entries"));
+  let entries =
+    match Obs.History.load history with
+    | Ok entries -> entries
+    | Error message ->
+      failwith (Printf.sprintf "bench diff: %s: %s" history message)
+  in
+  let docs = List.filter_map Obs.History.doc_of_entry entries in
+  let current_doc, candidates =
+    match current with
+    | Some path -> (Some (read_doc path), docs)
+    | None ->
+      (match List.rev docs with
+      | cur :: rest -> (Some cur, List.rev rest)
+      | [] -> (None, []))
+  in
+  match current_doc with
+  | None -> Printf.printf "history %s is empty; nothing to compare\n" history
+  | Some current ->
+    let key = Obs.History.host_key current in
+    (* Latest prior entry from the same host context is the baseline:
+       never compare a laptop run against a CI-container trajectory. *)
+    let baseline =
+      List.fold_left
+        (fun acc doc ->
+          if String.equal (Obs.History.host_key doc) key then Some doc else acc)
+        None candidates
+    in
+    (match baseline with
+    | None ->
+      Printf.printf
+        "no baseline for host [%s] among %d history entr%s; nothing to compare\n"
+        key (List.length docs)
+        (if List.length docs = 1 then "y" else "ies")
+    | Some baseline ->
+      let rows = Obs.History.compare_docs ~baseline ~current () in
+      print_string (Obs.History.render rows);
+      let regressed = Obs.History.regressions rows in
+      if regressed <> [] then begin
+        Printf.eprintf "bench diff: %d regression%s vs baseline [%s]:\n"
+          (List.length regressed)
+          (if List.length regressed = 1 then "" else "s")
+          key;
+        List.iter
+          (fun r ->
+            Printf.eprintf "  %s %s\n" r.Obs.History.r_block r.Obs.History.r_name)
+          regressed;
+        exit 1
+      end
+      else Printf.printf "\nno regressions vs baseline [%s]\n" key)
 
 (* ------------------------------------------------------------------ *)
 (* Traced smoke iteration: run one tiny Par grading under the tracer,
@@ -644,7 +725,8 @@ let span_names json =
     | _ -> [])
   | _ -> []
 
-let run_obs_smoke ?(out = "BENCH_trace_smoke.json") () =
+let run_obs_smoke ?(out = "BENCH_trace_smoke.json")
+    ?(journal = "BENCH_journal_smoke.jsonl") () =
   section (Printf.sprintf "Traced bench smoke -> %s" out);
   let circuit =
     Circuit.Generators.random_circuit ~inputs:12 ~gates:200 ~outputs:8 ~seed:7
@@ -721,6 +803,92 @@ let run_obs_smoke ?(out = "BENCH_trace_smoke.json") () =
   obs_check ~what:"span tree shape is deterministic" (String.equal shape1 shape2);
   Obs.Trace.reset ();
   Obs.Metrics.reset ();
+  (* Journal smoke: the same workload under --journal semantics with
+     throttling off, then hard-assert the event sequence on disk. *)
+  let journaled_run () =
+    Obs.Journal.attach ~path:journal;
+    Obs.Journal.set_enabled true;
+    Obs.Progress.configure ~interval_s:0.0 ~printer:None ();
+    Obs.Progress.set_enabled true;
+    Obs.Journal.run_start ~argv:Sys.argv ~seed:7 ~circuit:circuit.Circuit.Netlist.name ();
+    ignore (Fsim.Par.run ~domains:2 circuit universe patterns);
+    ignore (Fsim.Ppsfp.run circuit universe patterns);
+    Obs.Journal.headline "faults" (Report.Json.Int (Array.length universe));
+    Obs.Journal.run_end ~outcome:Obs.Journal.Finished;
+    Obs.Progress.set_enabled false;
+    Obs.Journal.set_enabled false;
+    Obs.Journal.detach ();
+    (* The comparable projection of the event stream: concurrent shards
+       make rates and timestamps jitter, but labels and item counts are
+       deterministic at fixed seed. *)
+    match Obs.Journal.read_file journal with
+    | Error _ as e -> e
+    | Ok events ->
+      Ok
+        ( events,
+          List.filter_map
+            (function
+              | Obs.Journal.Progress { label; task; items; total; _ } ->
+                Some (label, task, items, total)
+              | _ -> None)
+            events )
+  in
+  (match journaled_run () with
+  | Error message -> obs_check ~what:("journal parses: " ^ message) false
+  | Ok (events, progress1) ->
+    obs_check ~what:"journal parses as JSONL" true;
+    let count p = List.length (List.filter p events) in
+    obs_check ~what:"exactly one run_start, first"
+      (count (function Obs.Journal.Run_start _ -> true | _ -> false) = 1
+      && (match events with Obs.Journal.Run_start _ :: _ -> true | _ -> false));
+    obs_check ~what:"exactly one run_end, last"
+      (count (function Obs.Journal.Run_end _ -> true | _ -> false) = 1
+      &&
+      match List.rev events with
+      | Obs.Journal.Run_end { outcome = Obs.Journal.Finished; _ } :: _ -> true
+      | _ -> false);
+    obs_check ~what:"at least one progress event" (progress1 <> []);
+    obs_check ~what:"run_end carries the headline"
+      (List.exists
+         (function
+           | Obs.Journal.Run_end { results; _ } ->
+             List.assoc_opt "faults" results
+             = Some (Report.Json.Int (Array.length universe))
+           | _ -> false)
+         events);
+    (* items-done never goes backwards within a (label, task). *)
+    let monotone =
+      let last = Hashtbl.create 8 in
+      List.for_all
+        (fun (label, task, items, _) ->
+          let key = (label, task) in
+          let ok =
+            match Hashtbl.find_opt last key with
+            | Some prev -> items >= prev
+            | None -> true
+          in
+          Hashtbl.replace last key items;
+          ok)
+        progress1
+    in
+    obs_check ~what:"progress items monotone per task" monotone;
+    (* With throttling off, a single-threaded loop's (label, items)
+       stream is deterministic — a second run must reproduce the serial
+       engine's projection exactly.  (The Par stream is intentionally
+       excluded: which intermediate counter values the shards publish
+       depends on interleaving; only its final count is exact.) *)
+    (match journaled_run () with
+    | Error message -> obs_check ~what:("journal re-parses: " ^ message) false
+    | Ok (_, progress2) ->
+      let serial p =
+        List.filter_map
+          (fun (label, _, items, total) ->
+            if String.equal label "fsim.ppsfp" then Some (label, items, total)
+            else None)
+          p
+      in
+      obs_check ~what:"unthrottled serial event stream is deterministic"
+        (serial progress1 = serial progress2)));
   if !obs_smoke_failure then begin
     Printf.eprintf "obs-smoke: validation failed (see above)\n";
     exit 1
@@ -914,8 +1082,12 @@ let () =
   | [ _; "par"; out ] -> run_par ~out ~smoke:false ()
   | [ _; "par-smoke" ] -> run_par ~smoke:true ()
   | [ _; "par-smoke"; out ] -> run_par ~out ~smoke:true ()
+  | [ _; "par-smoke"; out; history ] -> run_par ~out ~history ~smoke:true ()
   | [ _; "obs-smoke" ] -> run_obs_smoke ()
   | [ _; "obs-smoke"; out ] -> run_obs_smoke ~out ()
+  | [ _; "obs-smoke"; out; journal ] -> run_obs_smoke ~out ~journal ()
+  | [ _; "diff"; history ] -> run_diff ~history ()
+  | [ _; "diff"; history; current ] -> run_diff ~history ~current ()
   | _ :: args ->
     List.iter
       (fun arg ->

@@ -77,11 +77,35 @@ let metrics_arg =
   in
   Arg.(value & flag & info [ "metrics" ] ~doc)
 
+let journal_arg =
+  let doc =
+    "Write a structured JSONL run journal to $(docv): a run_start header \
+     (argv, seed, host, git revision), throttled progress events from the \
+     hot loops, a metrics snapshot when $(b,--metrics) is also given, and a \
+     closing run_end with the headline results.  Render it later with \
+     $(b,lsiq report)."
+  in
+  let env =
+    Cmd.Env.info "LSIQ_JOURNAL" ~doc:"Fallback journal file when --journal is absent."
+  in
+  Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE" ~env ~doc)
+
+let progress_arg =
+  let doc =
+    "Print live progress lines (items done, EWMA rate, ETA) to stderr, at \
+     most one per task per $(docv) seconds.  The value must be glued on: \
+     $(b,--progress=0) emits on every batch (deterministic event streams \
+     for tests); plain $(b,--progress) defaults to 0.5s."
+  in
+  Arg.(value & opt ~vopt:(Some 0.5) (some float) None
+       & info [ "progress" ] ~docv:"SECS" ~doc)
+
 (* Enable the obs subsystem around [f], then emit: the Chrome trace to
-   the requested file (summary tree to stderr), metrics text to stderr.
+   the requested file (summary tree to stderr), metrics text to stderr,
+   journal events to the --journal file, progress lines to stderr.
    All obs output is status, never data — stdout stays pipe-clean. *)
-let with_obs ~trace ~metrics f =
-  if trace = None && not metrics then f ()
+let with_obs ?seed ?circuit ~trace ~metrics ~journal ~progress f =
+  if trace = None && not metrics && journal = None && progress = None then f ()
   else begin
     if trace <> None then begin
       Obs.Trace.reset ();
@@ -91,9 +115,28 @@ let with_obs ~trace ~metrics f =
       Obs.Metrics.reset ();
       Obs.Metrics.set_enabled true
     end;
-    let finish () =
+    (match journal with
+    | Some path ->
+      Obs.Journal.attach ~path;
+      Obs.Journal.set_enabled true;
+      Obs.Journal.run_start ~argv:Sys.argv ?seed ?circuit ()
+    | None -> ());
+    if journal <> None || progress <> None then begin
+      (* stderr lines only under --progress; with --journal alone the
+         events flow silently to the file. *)
+      let printer =
+        match progress with
+        | Some _ -> Some (fun line -> prerr_string line; flush stderr)
+        | None -> None
+      in
+      let interval_s = match progress with Some s -> s | None -> 0.5 in
+      Obs.Progress.configure ~interval_s ~printer ();
+      Obs.Progress.set_enabled true
+    end;
+    let finish outcome =
       Obs.Trace.set_enabled false;
       Obs.Metrics.set_enabled false;
+      Obs.Progress.set_enabled false;
       (match trace with
       | Some path ->
         let oc = open_out path in
@@ -109,9 +152,20 @@ let with_obs ~trace ~metrics f =
         prerr_newline ();
         prerr_string (Obs.Metrics.render_text ())
       end;
+      if journal <> None then begin
+        if metrics then Obs.Journal.metrics_snapshot (Obs.Metrics.snapshot ());
+        Obs.Journal.run_end ~outcome;
+        Obs.Journal.set_enabled false;
+        Obs.Journal.detach ()
+      end;
       flush stderr
     in
-    Fun.protect ~finally:finish f
+    (* Not Fun.protect: run_end must record how the run ended. *)
+    match f () with
+    | v -> finish Obs.Journal.Finished; v
+    | exception e ->
+      finish (Obs.Journal.Failed (Printexc.to_string e));
+      raise e
   end
 
 (* --------------------------- reject-rate --------------------------- *)
@@ -226,8 +280,8 @@ let simulate_lot_cmd =
                  --exclude-untestable).")
   in
   let action scale chips target_yield n0 clustered exclude_untestable
-      collapse_dominance n_detect seed domains trace metrics =
-    with_obs ~trace ~metrics @@ fun () ->
+      collapse_dominance n_detect seed domains trace metrics journal progress =
+    with_obs ~seed ~trace ~metrics ~journal ~progress @@ fun () ->
     let config =
       { Experiments.Pipeline.default_config with
         Experiments.Pipeline.scale; lot_size = chips; target_yield;
@@ -267,7 +321,7 @@ let simulate_lot_cmd =
   Cmd.v (Cmd.info "simulate-lot" ~doc)
     Term.(const action $ scale $ chips $ target_yield $ n0_arg $ clustered
           $ exclude_untestable $ collapse_dominance $ n_detect_arg $ seed_arg
-          $ domains_arg $ trace_arg $ metrics_arg)
+          $ domains_arg $ trace_arg $ metrics_arg $ journal_arg $ progress_arg)
 
 (* ------------------------------ fsim ------------------------------- *)
 
@@ -295,8 +349,10 @@ let fsim_cmd =
                  equivalence representatives.")
   in
   let action circuit count engine seed domains collapse_dominance n_detect csv
-      trace metrics =
-    with_obs ~trace ~metrics @@ fun () ->
+      trace metrics journal progress =
+    with_obs ~seed ~circuit:circuit.Circuit.Netlist.name ~trace ~metrics
+      ~journal ~progress
+    @@ fun () ->
     let engine =
       match domains with
       | Some n -> Fsim.Coverage.Par { domains = n }
@@ -367,7 +423,7 @@ let fsim_cmd =
   Cmd.v (Cmd.info "fsim" ~doc)
     Term.(const action $ circuit_arg $ patterns $ engine $ seed_arg
           $ domains_arg $ collapse_dominance $ n_detect_arg $ csv $ trace_arg
-          $ metrics_arg)
+          $ metrics_arg $ journal_arg $ progress_arg)
 
 (* ------------------------------ atpg ------------------------------- *)
 
@@ -387,8 +443,11 @@ let atpg_cmd =
     Arg.(value & opt int 1 & info [ "learn-depth" ] ~docv:"N"
            ~doc:"Implication learning sweeps for $(b,--use-analysis).")
   in
-  let action circuit out seed use_analysis learn_depth trace metrics =
-    with_obs ~trace ~metrics @@ fun () ->
+  let action circuit out seed use_analysis learn_depth trace metrics journal
+      progress =
+    with_obs ~seed ~circuit:circuit.Circuit.Netlist.name ~trace ~metrics
+      ~journal ~progress
+    @@ fun () ->
     let universe = Faults.Universe.all circuit in
     let classes = Faults.Collapse.equivalence circuit universe in
     let reps = Faults.Collapse.representatives classes in
@@ -419,7 +478,7 @@ let atpg_cmd =
   let doc = "Generate a test set (random + PODEM) for a circuit." in
   Cmd.v (Cmd.info "atpg" ~doc)
     Term.(const action $ circuit_arg $ out $ seed_arg $ use_analysis
-          $ learn_depth $ trace_arg $ metrics_arg)
+          $ learn_depth $ trace_arg $ metrics_arg $ journal_arg $ progress_arg)
 
 (* ------------------------------ convert ----------------------------- *)
 
@@ -633,11 +692,13 @@ let lint_cmd =
                  proofs.")
   in
   let action circuit json fail_on fanout_threshold structural_only learn_depth
-      trace metrics =
+      trace metrics journal progress =
     (* [exit] must happen outside [with_obs]: it does not unwind the
        stack, so the trace file would never be written. *)
     let trip =
-      with_obs ~trace ~metrics @@ fun () ->
+      with_obs ~circuit:circuit.Circuit.Netlist.name ~trace ~metrics ~journal
+        ~progress
+      @@ fun () ->
       let config =
         { Lint.Driver.default_config with
           Lint.Driver.fanout_threshold; testability = not structural_only;
@@ -662,7 +723,8 @@ let lint_cmd =
   in
   Cmd.v (Cmd.info "lint" ~doc)
     Term.(const action $ circuit_arg $ json $ fail_on $ fanout_threshold
-          $ structural_only $ learn_depth $ trace_arg $ metrics_arg)
+          $ structural_only $ learn_depth $ trace_arg $ metrics_arg
+          $ journal_arg $ progress_arg)
 
 (* ------------------------------ analyze ----------------------------- *)
 
@@ -693,9 +755,11 @@ let analyze_cmd =
            ~doc:"List learned constants and each literal's implications.")
   in
   let action circuit json fail_on learn_depth show_dominators show_implications
-      trace metrics =
+      trace metrics journal progress =
     let trip =
-      with_obs ~trace ~metrics @@ fun () ->
+      with_obs ~circuit:circuit.Circuit.Netlist.name ~trace ~metrics ~journal
+        ~progress
+      @@ fun () ->
       let module N = Circuit.Netlist in
       let engine =
         Analysis.Engine.build ~learn_depth:(Some learn_depth) circuit
@@ -915,7 +979,8 @@ let analyze_cmd =
   in
   Cmd.v (Cmd.info "analyze" ~doc)
     Term.(const action $ circuit_arg $ json $ fail_on $ learn_depth
-          $ show_dominators $ show_implications $ trace_arg $ metrics_arg)
+          $ show_dominators $ show_implications $ trace_arg $ metrics_arg
+          $ journal_arg $ progress_arg)
 
 (* ---------------------------- testability --------------------------- *)
 
@@ -967,11 +1032,13 @@ let testability_cmd =
                    random-pattern-resistant faults.")
   in
   let action circuit json csv threshold predict_curve test_length max_patterns
-      yield_opt n0 fail_on trace metrics =
+      yield_opt n0 fail_on trace metrics journal progress =
     (* [exit] must happen outside [with_obs]: it does not unwind the
        stack, so the trace file would never be written. *)
     let trip =
-      with_obs ~trace ~metrics @@ fun () ->
+      with_obs ~circuit:circuit.Circuit.Netlist.name ~trace ~metrics ~journal
+        ~progress
+      @@ fun () ->
       let module N = Circuit.Netlist in
       let module SP = Analysis.Signal_prob in
       let module D = Analysis.Detectability in
@@ -1167,7 +1234,7 @@ let testability_cmd =
   Cmd.v (Cmd.info "testability" ~doc)
     Term.(const action $ circuit_arg $ json $ csv $ threshold $ predict_curve
           $ test_length $ max_patterns $ yield_opt $ n0_arg $ fail_on
-          $ trace_arg $ metrics_arg)
+          $ trace_arg $ metrics_arg $ journal_arg $ progress_arg)
 
 (* --------------------------- experiments --------------------------- *)
 
@@ -1177,10 +1244,10 @@ let experiments_cmd =
            ~doc:"fig1 fig2 fig3 fig4 fig5 fig6 table1 pipeline comparison \
                  fineline ablation economics drift.")
   in
-  let action target seed domains trace metrics =
+  let action target seed domains trace metrics journal progress =
     (* `exit 2` on an unknown target must not skip with_obs's finaliser. *)
     let output =
-      with_obs ~trace ~metrics @@ fun () ->
+      with_obs ~seed ~trace ~metrics ~journal ~progress @@ fun () ->
       match target with
       | "fig1" -> Some (Experiments.Fig1.render ())
       | "fig2" ->
@@ -1231,7 +1298,24 @@ let experiments_cmd =
   let doc = "Regenerate one of the paper's figures or tables." in
   Cmd.v (Cmd.info "experiments" ~doc)
     Term.(const action $ target $ seed_arg $ domains_arg $ trace_arg
-          $ metrics_arg)
+          $ metrics_arg $ journal_arg $ progress_arg)
+
+(* ------------------------------ report ----------------------------- *)
+
+let report_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"JOURNAL"
+           ~doc:"Journal file written by a $(b,--journal) run.")
+  in
+  let action path =
+    match Obs.Journal.read_file path with
+    | Ok events -> print_string (Obs.Journal.render_summary events)
+    | Error msg ->
+      Printf.eprintf "lsiq: %s: %s\n" path msg;
+      exit 1
+  in
+  let doc = "Render a human-readable summary of a --journal run file." in
+  Cmd.v (Cmd.info "report" ~doc) Term.(const action $ file)
 
 (* ------------------------------ wafer ------------------------------ *)
 
@@ -1282,4 +1366,4 @@ let () =
             simulate_lot_cmd; fsim_cmd; atpg_cmd; convert_cmd; diagnose_cmd;
             compact_cmd;
             stafan_cmd; sample_cmd; lint_cmd; analyze_cmd; testability_cmd;
-            experiments_cmd; wafer_cmd ]))
+            experiments_cmd; wafer_cmd; report_cmd ]))

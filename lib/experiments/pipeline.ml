@@ -51,19 +51,29 @@ let calibrated_multiplicity config ~lambda =
   (* expected_n0 = mu * lambda / (1 - y)  =>  mu = n0 (1 - y) / lambda. *)
   max 1.0 (config.target_n0 *. (1.0 -. config.target_yield) /. lambda)
 
+(* The nine pipeline stages, in execution order; lint and ndetect are
+   conditional, so a run's stage ticks are a subsequence of 1..9 but
+   always increasing — progress stays monotone. *)
+let stage_total = 9
+
+let stage index name f =
+  Obs.Progress.stage ~label:"pipeline" ~stage:name ~index ~total:stage_total;
+  Obs.Trace.with_span ("pipeline." ^ name) f
+
 let execute config =
-  (* Every stage boundary is a span, so a trace of [execute] shows
-     exactly where a simulate-lot run spends its time; the GC delta of
-     the whole run lands in the [pipeline.*] gauges. *)
+  (* Every stage boundary is a span plus a progress tick, so a trace of
+     [execute] shows exactly where a simulate-lot run spends its time;
+     the GC delta of the whole run accumulates in the [pipeline.*]
+     counters. *)
   Obs.Metrics.with_gc_delta "pipeline" @@ fun () ->
   Obs.Trace.with_span "pipeline.execute" @@ fun () ->
   let circuit =
-    Obs.Trace.with_span "pipeline.circuit" (fun () ->
+    stage 1 "circuit" (fun () ->
         Circuit.Generators.lsi_chip ~seed:config.seed ~scale:config.scale ())
   in
   Obs.Trace.add_int "gates" (Circuit.Netlist.num_gates circuit);
   let full_universe, classes, universe =
-    Obs.Trace.with_span "pipeline.collapse" (fun () ->
+    stage 2 "collapse" (fun () ->
         let full_universe = Faults.Universe.all circuit in
         let classes = Faults.Collapse.equivalence circuit full_universe in
         let universe =
@@ -77,7 +87,7 @@ let execute config =
   let untestable =
     if not config.exclude_untestable then [||]
     else
-      Obs.Trace.with_span "pipeline.lint" (fun () ->
+      stage 3 "lint" (fun () ->
           (* Restrict the proven set to the collapsed universe so that
              [universe + untestable] is exactly the raw representative
              count. *)
@@ -92,13 +102,13 @@ let execute config =
   let universe = Faults.Universe.exclude_untestable universe ~untestable in
   Obs.Trace.add_int "faults" (Array.length universe);
   let atpg_report =
-    Obs.Trace.with_span "pipeline.atpg" (fun () ->
+    stage 4 "atpg" (fun () ->
         Tpg.Atpg.run
           ~config:{ config.atpg with seed = config.seed + 1 }
           circuit universe)
   in
   let program =
-    Obs.Trace.with_span "pipeline.program" @@ fun () ->
+    stage 5 "program" @@ fun () ->
     match config.program_style with
     | Atpg_only ->
       Tester.Pattern_set.make atpg_report.Tpg.Atpg.patterns
@@ -117,13 +127,13 @@ let execute config =
     match config.n_detect with
     | None -> program
     | Some n ->
-      Obs.Trace.with_span "pipeline.ndetect" (fun () ->
+      stage 6 "ndetect" (fun () ->
           Obs.Trace.add_int "n" n;
           Tester.Pattern_set.grade_n_detect ~engine:config.fsim_engine ~n
             circuit universe program)
   in
   let defect =
-    Obs.Trace.with_span "pipeline.fab" @@ fun () ->
+    stage 7 "fab" @@ fun () ->
     let defect_density =
       Fab.Yield_model.solve_defect_density ~target_yield:config.target_yield
         ~area:1.0 ~variance_ratio:config.variance_ratio
@@ -138,7 +148,7 @@ let execute config =
       ~universe_size:(Array.length universe) ()
   in
   let lot =
-    Obs.Trace.with_span "pipeline.lot" @@ fun () ->
+    stage 8 "lot" @@ fun () ->
     let rng = Stats.Rng.create ~seed:(config.seed + 2) () in
     match config.line with
     | Clustered -> Fab.Lot.manufacture defect rng ~count:config.lot_size
@@ -148,10 +158,25 @@ let execute config =
   in
   Obs.Trace.add_int "chips" (Fab.Lot.size lot);
   let outcome =
-    Obs.Trace.with_span "pipeline.test" (fun () ->
+    stage 9 "test" (fun () ->
         Tester.Wafer_test.test_lot ~mode:config.tester_mode circuit universe
           program lot)
   in
+  if Obs.Journal.enabled () then begin
+    Obs.Journal.headline "circuit"
+      (Report.Json.String circuit.Circuit.Netlist.name);
+    Obs.Journal.headline "faults" (Report.Json.Int (Array.length universe));
+    Obs.Journal.headline "patterns"
+      (Report.Json.Int (Tester.Pattern_set.pattern_count program));
+    Obs.Journal.headline "coverage"
+      (Report.Json.Float (Tester.Pattern_set.final_coverage program));
+    Obs.Journal.headline "empirical_yield"
+      (Report.Json.Float (Fab.Lot.empirical_yield lot));
+    Obs.Journal.headline "apparent_yield"
+      (Report.Json.Float (Tester.Wafer_test.apparent_yield outcome));
+    Obs.Journal.headline "test_escapes"
+      (Report.Json.Int (Tester.Wafer_test.test_escapes outcome))
+  end;
   { config; circuit; universe; untestable; atpg_report; program; defect; lot;
     outcome }
 

@@ -19,10 +19,14 @@ let record_lot_stats t =
 let manufacture defect rng ~count =
   if count <= 0 then invalid_arg "Lot.manufacture: nonpositive lot size";
   Obs.Trace.with_span "fab.lot.manufacture" @@ fun () ->
+  let progress = Obs.Progress.start ~label:"fab.lot" ~total:count () in
   let chips =
     Array.init count (fun chip_id ->
-        { chip_id; fault_indices = Defect.sample_chip defect rng })
+        let chip = { chip_id; fault_indices = Defect.sample_chip defect rng } in
+        Obs.Progress.step progress 1;
+        chip)
   in
+  Obs.Progress.finish progress;
   record_lot_stats { chips; universe_size = Defect.universe_size defect }
 
 let manufacture_ideal ~yield_ ~n0 ~universe_size rng ~count =
@@ -32,6 +36,7 @@ let manufacture_ideal ~yield_ ~n0 ~universe_size rng ~count =
   if n0 < 1.0 then invalid_arg "Lot.manufacture_ideal: n0 must be >= 1";
   if universe_size <= 0 then invalid_arg "Lot.manufacture_ideal: empty universe";
   Obs.Trace.with_span "fab.lot.manufacture_ideal" @@ fun () ->
+  let progress = Obs.Progress.start ~label:"fab.lot" ~total:count () in
   let chips =
     Array.init count (fun chip_id ->
         let fault_indices =
@@ -43,8 +48,10 @@ let manufacture_ideal ~yield_ ~n0 ~universe_size rng ~count =
             faults
           end
         in
+        Obs.Progress.step progress 1;
         { chip_id; fault_indices })
   in
+  Obs.Progress.finish progress;
   record_lot_stats { chips; universe_size }
 
 let size t = Array.length t.chips

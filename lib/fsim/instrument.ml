@@ -18,6 +18,9 @@ let engine_run ~engine ~faults ~patterns f =
       end;
       result)
 
+let progress_start ~engine ~patterns =
+  Obs.Progress.start ~label:("fsim." ^ engine) ~total:patterns ()
+
 let count_fault_evals ~engine n =
   if n > 0 then begin
     Obs.Trace.add_int "fault_evals" n;

@@ -17,6 +17,12 @@ val engine_run :
 (** [engine_run ~engine ~faults ~patterns f] runs [f] inside the
     engine's span and records the run-level metrics. *)
 
+val progress_start : engine:string -> patterns:int -> Obs.Progress.t
+(** Progress task labelled ["fsim.<engine>"] over [patterns] items;
+    the engines step it once per 64-pattern block (per shard for the
+    Par engine, whose total is patterns times domains).  Returns the
+    no-op dummy while {!Obs.Progress} is disabled. *)
+
 val count_fault_evals : engine:string -> int -> unit
 (** Record [n] fault-propagation evaluations (one fault graded against
     one pattern block, or one live fault carried through one pattern)

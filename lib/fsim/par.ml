@@ -11,6 +11,7 @@
 
 type slice = {
   block_start : int;   (* pattern index of bit 0 of this block *)
+  patterns : int;      (* live pattern count of this block *)
   live : int64;
   good : int64 array;  (* read-only good-machine values, by node id *)
 }
@@ -22,6 +23,7 @@ let prepare c patterns =
     (fun block ->
       slices :=
         { block_start = !start;
+          patterns = block.Logicsim.Packed.pattern_count;
           live = Logicsim.Packed.live_mask block;
           good = Logicsim.Packed.eval_block c block }
         :: !slices;
@@ -33,12 +35,12 @@ let prepare c patterns =
    dropping, writing first detections into the shard's own slice of
    [results].  Mirrors Ppsfp.run_general's block loop exactly.
    Returns the number of detections this shard made. *)
-let run_shard c slices faults results lo hi =
+let run_shard c ~progress slices faults results lo hi =
   let st = Ppsfp.make_state c in
   let alive = ref (List.init (hi - lo) (fun i -> lo + i)) in
   let detected = ref 0 in
   List.iter
-    (fun { block_start; live; good } ->
+    (fun { block_start; patterns; live; good } ->
       if !alive <> [] then begin
         if Instrument.observing () then
           Instrument.count_fault_evals ~engine:"par" (List.length !alive);
@@ -53,16 +55,17 @@ let run_shard c slices faults results lo hi =
             end)
           !alive;
         alive := List.rev !survivors
-      end)
+      end;
+      Obs.Progress.step progress patterns)
     slices;
   !detected
 
 (* Shared domain-spawning driver for both first-detection and
    n-detection grading: shard faults [0, n) into contiguous ranges, run
-   [grade slices lo hi] (returning the shard's detection count) on one
-   domain per shard, and record per-shard wall/imbalance observability
-   under [engine] ("par" or "ndetect.par").  [annotate] adds
-   engine-specific span attributes inside the top-level span. *)
+   [grade ~progress slices lo hi] (returning the shard's detection
+   count) on one domain per shard, and record per-shard wall/imbalance
+   observability under [engine] ("par" or "ndetect.par").  [annotate]
+   adds engine-specific span attributes inside the top-level span. *)
 let drive ~engine ?(annotate = fun () -> ()) ?domains c faults patterns grade =
   let n = Array.length faults in
   let requested =
@@ -80,6 +83,12 @@ let drive ~engine ?(annotate = fun () -> ()) ?domains c faults patterns grade =
       Obs.Trace.with_span ("fsim." ^ engine ^ ".prepare") (fun () ->
           prepare c patterns)
     in
+    (* One shared task; every shard walks every slice, so the atomic
+       counter ends at patterns x domains whatever the interleaving. *)
+    let progress =
+      Instrument.progress_start ~engine
+        ~patterns:(Array.length patterns * domains)
+    in
     let bounds d = d * n / domains in
     let observing = Instrument.observing () in
     (* Per-shard wall time and detection counts; each worker writes only
@@ -91,7 +100,7 @@ let drive ~engine ?(annotate = fun () -> ()) ?domains c faults patterns grade =
       Obs.Trace.with_span (Printf.sprintf "fsim.%s.shard[%d]" engine i)
         (fun () ->
           let t0 = if observing then Obs.Trace.now_s () else 0.0 in
-          let detected = grade slices lo hi in
+          let detected = grade ~progress slices lo hi in
           if observing then begin
             shard_wall.(i) <- Obs.Trace.now_s () -. t0;
             shard_detected.(i) <- detected;
@@ -106,6 +115,7 @@ let drive ~engine ?(annotate = fun () -> ()) ?domains c faults patterns grade =
     in
     graded_shard 0 0 (bounds 1) ();
     Array.iter Domain.join workers;
+    Obs.Progress.finish progress;
     if Obs.Metrics.enabled () then begin
       let prefix = "fsim." ^ engine in
       Array.iteri
@@ -124,8 +134,8 @@ let drive ~engine ?(annotate = fun () -> ()) ?domains c faults patterns grade =
 
 let run ?domains c faults patterns =
   let results = Array.make (Array.length faults) None in
-  drive ~engine:"par" ?domains c faults patterns (fun slices lo hi ->
-      run_shard c slices faults results lo hi);
+  drive ~engine:"par" ?domains c faults patterns (fun ~progress slices lo hi ->
+      run_shard c ~progress slices faults results lo hi);
   results
 
 (* n-detection shard: the Ppsfp drop-after-n policy over [lo, hi),
@@ -133,12 +143,12 @@ let run ?domains c faults patterns =
    slices of [detections]/[nth].  Per-fault state never crosses shard
    boundaries, so the merge (array concatenation by construction) is
    deterministic for every domain count. *)
-let run_shard_counts ~n c slices faults detections nth lo hi =
+let run_shard_counts ~n c ~progress slices faults detections nth lo hi =
   let st = Ppsfp.make_state c in
   let alive = ref (List.init (hi - lo) (fun i -> lo + i)) in
   let detected = ref 0 in
   List.iter
-    (fun { block_start; live; good } ->
+    (fun { block_start; patterns; live; good } ->
       if !alive <> [] then begin
         if Instrument.observing () then
           Instrument.count_fault_evals ~engine:"ndetect.par"
@@ -152,7 +162,8 @@ let run_shard_counts ~n c slices faults detections nth lo hi =
             else incr detected)
           !alive;
         alive := List.rev !survivors
-      end)
+      end;
+      Obs.Progress.step progress patterns)
     slices;
   !detected
 
@@ -164,5 +175,6 @@ let run_counts ?domains ~n c faults patterns =
   drive ~engine:"ndetect.par"
     ~annotate:(fun () -> Obs.Trace.add_int "n" n)
     ?domains c faults patterns
-    (fun slices lo hi -> run_shard_counts ~n c slices faults detections nth lo hi);
+    (fun ~progress slices lo hi ->
+      run_shard_counts ~n c ~progress slices faults detections nth lo hi);
   (detections, nth)

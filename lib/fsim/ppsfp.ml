@@ -195,6 +195,9 @@ let run_general c faults patterns ~on_block =
   @@ fun () ->
   let st = make_state c in
   let blocks = Logicsim.Packed.blocks_of_patterns c patterns in
+  let progress =
+    Instrument.progress_start ~engine:"ppsfp" ~patterns:(Array.length patterns)
+  in
   let results = Array.make (Array.length faults) None in
   let alive = ref (List.init (Array.length faults) (fun i -> i)) in
   let detected = ref 0 in
@@ -219,8 +222,10 @@ let run_general c faults patterns ~on_block =
         alive := List.rev !survivors
       end;
       block_start := !block_start + block.Logicsim.Packed.pattern_count;
+      Obs.Progress.step progress block.Logicsim.Packed.pattern_count;
       on_block ~patterns_applied:!block_start ~detected:!detected)
     blocks;
+  Obs.Progress.finish progress;
   results
 
 let run c faults patterns =
@@ -242,6 +247,10 @@ let run_counts ~n c faults patterns =
   Obs.Trace.add_int "n" n;
   let st = make_state c in
   let blocks = Logicsim.Packed.blocks_of_patterns c patterns in
+  let progress =
+    Instrument.progress_start ~engine:"ndetect.ppsfp"
+      ~patterns:(Array.length patterns)
+  in
   let nf = Array.length faults in
   let detections = Array.make nf 0 in
   let nth = Array.make nf None in
@@ -265,6 +274,8 @@ let run_counts ~n c faults patterns =
           !alive;
         alive := List.rev !survivors
       end;
-      block_start := !block_start + block.Logicsim.Packed.pattern_count)
+      block_start := !block_start + block.Logicsim.Packed.pattern_count;
+      Obs.Progress.step progress block.Logicsim.Packed.pattern_count)
     blocks;
+  Obs.Progress.finish progress;
   (detections, nth)

@@ -73,6 +73,9 @@ let run c faults patterns =
     ~patterns:(Array.length patterns)
   @@ fun () ->
   let blocks = Logicsim.Packed.blocks_of_patterns c patterns in
+  let progress =
+    Instrument.progress_start ~engine:"serial" ~patterns:(Array.length patterns)
+  in
   let results = Array.make (Array.length faults) None in
   let alive = ref (List.init (Array.length faults) (fun i -> i)) in
   let block_start = ref 0 in
@@ -92,8 +95,10 @@ let run c faults patterns =
           !alive;
         alive := List.rev !survivors
       end;
-      block_start := !block_start + block.Logicsim.Packed.pattern_count)
+      block_start := !block_start + block.Logicsim.Packed.pattern_count;
+      Obs.Progress.step progress block.Logicsim.Packed.pattern_count)
     blocks;
+  Obs.Progress.finish progress;
   results
 
 let run_counts ~n c faults patterns =
@@ -103,6 +108,10 @@ let run_counts ~n c faults patterns =
   @@ fun () ->
   Obs.Trace.add_int "n" n;
   let blocks = Logicsim.Packed.blocks_of_patterns c patterns in
+  let progress =
+    Instrument.progress_start ~engine:"ndetect.serial"
+      ~patterns:(Array.length patterns)
+  in
   let nf = Array.length faults in
   let detections = Array.make nf 0 in
   let nth = Array.make nf None in
@@ -126,8 +135,10 @@ let run_counts ~n c faults patterns =
           !alive;
         alive := List.rev !survivors
       end;
-      block_start := !block_start + block.Logicsim.Packed.pattern_count)
+      block_start := !block_start + block.Logicsim.Packed.pattern_count;
+      Obs.Progress.step progress block.Logicsim.Packed.pattern_count)
     blocks;
+  Obs.Progress.finish progress;
   (detections, nth)
 
 (* Multiple-fault injection: per-line AND/OR masks.  A stuck-at-0 clears

@@ -1,0 +1,23 @@
+(* CLOCK_MONOTONIC via bechamel's noalloc stub; the stub yields raw
+   nanoseconds and returns 0 on platforms where no monotonic source was
+   compiled in — a reading a real clock can never produce once the
+   machine has been up a nanosecond, which is what [monotonic] probes. *)
+
+let ns_to_s = 1e-9
+
+let monotonic = Monotonic_clock.now () <> 0L
+
+(* Fallback path: gettimeofday can step backwards (NTP, manual clock
+   changes); clamp through a CAS'd high-water mark so callers still see
+   a non-decreasing sequence. *)
+let high_water = Atomic.make neg_infinity
+
+let rec monotonize t =
+  let seen = Atomic.get high_water in
+  if t <= seen then seen
+  else if Atomic.compare_and_set high_water seen t then t
+  else monotonize t
+
+let now_s () =
+  if monotonic then Int64.to_float (Monotonic_clock.now ()) *. ns_to_s
+  else monotonize (Unix.gettimeofday ())

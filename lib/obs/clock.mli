@@ -1,0 +1,20 @@
+(** Shared time source for the observability subsystem.
+
+    Backed by [CLOCK_MONOTONIC] (via the bechamel stub) whenever the
+    platform provides it, so readings are immune to wall-clock steps
+    (NTP adjustments, manual changes).  On platforms where the stub
+    reports no monotonic clock we fall back to [Unix.gettimeofday]
+    monotonised through an atomic high-water mark — readings then may
+    stall during a backwards wall-clock step but never decrease.
+
+    Either way the guarantee instrumentation relies on holds:
+    successive [now_s] calls never go backwards. *)
+
+val monotonic : bool
+(** True when the platform monotonic clock backs [now_s]; false on the
+    monotonised [Unix.gettimeofday] fallback. *)
+
+val now_s : unit -> float
+(** Seconds since an arbitrary fixed origin (the boot instant under
+    [CLOCK_MONOTONIC], the Unix epoch on the fallback).  Only
+    differences are meaningful.  Never decreases. *)

@@ -1,0 +1,73 @@
+(** Bench history: durable JSONL of BENCH_fsim.json documents plus a
+    noise-aware comparison between two documents.
+
+    Each history line is [{"time_unix": t, "bench": doc}] where [doc]
+    is the full BENCH_fsim.json object.  Entries are keyed by host
+    context ({!host_key}) so a laptop run is never compared against a
+    CI-container baseline.
+
+    Comparison extracts a flat metric list from the known blocks
+    ([runs], [ndetect], [analysis], [testability]) and classifies each
+    pair:
+
+    - [Time] metrics use min-of-repeats (the least-perturbed sample)
+      and regress only when the current min exceeds the baseline by
+      both a ratio and an absolute floor — timing noise on sub-ms
+      blocks must not fail CI.
+    - [Exact] metrics (coverage, fault/pattern counts) are
+      deterministic at fixed seed, so any change is flagged. *)
+
+type kind = Time | Exact
+
+type metric = { block : string; name : string; kind : kind; value : float }
+
+type verdict = Same | Faster | Slower | Changed | Added | Removed
+
+type row = {
+  r_block : string;
+  r_name : string;
+  r_kind : kind;
+  r_base : float option;
+  r_cur : float option;
+  r_verdict : verdict;
+}
+
+val host_key : Report.Json.t -> string
+(** Comparison key of a bench document: cores, OCaml version and word
+    size from its ["host"] block (["unknown-host"] if absent). *)
+
+val metrics_of_doc : Report.Json.t -> metric list
+(** Flatten the comparable metrics out of a BENCH_fsim.json document.
+    Unknown blocks are ignored, so old histories stay readable. *)
+
+val entry : time_unix:float -> Report.Json.t -> Report.Json.t
+(** Wrap a bench document as one history line. *)
+
+val doc_of_entry : Report.Json.t -> Report.Json.t option
+(** The bench document inside a history line. *)
+
+val append : path:string -> Report.Json.t -> unit
+(** Append one history line (a value built by {!entry}) to [path],
+    creating the file when missing. *)
+
+val load : string -> (Report.Json.t list, string) result
+(** All history lines, oldest first; error names the first bad line.
+    A missing file is an empty history, not an error. *)
+
+val compare_docs :
+  ?time_ratio:float ->
+  ?time_floor_s:float ->
+  baseline:Report.Json.t ->
+  current:Report.Json.t ->
+  unit ->
+  row list
+(** Classify every metric present in either document.  A [Time] metric
+    is [Slower] when [cur > base *. time_ratio] (default 1.5) {e and}
+    [cur -. base > time_floor_s] (default 2ms); [Faster] symmetric;
+    an [Exact] mismatch is [Changed]. *)
+
+val regressions : row list -> row list
+(** The rows CI should fail on: [Slower] and [Changed]. *)
+
+val render : row list -> string
+(** Comparison table, one row per metric. *)

@@ -78,20 +78,28 @@ let observe name v =
     Mutex.unlock mutex
   end
 
+(* GC deltas accumulate as counters: repeated calls with the same
+   prefix sum their churn, so a prefix reports total GC pressure across
+   the whole run rather than whichever call happened last. *)
 let with_gc_delta prefix f =
   if not (Atomic.get enabled_flag) then f ()
   else begin
     let before = Gc.quick_stat () in
     let finish () =
       let after = Gc.quick_stat () in
-      set (prefix ^ ".minor_words") (after.minor_words -. before.minor_words);
-      set (prefix ^ ".major_words") (after.major_words -. before.major_words);
-      set (prefix ^ ".promoted_words")
-        (after.promoted_words -. before.promoted_words);
-      set (prefix ^ ".minor_collections")
-        (float_of_int (after.minor_collections - before.minor_collections));
-      set (prefix ^ ".major_collections")
-        (float_of_int (after.major_collections - before.major_collections))
+      incr ~by:(after.minor_words -. before.minor_words)
+        (prefix ^ ".minor_words");
+      incr ~by:(after.major_words -. before.major_words)
+        (prefix ^ ".major_words");
+      incr
+        ~by:(after.promoted_words -. before.promoted_words)
+        (prefix ^ ".promoted_words");
+      incr
+        ~by:(float_of_int (after.minor_collections - before.minor_collections))
+        (prefix ^ ".minor_collections");
+      incr
+        ~by:(float_of_int (after.major_collections - before.major_collections))
+        (prefix ^ ".major_collections")
     in
     Fun.protect ~finally:finish f
   end
@@ -160,7 +168,11 @@ let snapshot () =
           ("max",
            if m.m_count = 0 then Report.Json.Null else Report.Json.Float m.m_max);
           ("p50", q 0.5);
-          ("p90", q 0.9) ]
+          ("p90", q 0.9);
+          ("p99", q 0.99);
+          (* quantiles come from a capped reservoir: honest labeling
+             requires saying how many of [count] samples back them *)
+          ("reservoir", Report.Json.Int m.m_stored) ]
   in
   Report.Json.Obj (List.map (fun (name, m) -> (name, field m)) (entries ()))
 
@@ -177,10 +189,17 @@ let render_text () =
         let q p =
           match quantile_of_sorted sorted p with Some v -> v | None -> nan
         in
-        addf "%-44s histogram n=%d sum=%g min=%g p50=%g p90=%g max=%g\n" name
-          m.m_count m.m_sum
+        let reservoir =
+          if m.m_stored < m.m_count then
+            Printf.sprintf " (quantiles over %d/%d samples)" m.m_stored
+              m.m_count
+          else ""
+        in
+        addf "%-44s histogram n=%d sum=%g min=%g p50=%g p90=%g p99=%g max=%g%s\n"
+          name m.m_count m.m_sum
           (if m.m_count = 0 then nan else m.m_min)
-          (q 0.5) (q 0.9)
-          (if m.m_count = 0 then nan else m.m_max))
+          (q 0.5) (q 0.9) (q 0.99)
+          (if m.m_count = 0 then nan else m.m_max)
+          reservoir)
     (entries ());
   Buffer.contents buf

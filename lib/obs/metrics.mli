@@ -28,9 +28,12 @@ val observe : string -> float -> unit
 
 val with_gc_delta : string -> (unit -> 'a) -> 'a
 (** [with_gc_delta prefix f] runs [f] and records the [Gc.quick_stat]
-    deltas it caused as gauges [prefix ^ ".minor_words"],
+    deltas it caused as counters [prefix ^ ".minor_words"],
     [".major_words"], [".promoted_words"], [".minor_collections"] and
-    [".major_collections"].  When disabled, just runs [f]. *)
+    [".major_collections"].  Repeated calls with the same prefix
+    {e accumulate}: the counters sum GC churn across every wrapped
+    section, so a prefix reports total pressure for the run rather
+    than the last call's delta.  When disabled, just runs [f]. *)
 
 val value : string -> float option
 (** Current value of a counter or gauge, [None] if absent. *)
@@ -42,7 +45,9 @@ val quantile : string -> float -> float option
 val snapshot : unit -> Report.Json.t
 (** All metrics as a JSON object keyed by name (sorted), each value an
     object: counters/gauges [{"kind";"value"}], histograms
-    [{"kind";"count";"sum";"min";"max";"p50";"p90"}]. *)
+    [{"kind";"count";"sum";"min";"max";"p50";"p90";"p99";"reservoir"}]
+    where ["reservoir"] is how many of ["count"] samples back the
+    quantiles (they diverge once the capped reservoir fills). *)
 
 val render_text : unit -> string
 (** Human-readable dump, one line per metric, sorted by name. *)

@@ -1,0 +1,133 @@
+type t = {
+  label : string;
+  total : int option;
+  id : int;
+  items : int Atomic.t;
+  created_s : float;
+  (* emission state; mutated under [emit_mutex] only *)
+  mutable last_emit_s : float;
+  mutable last_emit_items : int;
+  mutable ewma_rate : float;
+  mutable emitted : int;
+  mutable finished : bool;
+}
+
+let enabled_flag = Atomic.make false
+let emit_mutex = Mutex.create ()
+let interval = Atomic.make 0.5
+let printer : (string -> unit) option ref = ref None  (* under emit_mutex *)
+let next_id = Atomic.make 1
+
+let set_enabled b = Atomic.set enabled_flag b
+let enabled () = Atomic.get enabled_flag
+
+let configure ?interval_s ?printer:p () =
+  (match interval_s with
+  | Some s -> Atomic.set interval (Float.max 0.0 s)
+  | None -> ());
+  match p with
+  | Some p ->
+    Mutex.lock emit_mutex;
+    printer := p;
+    Mutex.unlock emit_mutex
+  | None -> ()
+
+let dummy =
+  { label = ""; total = None; id = 0; items = Atomic.make 0; created_s = 0.0;
+    last_emit_s = 0.0; last_emit_items = 0; ewma_rate = 0.0; emitted = 0;
+    finished = true }
+
+let start ~label ?total () =
+  if not (Atomic.get enabled_flag) then dummy
+  else
+    let now = Clock.now_s () in
+    { label; total; id = Atomic.fetch_and_add next_id 1;
+      items = Atomic.make 0; created_s = now; last_emit_s = now;
+      last_emit_items = 0; ewma_rate = 0.0; emitted = 0; finished = false }
+
+(* EWMA weight for the newest inter-emission rate: heavy enough to
+   track ramp-up/slow-down, light enough to damp per-block jitter. *)
+let ewma_alpha = 0.3
+
+let percent items total = 100.0 *. float_of_int items /. float_of_int total
+
+(* Must be called with [emit_mutex] held. *)
+let do_emit t items ~now =
+  let dt = now -. t.last_emit_s in
+  let delta = items - t.last_emit_items in
+  let inst = if dt > 0.0 then float_of_int delta /. dt else t.ewma_rate in
+  let rate =
+    if t.emitted = 0 then inst
+    else (ewma_alpha *. inst) +. ((1.0 -. ewma_alpha) *. t.ewma_rate)
+  in
+  let eta_s =
+    match t.total with
+    | Some total when rate > 0.0 ->
+      Some (float_of_int (max 0 (total - items)) /. rate)
+    | Some _ | None -> None
+  in
+  t.ewma_rate <- rate;
+  t.last_emit_s <- now;
+  t.last_emit_items <- items;
+  t.emitted <- t.emitted + 1;
+  Journal.progress ~label:t.label ~task:t.id ~items ?total:t.total ~rate
+    ?eta_s ();
+  match !printer with
+  | None -> ()
+  | Some print ->
+    let line =
+      match t.total with
+      | Some total ->
+        Printf.sprintf "progress: %-24s %d/%d (%5.1f%%) %.0f/s%s\n" t.label
+          items total (percent items total) rate
+          (match eta_s with
+          | Some e -> Printf.sprintf " eta %.1fs" e
+          | None -> "")
+      | None -> Printf.sprintf "progress: %-24s %d %.0f/s\n" t.label items rate
+    in
+    print line
+
+let step t n =
+  if Atomic.get enabled_flag && t != dummy && n > 0 then begin
+    let items = n + Atomic.fetch_and_add t.items n in
+    (* unsynchronized throttle pre-check: a stale [last_emit_s] can only
+       delay an emission by one step, never corrupt state *)
+    let now = Clock.now_s () in
+    if now -. t.last_emit_s >= Atomic.get interval then begin
+      Mutex.lock emit_mutex;
+      (* recheck under the lock: another shard may have just emitted,
+         and the monotone guard drops counts older than the last emit *)
+      if
+        (not t.finished)
+        && items > t.last_emit_items
+        && now -. t.last_emit_s >= Atomic.get interval
+      then do_emit t items ~now;
+      Mutex.unlock emit_mutex
+    end
+  end
+
+let finish t =
+  if Atomic.get enabled_flag && t != dummy then begin
+    Mutex.lock emit_mutex;
+    if not t.finished then begin
+      t.finished <- true;
+      (* close out loudly only if the task ever spoke or throttling is
+         off — a sub-interval micro-run (e.g. a single-pattern fsim
+         call inside PODEM) stays silent instead of spamming *)
+      if t.emitted > 0 || Atomic.get interval = 0.0 then
+        do_emit t (Atomic.get t.items) ~now:(Clock.now_s ())
+    end;
+    Mutex.unlock emit_mutex
+  end
+
+let stage ~label ~stage ~index ~total =
+  if Atomic.get enabled_flag then begin
+    Mutex.lock emit_mutex;
+    Journal.progress ~label ~stage ~task:0 ~items:index ~total ~rate:0.0 ();
+    (match !printer with
+    | Some print ->
+      print (Printf.sprintf "progress: %-24s [%d/%d] %s\n" label index total
+               stage)
+    | None -> ());
+    Mutex.unlock emit_mutex
+  end

@@ -1,0 +1,50 @@
+(** Rate/ETA progress tracker for the hot loops.
+
+    A task is created per instrumented loop ([start]), stepped at batch
+    granularity — per 64-pattern block, per fault target, per die —
+    and closed with [finish].  Steps update an atomic item counter, so
+    concurrent shards (the Par engine) merge deterministically: the
+    count is exact regardless of interleaving, and emission happens
+    under a mutex with a monotonicity guard so observers never see
+    items-done go backwards within a task.
+
+    Emission is wall-clock throttled: at most one event per task per
+    [interval_s] (0 means every step), plus an unthrottled final event
+    at [finish] when anything was emitted before or the interval is 0.
+    Each emission carries an EWMA throughput and, when the total is
+    known, an ETA.  Events go to the {!Journal} (when enabled) and,
+    when configured, as lines to a printer (stderr by default).
+
+    [stage] is the one-shot variant for pipeline stage boundaries: it
+    bypasses throttling (stages are rare) and tags the event with the
+    stage name.
+
+    Disabled, [step] costs one atomic load plus a physical-equality
+    check and allocates nothing; [start] returns a shared dummy task
+    without allocating. *)
+
+type t
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+val configure : ?interval_s:float -> ?printer:(string -> unit) option -> unit -> unit
+(** [interval_s] is the minimum wall-clock gap between emissions per
+    task (default 0.5; 0 emits on every step).  [printer] is where
+    human-readable lines (newline-terminated) go: [Some f] routes them
+    to [f], [None] silences them (journal events still flow).  Omitting
+    a parameter leaves its current setting untouched. *)
+
+val start : label:string -> ?total:int -> unit -> t
+(** New task.  Returns the no-op dummy when disabled. *)
+
+val step : t -> int -> unit
+(** Record [n] more items done.  Hot-path safe: one atomic load when
+    disabled. *)
+
+val finish : t -> unit
+(** Emit the final state (unthrottled) and retire the task. *)
+
+val stage : label:string -> stage:string -> index:int -> total:int -> unit
+(** One-shot stage-boundary tick, e.g.
+    [stage ~label:"pipeline" ~stage:"atpg" ~index:4 ~total:9]. *)

@@ -26,20 +26,20 @@ type dbuf = {
 
 let enabled_flag = Atomic.make false
 let epoch = Atomic.make 0
-let origin = Atomic.make (Unix.gettimeofday ())
+let origin = Atomic.make (Clock.now_s ())
 let registry_mutex = Mutex.create ()
 let registry : dbuf list ref = ref []
 
 let set_enabled b = Atomic.set enabled_flag b
 let enabled () = Atomic.get enabled_flag
-let now_s () = Unix.gettimeofday () -. Atomic.get origin
+let now_s () = Clock.now_s () -. Atomic.get origin
 
 let reset () =
   Mutex.lock registry_mutex;
   registry := [];
   Mutex.unlock registry_mutex;
   Atomic.incr epoch;
-  Atomic.set origin (Unix.gettimeofday ())
+  Atomic.set origin (Clock.now_s ())
 
 let dummy =
   { r_name = ""; r_seq = -1; r_depth = 0; r_parent = -1; r_t0 = 0.0;

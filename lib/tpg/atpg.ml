@@ -96,6 +96,12 @@ let run ?(config = default_config) c faults =
     | None -> order
   in
   let remaining = ref remaining_order in
+  (* One progress item per fault target popped; already-detected
+     targets step too, so items end exactly at the initial total. *)
+  let progress =
+    Obs.Progress.start ~label:"atpg.podem"
+      ~total:(List.length remaining_order) ()
+  in
   let extra = ref [] in
   let extra_count = ref 0 in
   let untestable = ref 0 in
@@ -106,6 +112,7 @@ let run ?(config = default_config) c faults =
     | [] -> ()
     | target :: rest ->
       remaining := rest;
+      Obs.Progress.step progress 1;
       if first_detection.(target) <> None then deterministic ()
       else begin
         let verdict =
@@ -152,6 +159,7 @@ let run ?(config = default_config) c faults =
       end
   in
   Obs.Trace.with_span "atpg.deterministic" deterministic;
+  Obs.Progress.finish progress;
   (match predicted_cutover with
   | Some n -> Obs.Trace.add_int "predicted_cutover" n
   | None -> ());

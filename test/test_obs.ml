@@ -171,6 +171,324 @@ let test_tree_shape_deterministic () =
          (String.split_on_char '\n' shape1));
   Alcotest.(check string) "identical shape across runs" shape1 shape2
 
+(* ------------------------------ clock ------------------------------ *)
+
+(* The tracer/progress clock must never run backwards, monotonic stub
+   or gettimeofday fallback alike (the fallback is CAS-monotonized). *)
+let test_clock_never_backwards () =
+  let check_mono name now =
+    let prev = ref (now ()) in
+    for i = 1 to 10_000 do
+      let t = now () in
+      if t < !prev then
+        Alcotest.failf "%s went backwards at call %d: %.17g < %.17g" name i t
+          !prev;
+      prev := t
+    done
+  in
+  check_mono "Clock.now_s" Obs.Clock.now_s;
+  check_mono "Trace.now_s" Obs.Trace.now_s
+
+(* --------------------------- histograms ---------------------------- *)
+
+let test_histogram_quantile_edges () =
+  with_obs @@ fun () ->
+  (* n = 1: every quantile is the lone sample. *)
+  Obs.Metrics.observe "one.hist" 7.0;
+  List.iter
+    (fun q ->
+      Alcotest.(check (option (float 1e-9)))
+        (Printf.sprintf "n=1 q=%g" q)
+        (Some 7.0)
+        (Obs.Metrics.quantile "one.hist" q))
+    [ 0.0; 0.5; 0.9; 0.99; 1.0 ];
+  (* All-equal samples: quantiles collapse to the common value. *)
+  for _ = 1 to 10 do Obs.Metrics.observe "flat.hist" 3.0 done;
+  List.iter
+    (fun q ->
+      Alcotest.(check (option (float 1e-9)))
+        (Printf.sprintf "all-equal q=%g" q)
+        (Some 3.0)
+        (Obs.Metrics.quantile "flat.hist" q))
+    [ 0.5; 0.99 ]
+
+let contains needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_histogram_reservoir_label () =
+  with_obs @@ fun () ->
+  for i = 1 to 5000 do
+    Obs.Metrics.observe "big.hist" (float_of_int i)
+  done;
+  (match Obs.Metrics.snapshot () with
+  | Report.Json.Obj [ ("big.hist", Report.Json.Obj fields) ] ->
+    Alcotest.(check bool) "count is total" true
+      (List.assoc "count" fields = Report.Json.Int 5000);
+    Alcotest.(check bool) "reservoir is capped" true
+      (List.assoc "reservoir" fields = Report.Json.Int 4096);
+    Alcotest.(check bool) "p99 present and numeric" true
+      (match List.assoc "p99" fields with
+      | Report.Json.Float _ -> true
+      | _ -> false)
+  | _ -> Alcotest.fail "unexpected snapshot shape");
+  let text = Obs.Metrics.render_text () in
+  Alcotest.(check bool) "render labels the reservoir" true
+    (contains "(quantiles over 4096/5000 samples)" text)
+
+(* ---------------------------- GC deltas ---------------------------- *)
+
+(* with_gc_delta accumulates as counters: a second call with the same
+   prefix adds its churn instead of overwriting the first call's. *)
+let test_gc_delta_accumulates () =
+  with_obs @@ fun () ->
+  (* Many small allocations (blocks past Max_young_wosize would go
+     straight to the major heap), then a forced minor collection:
+     quick_stat's allocation totals only refresh at GC points. *)
+  let churn () =
+    for i = 1 to 10_000 do
+      ignore (Sys.opaque_identity (ref i))
+    done;
+    Gc.minor ()
+  in
+  Obs.Metrics.with_gc_delta "gc.test" churn;
+  let first =
+    match Obs.Metrics.value "gc.test.minor_words" with
+    | Some v -> v
+    | None -> Alcotest.fail "minor_words counter missing"
+  in
+  Alcotest.(check bool) "first call counts churn" true (first > 0.0);
+  Obs.Metrics.with_gc_delta "gc.test" churn;
+  let second =
+    match Obs.Metrics.value "gc.test.minor_words" with
+    | Some v -> v
+    | None -> Alcotest.fail "minor_words counter missing after second call"
+  in
+  Alcotest.(check bool) "second call accumulates" true
+    (second >= first +. 1000.0)
+
+(* ----------------------------- journal ----------------------------- *)
+
+let with_journal f =
+  Obs.Journal.reset ();
+  Obs.Journal.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Journal.set_enabled false;
+      Obs.Journal.detach ();
+      Obs.Journal.reset ();
+      Obs.Progress.set_enabled false;
+      Obs.Progress.configure ~interval_s:0.5 ~printer:None ())
+    f
+
+let emit_sample_events () =
+  Obs.Journal.run_start ~argv:[| "lsiq"; "test" |] ~seed:42 ~circuit:"c17" ();
+  Obs.Journal.progress ~label:"fsim.test" ~task:1 ~items:64 ~total:128
+    ~rate:12.5 ~eta_s:5.125 ();
+  Obs.Journal.progress ~label:"pipeline" ~stage:"atpg" ~task:0 ~items:4
+    ~total:9 ~rate:0.0 ();
+  Obs.Journal.metrics_snapshot
+    (Report.Json.Obj [ ("x.count", Report.Json.Int 1) ]);
+  Obs.Journal.headline "coverage" (Report.Json.Float 0.875);
+  Obs.Journal.headline "coverage" (Report.Json.Float 0.9);
+  Obs.Journal.run_end ~outcome:(Obs.Journal.Failed "boom")
+
+let test_journal_event_roundtrip () =
+  with_journal @@ fun () ->
+  emit_sample_events ();
+  let events = Obs.Journal.tail () in
+  Alcotest.(check int) "five events" 5 (List.length events);
+  List.iteri
+    (fun i e ->
+      match Obs.Journal.event_of_json (Obs.Journal.event_to_json e) with
+      | Ok e' ->
+        Alcotest.(check bool)
+          (Printf.sprintf "event %d round-trips" i)
+          true (e = e')
+      | Error message -> Alcotest.failf "event %d: %s" i message)
+    events;
+  (* The repeated headline key replaced the earlier value in place. *)
+  match List.rev events with
+  | Obs.Journal.Run_end { outcome = Obs.Journal.Failed "boom"; results; _ } :: _
+    ->
+    Alcotest.(check bool) "headline replaced in place" true
+      (List.assoc_opt "coverage" results = Some (Report.Json.Float 0.9)
+      && List.length results = 1)
+  | _ -> Alcotest.fail "last event is not the failed run_end"
+
+let test_journal_file_roundtrip () =
+  let path = Filename.temp_file "lsiq_journal" ".jsonl" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  (with_journal @@ fun () ->
+   Obs.Journal.attach ~path;
+   emit_sample_events ());
+  match Obs.Journal.read_file path with
+  | Error message -> Alcotest.failf "journal does not re-parse: %s" message
+  | Ok events ->
+    Alcotest.(check int) "five events on disk" 5 (List.length events);
+    let starts =
+      List.filter
+        (function Obs.Journal.Run_start _ -> true | _ -> false)
+        events
+    in
+    let ends =
+      List.filter (function Obs.Journal.Run_end _ -> true | _ -> false) events
+    in
+    Alcotest.(check int) "one run_start" 1 (List.length starts);
+    Alcotest.(check int) "one run_end" 1 (List.length ends);
+    Alcotest.(check bool) "run_start first, run_end last" true
+      ((match events with Obs.Journal.Run_start _ :: _ -> true | _ -> false)
+      &&
+      match List.rev events with
+      | Obs.Journal.Run_end _ :: _ -> true
+      | _ -> false);
+    (* A summary of the parsed stream renders and names the pieces. *)
+    let summary = Obs.Journal.render_summary events in
+    List.iter
+      (fun needle ->
+        Alcotest.(check bool) ("summary mentions " ^ needle) true
+          (contains needle summary))
+      [ "lsiq test"; "c17"; "fsim.test"; "boom" ]
+
+(* Unthrottled journal streams from a single-threaded loop are
+   deterministic at fixed seed, and items never go backwards. *)
+let journaled_serial_fsim () =
+  with_journal @@ fun () ->
+  Obs.Progress.configure ~interval_s:0.0 ~printer:None ();
+  Obs.Progress.set_enabled true;
+  let circuit = tiny_circuit () in
+  let universe =
+    Faults.Collapse.representatives
+      (Faults.Collapse.equivalence circuit (Faults.Universe.all circuit))
+  in
+  let patterns =
+    Tpg.Random_tpg.uniform (Stats.Rng.create ~seed:5 ()) circuit ~count:192
+  in
+  ignore (Fsim.Ppsfp.run circuit universe patterns);
+  List.filter_map
+    (function
+      | Obs.Journal.Progress { label; items; total; _ } ->
+        Some (label, items, total)
+      | _ -> None)
+    (Obs.Journal.tail ())
+
+let test_journal_progress_deterministic () =
+  let stream1 = journaled_serial_fsim () in
+  let stream2 = journaled_serial_fsim () in
+  Alcotest.(check bool) "stream non-empty" true (stream1 <> []);
+  let monotone =
+    let ok = ref true in
+    let prev = ref (-1) in
+    List.iter
+      (fun (_, items, _) ->
+        if items < !prev then ok := false;
+        prev := items)
+      stream1;
+    !ok
+  in
+  Alcotest.(check bool) "items monotone" true monotone;
+  Alcotest.(check bool) "identical across runs" true (stream1 = stream2)
+
+(* ----------------------- disabled-path costs ----------------------- *)
+
+(* With every obs subsystem off, stepping a progress task must not
+   allocate: 100k steps may move the minor-heap counter only by the
+   handful of words the measurement itself boxes, never by a per-step
+   amount. *)
+let test_disabled_progress_allocates_nothing () =
+  Alcotest.(check bool) "progress disabled" false (Obs.Progress.enabled ());
+  let t = Obs.Progress.start ~label:"ghost" ~total:1_000_000 () in
+  let before = Gc.minor_words () in
+  for _ = 1 to 100_000 do
+    Obs.Progress.step t 1
+  done;
+  let delta = Gc.minor_words () -. before in
+  Alcotest.(check bool)
+    (Printf.sprintf "no per-step allocation (delta %.0f words)" delta)
+    true (delta < 64.0)
+
+(* ----------------------------- history ----------------------------- *)
+
+let bench_doc ?(cores = 4) ~min_s ~coverage () =
+  Report.Json.Obj
+    [ ( "host",
+        Report.Json.Obj
+          [ ("cores", Report.Json.Int cores);
+            ("ocaml_version", Report.Json.String "5.1.1");
+            ("word_size", Report.Json.Int 64) ] );
+      ( "runs",
+        Report.Json.List
+          [ Report.Json.Obj
+              [ ("engine", Report.Json.String "ppsfp");
+                ("domains", Report.Json.Int 1);
+                ("min_s", Report.Json.Float min_s);
+                ("faults", Report.Json.Int 100);
+                ("patterns", Report.Json.Int 64) ] ] );
+      ( "ndetect",
+        Report.Json.List
+          [ Report.Json.Obj
+              [ ("n", Report.Json.Int 1);
+                ("min_s", Report.Json.Float 0.01);
+                ("coverage", Report.Json.Float coverage) ] ] ) ]
+
+let test_history_compare () =
+  let doc = bench_doc ~min_s:0.01 ~coverage:0.95 () in
+  (* Identical documents: nothing regresses. *)
+  let rows = Obs.History.compare_docs ~baseline:doc ~current:doc () in
+  Alcotest.(check bool) "rows non-empty" true (rows <> []);
+  Alcotest.(check int) "identical docs clean" 0
+    (List.length (Obs.History.regressions rows));
+  (* A 5x slowdown well past the absolute floor regresses, by name. *)
+  let slow = bench_doc ~min_s:0.05 ~coverage:0.95 () in
+  let rows = Obs.History.compare_docs ~baseline:doc ~current:slow () in
+  (match Obs.History.regressions rows with
+  | [ r ] ->
+    Alcotest.(check string) "block named" "runs/ppsfp@d1" r.Obs.History.r_block;
+    Alcotest.(check string) "metric named" "min_s" r.Obs.History.r_name;
+    Alcotest.(check bool) "verdict Slower" true
+      (r.Obs.History.r_verdict = Obs.History.Slower)
+  | rs -> Alcotest.failf "expected 1 regression, got %d" (List.length rs));
+  (* Same ratio on a sub-floor block: timing noise, not a regression. *)
+  let tiny = bench_doc ~min_s:0.0002 ~coverage:0.95 () in
+  let tiny_slow = bench_doc ~min_s:0.001 ~coverage:0.95 () in
+  let rows = Obs.History.compare_docs ~baseline:tiny ~current:tiny_slow () in
+  Alcotest.(check int) "sub-floor jitter tolerated" 0
+    (List.length (Obs.History.regressions rows));
+  (* Exact metrics flag on any change. *)
+  let drift = bench_doc ~min_s:0.01 ~coverage:0.951 () in
+  let rows = Obs.History.compare_docs ~baseline:doc ~current:drift () in
+  match Obs.History.regressions rows with
+  | [ r ] ->
+    Alcotest.(check string) "coverage block" "ndetect/n=1" r.Obs.History.r_block;
+    Alcotest.(check bool) "verdict Changed" true
+      (r.Obs.History.r_verdict = Obs.History.Changed)
+  | rs -> Alcotest.failf "expected 1 changed metric, got %d" (List.length rs)
+
+let test_history_append_load () =
+  let path = Filename.temp_file "lsiq_history" ".jsonl" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  Sys.remove path;
+  (match Obs.History.load path with
+  | Ok [] -> ()
+  | Ok _ -> Alcotest.fail "missing file should be an empty history"
+  | Error message -> Alcotest.failf "missing file errored: %s" message);
+  let doc1 = bench_doc ~min_s:0.01 ~coverage:0.95 () in
+  let doc2 = bench_doc ~min_s:0.02 ~coverage:0.95 () in
+  Obs.History.append ~path (Obs.History.entry ~time_unix:1.0 doc1);
+  Obs.History.append ~path (Obs.History.entry ~time_unix:2.0 doc2);
+  match Obs.History.load path with
+  | Error message -> Alcotest.failf "history does not load: %s" message
+  | Ok entries ->
+    Alcotest.(check int) "two entries" 2 (List.length entries);
+    let docs = List.filter_map Obs.History.doc_of_entry entries in
+    Alcotest.(check bool) "docs survive the round-trip" true
+      (docs = [ doc1; doc2 ]);
+    Alcotest.(check string) "host key" "cores=4 ocaml=5.1.1 word=64"
+      (Obs.History.host_key doc1)
+
 let suite =
   let tc name f = Alcotest.test_case name `Quick f in
   [ ( "obs",
@@ -181,4 +499,15 @@ let suite =
         tc "metrics kinds" test_metrics_kinds;
         tc "metrics snapshot json" test_metrics_snapshot_json;
         tc "par trace has shard spans" test_par_trace_has_shard_spans;
-        tc "tree shape deterministic" test_tree_shape_deterministic ] ) ]
+        tc "tree shape deterministic" test_tree_shape_deterministic;
+        tc "clock never backwards" test_clock_never_backwards;
+        tc "histogram quantile edges" test_histogram_quantile_edges;
+        tc "histogram reservoir label" test_histogram_reservoir_label;
+        tc "gc delta accumulates" test_gc_delta_accumulates;
+        tc "journal event roundtrip" test_journal_event_roundtrip;
+        tc "journal file roundtrip" test_journal_file_roundtrip;
+        tc "journal progress deterministic" test_journal_progress_deterministic;
+        tc "disabled progress allocates nothing"
+          test_disabled_progress_allocates_nothing;
+        tc "history compare" test_history_compare;
+        tc "history append load" test_history_append_load ] ) ]
