@@ -514,6 +514,175 @@ let testability_bench ~smoke () =
            ("pure_random_patterns", Report.Json.Int budget);
            ("pure_random_coverage", Report.Json.Float pure_coverage) ]) ]
 
+(* Exact ROBDD analysis: shared node counts under the DFS order vs one
+   sifting pass, ITE cache hit rate, and the exact-vs-interval
+   band-width ablation.  Hard checks: sifting never loses to the DFS
+   order it starts from, every workload classifies completely under
+   the default node budget, and the exact coverage band is contained
+   in the interval band it refines (so it is never wider).  The
+   equivalence checker is exercised on a structurally distinct
+   full-adder pair plus a one-gate mutant whose extracted
+   counterexample must replay as a real output mismatch under plain
+   simulation. *)
+
+let bdd_bench ~smoke () =
+  section "exact ROBDD analysis: node counts, cache, band ablation";
+  let specs =
+    [ "c17"; "parity:8"; "dec:5" ] @ if smoke then [] else [ "rca:8"; "mux:3" ]
+  in
+  let rows = ref [] in
+  Printf.printf "%-10s %9s %10s %6s %11s %14s\n" "circuit" "dfs_nodes"
+    "sift_nodes" "cache" "exact_width" "interval_width";
+  List.iter
+    (fun spec ->
+      let circuit = Circuit.Generators.of_spec spec in
+      let dfs = Bdd.Build.dfs_order circuit in
+      let dfs_nodes =
+        Bdd.Build.total_nodes (Bdd.Build.build ~order:dfs circuit)
+      in
+      let sifted = Bdd.Build.sift_order circuit dfs in
+      let sift_nodes =
+        Bdd.Build.total_nodes (Bdd.Build.build ~order:sifted circuit)
+      in
+      if sift_nodes > dfs_nodes then
+        failwith
+          (Printf.sprintf
+             "BENCH bdd: %s: sifted order (%d nodes) lost to DFS (%d)" spec
+             sift_nodes dfs_nodes);
+      let exact = Analysis.Exact.analyze circuit in
+      if not (Analysis.Exact.complete exact) then
+        failwith
+          (Printf.sprintf
+             "BENCH bdd: %s: default budget left %d faults Unknown" spec
+             (Analysis.Exact.unknown_count exact));
+      let det =
+        Analysis.Detectability.analyze (Analysis.Signal_prob.analyze circuit)
+      in
+      let reps =
+        Faults.Collapse.representatives
+          (Faults.Collapse.equivalence circuit (Faults.Universe.all circuit))
+      in
+      let patterns = 256 in
+      let interval =
+        Analysis.Detectability.coverage_band det reps ~patterns
+      in
+      let exact_band = Analysis.Exact.coverage_band exact det reps ~patterns in
+      let ilo = interval.Analysis.Signal_prob.lo
+      and ihi = interval.Analysis.Signal_prob.hi
+      and elo = exact_band.Analysis.Signal_prob.lo
+      and ehi = exact_band.Analysis.Signal_prob.hi in
+      if elo < ilo -. 1e-12 || ehi > ihi +. 1e-12 then
+        failwith
+          (Printf.sprintf
+             "BENCH bdd: %s: exact band [%.6f, %.6f] escapes interval band \
+              [%.6f, %.6f]"
+             spec elo ehi ilo ihi);
+      let hit_rate = Analysis.Exact.cache_hit_rate exact in
+      Printf.printf "%-10s %9d %10d %6.2f %11.6f %14.6f\n"
+        circuit.Circuit.Netlist.name dfs_nodes sift_nodes hit_rate
+        (ehi -. elo) (ihi -. ilo);
+      rows :=
+        Report.Json.Obj
+          [ ("circuit", Report.Json.String circuit.Circuit.Netlist.name);
+            ("inputs",
+             Report.Json.Int (Array.length circuit.Circuit.Netlist.inputs));
+            ("gates", Report.Json.Int (Circuit.Netlist.num_gates circuit));
+            ("faults", Report.Json.Int (Array.length reps));
+            ("dfs_nodes", Report.Json.Int dfs_nodes);
+            ("sifted_nodes", Report.Json.Int sift_nodes);
+            ("manager_nodes", Report.Json.Int (Analysis.Exact.node_count exact));
+            ("cache_hit_rate", Report.Json.Float hit_rate);
+            ("untestable",
+             Report.Json.Int
+               (List.length (Analysis.Exact.untestable exact reps)));
+            ("patterns", Report.Json.Int patterns);
+            ("interval_lo", Report.Json.Float ilo);
+            ("interval_hi", Report.Json.Float ihi);
+            ("exact_lo", Report.Json.Float elo);
+            ("exact_hi", Report.Json.Float ehi);
+            ("interval_width", Report.Json.Float (ihi -. ilo));
+            ("exact_width", Report.Json.Float (ehi -. elo)) ]
+        :: !rows)
+    specs;
+  (* Equivalence self-check on the full-adder pair from
+     examples/circuits: carry-chain vs majority form must come back
+     Equivalent; the one-gate mutant must mismatch with a
+     counterexample that replays as a real output difference. *)
+  let chain =
+    Circuit.Bench_format.parse_string ~name:"adder_chain"
+      {|INPUT(a)
+INPUT(b)
+INPUT(cin)
+OUTPUT(sum)
+OUTPUT(cout)
+p = XOR(a, b)
+sum = XOR(p, cin)
+g = AND(a, b)
+t = AND(cin, p)
+cout = OR(g, t)|}
+  in
+  let majority =
+    Circuit.Bench_format.parse_string ~name:"adder_majority"
+      {|INPUT(a)
+INPUT(b)
+INPUT(cin)
+OUTPUT(sum)
+OUTPUT(cout)
+q = XOR(b, cin)
+sum = XOR(a, q)
+m1 = AND(a, b)
+m2 = AND(a, cin)
+m3 = AND(b, cin)
+m12 = OR(m1, m2)
+cout = OR(m12, m3)|}
+  in
+  let mutant =
+    Circuit.Bench_format.parse_string ~name:"adder_mutant"
+      {|INPUT(a)
+INPUT(b)
+INPUT(cin)
+OUTPUT(sum)
+OUTPUT(cout)
+q = XOR(b, cin)
+sum = XOR(a, q)
+m1 = AND(a, b)
+m2 = AND(a, cin)
+m3 = OR(b, cin)
+m12 = OR(m1, m2)
+cout = OR(m12, m3)|}
+  in
+  (match Bdd.Equiv.check chain majority with
+  | Ok Bdd.Equiv.Equivalent -> ()
+  | _ -> failwith "BENCH bdd: adder pair not proved equivalent");
+  let mutant_output, counterexample =
+    match Bdd.Equiv.check chain mutant with
+    | Ok (Bdd.Equiv.Mismatch { output; pattern }) -> (output, pattern)
+    | _ -> failwith "BENCH bdd: adder mutant not caught"
+  in
+  let outputs_under c =
+    let values =
+      Logicsim.Refsim.eval c
+        (Array.map
+           (fun id -> List.assoc c.Circuit.Netlist.node_names.(id) counterexample)
+           c.Circuit.Netlist.inputs)
+    in
+    Array.map (fun id -> values.(id)) c.Circuit.Netlist.outputs
+  in
+  if outputs_under chain = outputs_under mutant then
+    failwith "BENCH bdd: counterexample does not replay as a mismatch";
+  Printf.printf
+    "\nequiv: chain == majority; mutant differs on %s (counterexample \
+     replays under simulation)\n"
+    mutant_output;
+  Report.Json.Obj
+    [ ("circuits", Report.Json.List (List.rev !rows));
+      ("equiv",
+       Report.Json.Obj
+         [ ("pair_equivalent", Report.Json.Bool true);
+           ("mutant_output", Report.Json.String mutant_output);
+           ("counterexample_inputs",
+            Report.Json.Int (List.length counterexample)) ]) ]
+
 let run_par ?(out = "BENCH_fsim.json") ?(history = "BENCH_history.jsonl")
     ~smoke () =
   section
@@ -592,13 +761,15 @@ let run_par ?(out = "BENCH_fsim.json") ?(history = "BENCH_history.jsonl")
   let ndetect = ndetect_bench ~warmup ~repeats circuit universe patterns in
   let analysis = analysis_bench ~smoke () in
   let testability = testability_bench ~smoke () in
+  let bdd = bdd_bench ~smoke () in
   let doc =
     Report.Json.Obj
       [ ("host", host);
         ("runs", Report.Json.List (List.rev !rows));
         ("ndetect", Report.Json.List ndetect);
         ("analysis", analysis);
-        ("testability", testability) ]
+        ("testability", testability);
+        ("bdd", bdd) ]
   in
   let oc = open_out out in
   output_string oc (Report.Json.to_string_pretty doc);
@@ -611,9 +782,11 @@ let run_par ?(out = "BENCH_fsim.json") ?(history = "BENCH_history.jsonl")
   close_in ic;
   (match Report.Json.parse written with
   | Ok (Report.Json.Obj fields)
-    when List.mem_assoc "ndetect" fields && List.mem_assoc "testability" fields
-    -> ()
-  | Ok _ -> failwith "BENCH_fsim: written JSON lacks the ndetect or testability block"
+    when List.mem_assoc "ndetect" fields
+         && List.mem_assoc "testability" fields
+         && List.mem_assoc "bdd" fields -> ()
+  | Ok _ ->
+    failwith "BENCH_fsim: written JSON lacks the ndetect, testability or bdd block"
   | Error message -> failwith ("BENCH_fsim: written JSON unparsable: " ^ message));
   (* Append the run to the history so `diff` has a trajectory to
      compare against; entries are keyed by host context at read time. *)
@@ -780,7 +953,15 @@ let run_obs_smoke ?(out = "BENCH_trace_smoke.json")
         "fsim.ndetect.par"; "fsim.ndetect.par.prepare";
         "fsim.ndetect.par.shard[0]"; "fsim.ndetect.par.shard[1]";
         "analysis.build"; "analysis.dominators"; "analysis.implications";
-        "analysis.prob.signal"; "analysis.prob.observability" ]);
+        "analysis.prob.signal"; "analysis.prob.observability" ];
+    (* Exact-analysis spans are gated on --exact: a default build must
+       not carry them. *)
+    List.iter
+      (fun absent ->
+        obs_check
+          ~what:(Printf.sprintf "span %S absent without --exact" absent)
+          (not (List.mem absent names)))
+      [ "analysis.bdd.build"; "analysis.bdd.redundancy"; "analysis.bdd.equiv" ]);
   obs_check ~what:"metrics counted fault evaluations"
     (match Obs.Metrics.value "fsim.par.fault_evals" with
     | Some v -> v > 0.0
@@ -797,10 +978,47 @@ let run_obs_smoke ?(out = "BENCH_trace_smoke.json")
     (match Obs.Metrics.value "analysis.prob.cut_stems" with
     | Some v -> v > 0.0
     | None -> false);
+  obs_check ~what:"no BDD metrics without --exact"
+    (Obs.Metrics.value "analysis.bdd.nodes" = None
+    && Obs.Metrics.value "analysis.bdd.budget_fallbacks" = None);
   (* Shape determinism at fixed seed: a second traced run must produce
      the identical span tree (names and nesting; timestamps ignored). *)
   let shape2 = traced_run () in
   obs_check ~what:"span tree shape is deterministic" (String.equal shape1 shape2);
+  (* The mirror image of the gating check above: an exact-enabled build
+     plus an equivalence check must emit every analysis.bdd.* span and
+     metric. *)
+  Obs.Trace.reset ();
+  Obs.Metrics.reset ();
+  Obs.Trace.set_enabled true;
+  Obs.Metrics.set_enabled true;
+  let small = Circuit.Generators.of_spec "c17" in
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Trace.set_enabled false;
+      Obs.Metrics.set_enabled false)
+    (fun () ->
+      ignore
+        (Analysis.Engine.build ~exact_budget:Analysis.Exact.default_budget
+           small);
+      ignore (Bdd.Equiv.check small small));
+  let exact_names = span_names (Obs.Trace.to_chrome_json ()) in
+  List.iter
+    (fun required ->
+      obs_check
+        ~what:(Printf.sprintf "span %S present with --exact" required)
+        (List.mem required exact_names))
+    [ "analysis.bdd.build"; "analysis.bdd.redundancy"; "analysis.bdd.equiv" ];
+  obs_check ~what:"metrics counted BDD nodes with --exact"
+    (match Obs.Metrics.value "analysis.bdd.nodes" with
+    | Some v -> v > 0.0
+    | None -> false);
+  obs_check ~what:"metrics tracked BDD cache lookups with --exact"
+    (match Obs.Metrics.value "analysis.bdd.cache_lookups" with
+    | Some v -> v > 0.0
+    | None -> false);
+  obs_check ~what:"BDD budget-fallback counter present and zero"
+    (Obs.Metrics.value "analysis.bdd.budget_fallbacks" = Some 0.0);
   Obs.Trace.reset ();
   Obs.Metrics.reset ();
   (* Journal smoke: the same workload under --journal semantics with
@@ -1059,17 +1277,18 @@ let targets =
     ("analyze", run_analyze);
     ("ndetect", run_ndetect);
     ("testability", fun () -> ignore (testability_bench ~smoke:false ()));
+    ("bdd", fun () -> ignore (bdd_bench ~smoke:false ()));
     ("micro", run_micro) ]
 
-(* "par", "analyze", "ndetect" and "testability" are excluded from
-   `all`: they are timing/validation runs, meaningful only when invoked
-   on their own (the `par` targets embed the analyze, ndetect and
-   testability sections in BENCH_fsim.json anyway). *)
+(* "par", "analyze", "ndetect", "testability" and "bdd" are excluded
+   from `all`: they are timing/validation runs, meaningful only when
+   invoked on their own (the `par` targets embed the analyze, ndetect,
+   testability and bdd sections in BENCH_fsim.json anyway). *)
 let run_all () =
   List.iter
     (fun (name, f) ->
       if name <> "micro" && name <> "par" && name <> "analyze"
-         && name <> "ndetect" && name <> "testability"
+         && name <> "ndetect" && name <> "testability" && name <> "bdd"
       then f ())
     targets;
   run_fig234_checkpoints ();

@@ -100,6 +100,18 @@ let progress_arg =
   Arg.(value & opt ~vopt:(Some 0.5) (some float) None
        & info [ "progress" ] ~docv:"SECS" ~doc)
 
+let exact_arg =
+  let doc =
+    "Additionally run the exact ROBDD analysis with node budget $(docv): \
+     complete redundancy identification and exact detection probabilities \
+     wherever the budget holds, sound interval fallback where it does not.  \
+     The value must be glued on ($(b,--exact=200000)); plain $(b,--exact) \
+     uses the default budget of 1000000 nodes."
+  in
+  Arg.(value
+       & opt ~vopt:(Some Analysis.Exact.default_budget) (some int) None
+       & info [ "exact" ] ~docv:"NODES" ~doc)
+
 (* Enable the obs subsystem around [f], then emit: the Chrome trace to
    the requested file (summary tree to stderr), metrics text to stderr,
    journal events to the --journal file, progress lines to stderr.
@@ -443,8 +455,8 @@ let atpg_cmd =
     Arg.(value & opt int 1 & info [ "learn-depth" ] ~docv:"N"
            ~doc:"Implication learning sweeps for $(b,--use-analysis).")
   in
-  let action circuit out seed use_analysis learn_depth trace metrics journal
-      progress =
+  let action circuit out seed use_analysis learn_depth exact trace metrics
+      journal progress =
     with_obs ~seed ~circuit:circuit.Circuit.Netlist.name ~trace ~metrics
       ~journal ~progress
     @@ fun () ->
@@ -452,7 +464,8 @@ let atpg_cmd =
     let classes = Faults.Collapse.equivalence circuit universe in
     let reps = Faults.Collapse.representatives classes in
     let config =
-      { Tpg.Atpg.default_config with Tpg.Atpg.seed; use_analysis; learn_depth }
+      { Tpg.Atpg.default_config with
+        Tpg.Atpg.seed; use_analysis; learn_depth; exact_budget = exact }
     in
     let report = Tpg.Atpg.run ~config circuit reps in
     Format.eprintf "%a@." Circuit.Netlist.pp_summary circuit;
@@ -478,7 +491,8 @@ let atpg_cmd =
   let doc = "Generate a test set (random + PODEM) for a circuit." in
   Cmd.v (Cmd.info "atpg" ~doc)
     Term.(const action $ circuit_arg $ out $ seed_arg $ use_analysis
-          $ learn_depth $ trace_arg $ metrics_arg $ journal_arg $ progress_arg)
+          $ learn_depth $ exact_arg $ trace_arg $ metrics_arg $ journal_arg
+          $ progress_arg)
 
 (* ------------------------------ convert ----------------------------- *)
 
@@ -692,7 +706,7 @@ let lint_cmd =
                  proofs.")
   in
   let action circuit json fail_on fanout_threshold structural_only learn_depth
-      trace metrics journal progress =
+      exact trace metrics journal progress =
     (* [exit] must happen outside [with_obs]: it does not unwind the
        stack, so the trace file would never be written. *)
     let trip =
@@ -702,7 +716,7 @@ let lint_cmd =
       let config =
         { Lint.Driver.default_config with
           Lint.Driver.fanout_threshold; testability = not structural_only;
-          learn_depth }
+          learn_depth; exact_budget = exact }
       in
       let report = Lint.Driver.run ~config circuit in
       if json then
@@ -723,8 +737,8 @@ let lint_cmd =
   in
   Cmd.v (Cmd.info "lint" ~doc)
     Term.(const action $ circuit_arg $ json $ fail_on $ fanout_threshold
-          $ structural_only $ learn_depth $ trace_arg $ metrics_arg
-          $ journal_arg $ progress_arg)
+          $ structural_only $ learn_depth $ exact_arg $ trace_arg
+          $ metrics_arg $ journal_arg $ progress_arg)
 
 (* ------------------------------ analyze ----------------------------- *)
 
@@ -1028,11 +1042,13 @@ let testability_cmd =
          & info [ "fail-on" ] ~docv:"LEVEL"
              ~doc:"Exit non-zero at severity $(docv) (never, warning, error) \
                    or worse: errors are detection-bound self-check violations \
-                   (an interval outside [0,1] or inverted), warnings are \
-                   random-pattern-resistant faults.")
+                   (an interval outside [0,1] or inverted, or an exact BDD \
+                   probability outside its interval band), warnings are \
+                   random-pattern-resistant faults and an exceeded \
+                   $(b,--exact) node budget.")
   in
   let action circuit json csv threshold predict_curve test_length max_patterns
-      yield_opt n0 fail_on trace metrics journal progress =
+      yield_opt n0 fail_on exact trace metrics journal progress =
     (* [exit] must happen outside [with_obs]: it does not unwind the
        stack, so the trace file would never be written. *)
     let trip =
@@ -1049,15 +1065,27 @@ let testability_cmd =
       let reps = Faults.Collapse.representatives classes in
       let untestable = D.untestable det reps in
       let resistant = D.resistant det reps ~threshold in
+      let module E = Analysis.Exact in
+      let exact_t = Option.map (fun budget -> E.analyze ~budget circuit) exact in
       (* Self-check: every published interval must be a genuine
-         subinterval of [0,1].  A violation is an engine bug, never a
-         property of the circuit. *)
+         subinterval of [0,1], and every exact BDD probability must lie
+         inside its interval band.  A violation is an engine bug, never
+         a property of the circuit. *)
       let violations =
         Array.fold_left
           (fun acc fault ->
             let d = D.detection det fault in
-            if d.SP.lo < 0.0 || d.SP.hi > 1.0 || d.SP.lo > d.SP.hi then acc + 1
-            else acc)
+            let interval_bad =
+              d.SP.lo < 0.0 || d.SP.hi > 1.0 || d.SP.lo > d.SP.hi
+            in
+            let exact_bad =
+              match Option.map (fun ex -> E.verdict ex fault) exact_t with
+              | Some (E.Testable p) ->
+                p < d.SP.lo -. 1e-9 || p > d.SP.hi +. 1e-9
+              | Some E.Untestable -> d.SP.lo > 1e-9
+              | Some E.Unknown | None -> false
+            in
+            if interval_bad || exact_bad then acc + 1 else acc)
           0 reps
       in
       let counts =
@@ -1065,7 +1093,14 @@ let testability_cmd =
         | Some counts -> Array.of_list counts
         | None -> [| 1; 4; 16; 64; 256; 1024 |]
       in
-      let curve = D.predicted_curve det reps ~counts in
+      let curve =
+        match exact_t with
+        | None -> D.predicted_curve det reps ~counts
+        | Some ex -> E.predicted_curve ex det reps ~counts
+      in
+      let exact_incomplete =
+        match exact_t with Some ex -> not (E.complete ex) | None -> false
+      in
       let reject_band f_band =
         Option.map
           (fun y ->
@@ -1154,8 +1189,23 @@ let testability_cmd =
                     Report.Json.Obj
                       [ ("universe", Report.Json.Int (Array.length universe));
                         ("representatives", Report.Json.Int (Array.length reps)) ]);
-                   ("untestable", Report.Json.List (List.map fault_json untestable));
-                   ("resistant",
+                   ("untestable", Report.Json.List (List.map fault_json untestable)) ]
+                @ (match exact_t with
+                  | None -> []
+                  | Some ex ->
+                    [ ("exact",
+                       Report.Json.Obj
+                         [ ("budget", Report.Json.Int (E.node_budget ex));
+                           ("complete", Report.Json.Bool (E.complete ex));
+                           ("unknown", Report.Json.Int (E.unknown_count ex));
+                           ("nodes", Report.Json.Int (E.node_count ex));
+                           ("cache_hit_rate",
+                            Report.Json.Float (E.cache_hit_rate ex));
+                           ("untestable",
+                            Report.Json.List
+                              (List.map fault_json (E.untestable ex reps))) ])
+                    ])
+                @ [ ("resistant",
                     Report.Json.Obj
                       [ ("threshold", Report.Json.Float threshold);
                         ("faults",
@@ -1185,6 +1235,17 @@ let testability_cmd =
           (Array.length universe) (Array.length reps);
         Printf.printf "untestable (detection probability provably 0): %d\n"
           (List.length untestable);
+        (match exact_t with
+        | None -> ()
+        | Some ex ->
+          Printf.printf
+            "exact BDD: %d/%d classified (%d unknown), %d nodes, cache hit \
+             rate %.2f\n"
+            (E.universe_size ex - E.unknown_count ex)
+            (E.universe_size ex) (E.unknown_count ex) (E.node_count ex)
+            (E.cache_hit_rate ex);
+          Printf.printf "untestable (BDD-proved): %d\n"
+            (List.length (E.untestable ex reps)));
         Printf.printf "random-pattern-resistant (d < %g): %d\n" threshold
           (List.length resistant);
         List.iter
@@ -1220,7 +1281,7 @@ let testability_cmd =
       match fail_on with
       | `Never -> false
       | `Error -> violations > 0
-      | `Warning -> violations > 0 || resistant <> []
+      | `Warning -> violations > 0 || resistant <> [] || exact_incomplete
     in
     if trip then exit 1
   in
@@ -1234,6 +1295,110 @@ let testability_cmd =
   Cmd.v (Cmd.info "testability" ~doc)
     Term.(const action $ circuit_arg $ json $ csv $ threshold $ predict_curve
           $ test_length $ max_patterns $ yield_opt $ n0_arg $ fail_on
+          $ exact_arg $ trace_arg $ metrics_arg $ journal_arg $ progress_arg)
+
+(* ------------------------------ equiv ------------------------------ *)
+
+let equiv_cmd =
+  let circuit_a =
+    Arg.(required & pos 0 (some Circuit_arg.conv) None
+         & info [] ~docv:"A"
+             ~doc:"First circuit: a .bench file or a generator spec.")
+  in
+  let circuit_b =
+    Arg.(required & pos 1 (some Circuit_arg.conv) None
+         & info [] ~docv:"B" ~doc:"Second circuit, same interface names.")
+  in
+  let budget =
+    Arg.(value & opt int Bdd.Robdd.default_budget
+         & info [ "budget" ] ~docv:"NODES"
+             ~doc:"ROBDD node budget for the shared manager holding both \
+                   circuits; past it the check is inconclusive.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the verdict as JSON.")
+  in
+  let fail_on =
+    Arg.(value
+         & opt (enum [ ("never", `Never); ("warning", `Warning); ("error", `Error) ])
+             `Error
+         & info [ "fail-on" ] ~docv:"LEVEL"
+             ~doc:"Exit non-zero at severity $(docv) or worse: a mismatch is \
+                   an error, an exceeded node budget (no verdict) a warning.  \
+                   Default error — unlike lint, an inequivalence is the \
+                   finding the command exists to catch.  Interface \
+                   disagreements (different input or output names) are usage \
+                   errors: exit code 2 at any level.")
+  in
+  let action a b budget json fail_on trace metrics journal progress =
+    (* [exit] must happen outside [with_obs]: it does not unwind the
+       stack, so the trace file would never be written. *)
+    let severity =
+      with_obs ~trace ~metrics ~journal ~progress @@ fun () ->
+      match Bdd.Equiv.check ~budget a b with
+      | Error e ->
+        Printf.eprintf "equiv: %s\n" (Bdd.Equiv.error_to_string e);
+        `Usage
+      | Ok verdict ->
+        Format.eprintf "A: %a@.B: %a@." Circuit.Netlist.pp_summary a
+          Circuit.Netlist.pp_summary b;
+        let json_out fields =
+          print_endline
+            (Report.Json.to_string_pretty (Report.Json.Obj fields))
+        in
+        (match verdict with
+        | Bdd.Equiv.Equivalent ->
+          if json then
+            json_out [ ("verdict", Report.Json.String "equivalent") ]
+          else
+            Printf.printf "equivalent: %s == %s on all %d inputs\n"
+              a.Circuit.Netlist.name b.Circuit.Netlist.name
+              (Circuit.Netlist.num_inputs a);
+          `Clean
+        | Bdd.Equiv.Mismatch { output; pattern } ->
+          if json then
+            json_out
+              [ ("verdict", Report.Json.String "mismatch");
+                ("output", Report.Json.String output);
+                ("counterexample",
+                 Report.Json.Obj
+                   (List.map
+                      (fun (name, v) -> (name, Report.Json.Bool v))
+                      pattern)) ]
+          else begin
+            Printf.printf "NOT equivalent: output %s differs\n" output;
+            print_endline "counterexample:";
+            List.iter
+              (fun (name, v) ->
+                Printf.printf "  %s = %d\n" name (if v then 1 else 0))
+              pattern
+          end;
+          `Mismatch
+        | Bdd.Equiv.Inconclusive { nodes } ->
+          if json then
+            json_out
+              [ ("verdict", Report.Json.String "inconclusive");
+                ("nodes", Report.Json.Int nodes) ]
+          else
+            Printf.printf
+              "inconclusive: node budget exceeded after %d nodes (raise \
+               --budget)\n"
+              nodes;
+          `Inconclusive)
+    in
+    match (severity, fail_on) with
+    | `Usage, _ -> exit 2
+    | `Mismatch, (`Error | `Warning) -> exit 1
+    | `Inconclusive, `Warning -> exit 1
+    | (`Clean | `Mismatch | `Inconclusive), _ -> ()
+  in
+  let doc =
+    "Combinational equivalence check of two circuits via a shared ROBDD: \
+     interfaces matched by signal name, exact verdict with a distinguishing \
+     input pattern on mismatch."
+  in
+  Cmd.v (Cmd.info "equiv" ~doc)
+    Term.(const action $ circuit_a $ circuit_b $ budget $ json $ fail_on
           $ trace_arg $ metrics_arg $ journal_arg $ progress_arg)
 
 (* --------------------------- experiments --------------------------- *)
@@ -1366,4 +1531,4 @@ let () =
             simulate_lot_cmd; fsim_cmd; atpg_cmd; convert_cmd; diagnose_cmd;
             compact_cmd;
             stafan_cmd; sample_cmd; lint_cmd; analyze_cmd; testability_cmd;
-            experiments_cmd; wafer_cmd; report_cmd ]))
+            equiv_cmd; experiments_cmd; wafer_cmd; report_cmd ]))

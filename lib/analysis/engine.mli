@@ -12,14 +12,20 @@ type t = {
   implication : Implication.t option;  (** [None] when learning was off *)
   prob : Signal_prob.t;                (** Static signal-probability bounds. *)
   detectability : Detectability.t;     (** Per-fault detection-probability bounds. *)
+  exact : Exact.t option;              (** [None] unless an exact budget was given. *)
 }
 
-val build : ?learn_depth:int option -> Circuit.Netlist.t -> t
-(** [build ?learn_depth c] — [learn_depth] defaults to [Some 1];
-    [None] skips the implication engine entirely (dominators,
-    signal-probability and detectability passes always run; all three
-    are linear sweeps plus one [O(N^2/w)] reconvergence pass). *)
+val build :
+  ?learn_depth:int option -> ?exact_budget:int -> Circuit.Netlist.t -> t
+(** [build ?learn_depth ?exact_budget c] — [learn_depth] defaults to
+    [Some 1]; [None] skips the implication engine entirely
+    (dominators, signal-probability and detectability passes always
+    run; all three are linear sweeps plus one [O(N^2/w)] reconvergence
+    pass).  [exact_budget] (absent by default, since BDDs can be
+    exponential) additionally runs the {!Exact} ROBDD pass under that
+    node budget. *)
 
+val exact : t -> Exact.t option
 val implication : t -> Implication.t option
 val dominators : t -> Dominators.t
 val prob : t -> Signal_prob.t

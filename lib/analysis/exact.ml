@@ -1,0 +1,138 @@
+type verdict = Testable of float | Untestable | Unknown
+
+type t = {
+  circuit : Circuit.Netlist.t;
+  node_budget : int;
+  build : Bdd.Build.t option;  (* None when the good machine blew the budget *)
+  universe : Faults.Fault.t array;
+  verdicts : (Faults.Fault.t, verdict) Hashtbl.t;
+  unknown_count : int;
+}
+
+let default_budget = Bdd.Robdd.default_budget
+
+let analyze ?(budget = default_budget) ?(sift = false) (c : Circuit.Netlist.t) =
+  let universe = Faults.Universe.all c in
+  let verdicts = Hashtbl.create (Array.length universe) in
+  let build =
+    Obs.Trace.with_span "analysis.bdd.build" @@ fun () ->
+    match
+      let order = Bdd.Build.dfs_order c in
+      let order = if sift then Bdd.Build.sift_order ~budget c order else order in
+      Bdd.Build.build ~budget ~order c
+    with
+    | b ->
+      Obs.Trace.add_int "nodes" (Bdd.Robdd.size b.Bdd.Build.man);
+      Some b
+    | exception Bdd.Robdd.Exceeded -> None
+  in
+  let fallbacks = ref (if build = None then 1 else 0) in
+  let unknown_count =
+    match build with
+    | None ->
+      Array.iter (fun f -> Hashtbl.replace verdicts f Unknown) universe;
+      Array.length universe
+    | Some b ->
+      Obs.Trace.with_span "analysis.bdd.redundancy" @@ fun () ->
+      let unknown = ref 0 in
+      Array.iter
+        (fun fault ->
+          match Bdd.Build.detection_function b fault with
+          | d ->
+            let v =
+              if d = Bdd.Robdd.zero then Untestable
+              else Testable (Bdd.Robdd.probability b.Bdd.Build.man d)
+            in
+            Hashtbl.replace verdicts fault v
+          | exception Bdd.Robdd.Exceeded ->
+            incr unknown;
+            incr fallbacks;
+            Hashtbl.replace verdicts fault Unknown)
+        universe;
+      Obs.Trace.add_int "faults" (Array.length universe);
+      Obs.Trace.add_int "unknown" !unknown;
+      !unknown
+  in
+  (match build with
+  | Some b ->
+    let man = b.Bdd.Build.man in
+    Obs.Metrics.set "analysis.bdd.nodes" (float_of_int (Bdd.Robdd.size man));
+    Obs.Metrics.incr
+      ~by:(float_of_int (Bdd.Robdd.cache_lookups man))
+      "analysis.bdd.cache_lookups";
+    Obs.Metrics.incr
+      ~by:(float_of_int (Bdd.Robdd.cache_hits man))
+      "analysis.bdd.cache_hits";
+    Obs.Metrics.set "analysis.bdd.cache_hit_rate" (Bdd.Robdd.cache_hit_rate man)
+  | None -> ());
+  Obs.Metrics.incr ~by:(float_of_int !fallbacks) "analysis.bdd.budget_fallbacks";
+  { circuit = c; node_budget = budget; build; universe; verdicts; unknown_count }
+
+let circuit t = t.circuit
+let node_budget t = t.node_budget
+let built t = t.build <> None
+let universe_size t = Array.length t.universe
+let unknown_count t = t.unknown_count
+let complete t = t.build <> None && t.unknown_count = 0
+
+let verdict t fault =
+  match Hashtbl.find_opt t.verdicts fault with Some v -> v | None -> Unknown
+
+let untestable t universe =
+  Array.to_list universe
+  |> List.filter (fun f -> verdict t f = Untestable)
+
+let signal_probability t id =
+  match t.build with
+  | None -> None
+  | Some b -> Some (Bdd.Robdd.probability b.Bdd.Build.man b.Bdd.Build.stems.(id))
+
+let detection t fault =
+  match verdict t fault with
+  | Testable p -> Some (Signal_prob.point p)
+  | Untestable -> Some (Signal_prob.point 0.0)
+  | Unknown -> None
+
+let node_count t =
+  match t.build with None -> 0 | Some b -> Bdd.Robdd.size b.Bdd.Build.man
+
+let cache_hit_rate t =
+  match t.build with
+  | None -> 0.0
+  | Some b -> Bdd.Robdd.cache_hit_rate b.Bdd.Build.man
+
+let refine_detection t det fault =
+  match verdict t fault with
+  | Testable p -> Signal_prob.point p
+  | Untestable -> Signal_prob.point 0.0
+  | Unknown -> Detectability.detection det fault
+
+(* Same fold as Detectability.coverage_of_band/band_fold, over the
+   refined per-fault intervals — exact points collapse both endpoints. *)
+let effective_coverage_band t det universe ~epsilon ~patterns =
+  if epsilon < 0.0 || epsilon > 1.0 then
+    invalid_arg "Exact: epsilon outside [0,1]";
+  if patterns < 0 then invalid_arg "Exact: negative pattern count";
+  let nf = float_of_int patterns in
+  let total = Array.length universe in
+  let slo = ref 0.0 and shi = ref 0.0 in
+  Array.iter
+    (fun fault ->
+      let d = refine_detection t det fault in
+      let transform x = x *. (1.0 -. epsilon) in
+      let dlo = transform d.Signal_prob.lo and dhi = transform d.Signal_prob.hi in
+      slo := !slo +. (1.0 -. ((1.0 -. dlo) ** nf));
+      shi := !shi +. (1.0 -. ((1.0 -. dhi) ** nf)))
+    universe;
+  if total = 0 then Signal_prob.point 0.0
+  else
+    {
+      Signal_prob.lo = !slo /. float_of_int total;
+      hi = !shi /. float_of_int total;
+    }
+
+let coverage_band t det universe ~patterns =
+  effective_coverage_band t det universe ~epsilon:0.0 ~patterns
+
+let predicted_curve t det universe ~counts =
+  Array.map (fun n -> (n, coverage_band t det universe ~patterns:n)) counts

@@ -1,0 +1,113 @@
+module Netlist = Circuit.Netlist
+
+type verdict =
+  | Equivalent
+  | Mismatch of { output : string; pattern : (string * bool) list }
+  | Inconclusive of { nodes : int }
+
+type error =
+  | Inputs_differ of { only_a : string list; only_b : string list }
+  | Outputs_differ of { only_a : string list; only_b : string list }
+
+let names_of (c : Netlist.t) ids =
+  Array.to_list (Array.map (fun id -> c.Netlist.node_names.(id)) ids)
+
+let set_diff xs ys = List.filter (fun x -> not (List.mem x ys)) xs
+
+let error_to_string = function
+  | Inputs_differ { only_a; only_b } ->
+    Printf.sprintf "primary inputs differ (only in A: %s; only in B: %s)"
+      (String.concat "," only_a) (String.concat "," only_b)
+  | Outputs_differ { only_a; only_b } ->
+    Printf.sprintf "primary outputs differ (only in A: %s; only in B: %s)"
+      (String.concat "," only_a) (String.concat "," only_b)
+
+let interface_check (a : Netlist.t) (b : Netlist.t) =
+  let ia = List.sort compare (names_of a a.Netlist.inputs) in
+  let ib = List.sort compare (names_of b b.Netlist.inputs) in
+  if ia <> ib then
+    Error (Inputs_differ { only_a = set_diff ia ib; only_b = set_diff ib ia })
+  else
+    let oa = List.sort compare (names_of a a.Netlist.outputs) in
+    let ob = List.sort compare (names_of b b.Netlist.outputs) in
+    if oa <> ob then
+      Error
+        (Outputs_differ { only_a = set_diff oa ob; only_b = set_diff ob oa })
+    else Ok ()
+
+let check ?(budget = Robdd.default_budget) (a : Netlist.t) (b : Netlist.t) =
+  match interface_check a b with
+  | Error e -> Error e
+  | Ok () ->
+    Obs.Trace.with_span "analysis.bdd.equiv" (fun () ->
+        let k = Netlist.num_inputs a in
+        (* Variable order: DFS over A; B's inputs adopt the level of
+           the same-named A input. *)
+        let order = Build.dfs_order a in
+        let level_of_pos_a = Array.make k 0 in
+        Array.iteri (fun lvl p -> level_of_pos_a.(p) <- lvl) order;
+        let level_of_name = Hashtbl.create 16 in
+        Array.iteri
+          (fun p id ->
+            Hashtbl.replace level_of_name a.Netlist.node_names.(id)
+              level_of_pos_a.(p))
+          a.Netlist.inputs;
+        let level_of_pos_b =
+          Array.map
+            (fun id -> Hashtbl.find level_of_name b.Netlist.node_names.(id))
+            b.Netlist.inputs
+        in
+        let man = Robdd.create ~budget ~num_vars:k () in
+        let result =
+          match
+            let stems_a = Build.eval_netlist man a ~level_of_pos:level_of_pos_a in
+            let stems_b = Build.eval_netlist man b ~level_of_pos:level_of_pos_b in
+            let out_b = Hashtbl.create 16 in
+            Array.iter
+              (fun id ->
+                Hashtbl.replace out_b b.Netlist.node_names.(id) stems_b.(id))
+              b.Netlist.outputs;
+            let mismatch = ref None in
+            Array.iter
+              (fun oa ->
+                if !mismatch = None then begin
+                  let name = a.Netlist.node_names.(oa) in
+                  let fa = stems_a.(oa) in
+                  let fb = Hashtbl.find out_b name in
+                  if fa <> fb then begin
+                    let diff = Robdd.xor man fa fb in
+                    let sat =
+                      match Robdd.any_sat man diff with
+                      | Some s -> s
+                      | None -> assert false (* fa <> fb so diff <> zero *)
+                    in
+                    let assigned = Array.make k false in
+                    List.iter (fun (lvl, v) -> assigned.(lvl) <- v) sat;
+                    let pattern =
+                      Array.to_list
+                        (Array.mapi
+                           (fun p id ->
+                             ( a.Netlist.node_names.(id),
+                               assigned.(level_of_pos_a.(p)) ))
+                           a.Netlist.inputs)
+                    in
+                    mismatch := Some (Mismatch { output = name; pattern })
+                  end
+                end)
+              a.Netlist.outputs;
+            match !mismatch with Some m -> m | None -> Equivalent
+          with
+          | v -> v
+          | exception Robdd.Exceeded ->
+            Obs.Metrics.incr "analysis.bdd.budget_fallbacks";
+            Inconclusive { nodes = Robdd.size man }
+        in
+        Obs.Trace.add_int "nodes" (Robdd.size man);
+        Obs.Trace.add_int "cache_hits" (Robdd.cache_hits man);
+        Obs.Metrics.set "analysis.bdd.nodes" (float_of_int (Robdd.size man));
+        Obs.Metrics.incr ~by:(float_of_int (Robdd.cache_lookups man))
+          "analysis.bdd.cache_lookups";
+        Obs.Metrics.incr ~by:(float_of_int (Robdd.cache_hits man))
+          "analysis.bdd.cache_hits";
+        Obs.Metrics.set "analysis.bdd.cache_hit_rate" (Robdd.cache_hit_rate man);
+        Ok result)

@@ -1,0 +1,43 @@
+(** Combinational equivalence checking with counterexample extraction.
+
+    Two netlists are compared {e by interface name}: primary inputs
+    are matched by signal name, primary outputs likewise, and both
+    circuits are compiled into one shared {!Robdd} manager under a
+    common variable order (the DFS order of the first circuit).  By
+    canonicity, an output pair is equivalent iff its two BDD roots are
+    the same node id; on the first mismatching pair a satisfying path
+    of the XOR yields a concrete distinguishing input pattern.
+
+    Interface disagreements (different input or output name sets) are
+    reported as errors, not as inequivalence — a caller who meant to
+    compare them has a usage problem, and [lsiq equiv] maps this to
+    exit code 2.  A blown node budget yields {!Inconclusive}: the
+    circuits were too big to decide within budget, which is a warning,
+    not a verdict.
+
+    Runs under the ["analysis.bdd.equiv"] span with node-count and
+    cache counters, and feeds the [analysis.bdd.*] metrics. *)
+
+type verdict =
+  | Equivalent
+  | Mismatch of {
+      output : string;  (** Name of the first differing primary output. *)
+      pattern : (string * bool) list;
+          (** Distinguishing assignment, one entry per primary input in
+              the first circuit's declaration order. *)
+    }
+  | Inconclusive of { nodes : int }
+      (** Node budget exceeded after allocating [nodes] nodes; no
+          verdict. *)
+
+type error =
+  | Inputs_differ of { only_a : string list; only_b : string list }
+  | Outputs_differ of { only_a : string list; only_b : string list }
+
+val check :
+  ?budget:int -> Circuit.Netlist.t -> Circuit.Netlist.t ->
+  (verdict, error) result
+(** [check a b] — budget defaults to {!Robdd.default_budget} and
+    bounds the {e shared} manager holding both circuits. *)
+
+val error_to_string : error -> string

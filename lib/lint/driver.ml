@@ -8,6 +8,7 @@ type config = {
   hard_fault_count : int;
   hard_fault_threshold : int;
   learn_depth : int option;
+  exact_budget : int option;
   resistant_threshold : float;
   resistant_count : int;
 }
@@ -19,6 +20,7 @@ let default_config =
     hard_fault_count = 10;
     hard_fault_threshold = 100;
     learn_depth = None;
+    exact_budget = None;
     resistant_threshold = 0.01;
     resistant_count = 10 }
 
@@ -57,7 +59,15 @@ let run ?(config = default_config) (c : N.t) =
             (Obs.Trace.with_span "lint.analysis" (fun () ->
                  Analysis.Engine.build ~learn_depth:(Some depth) c))
       in
-      let untestable = Testability.untestable ?classes ?analysis c universe in
+      let exact =
+        match config.exact_budget with
+        | None -> None
+        | Some budget ->
+          Some
+            (Obs.Trace.with_span "lint.exact" (fun () ->
+                 Analysis.Exact.analyze ~budget c))
+      in
+      let untestable = Testability.untestable ?classes ?analysis ?exact c universe in
       (* SCOAP hard-to-detect warnings over collapsed representatives,
          skipping faults already proven untestable (those are not hard,
          they are impossible). *)
@@ -109,7 +119,23 @@ let run ?(config = default_config) (c : N.t) =
                       d.Analysis.Signal_prob.hi))
         end
       in
-      (untestable, hard @ resistant)
+      (* Exact-analysis coverage: wherever the BDD node budget held,
+         the untestable list above is complete.  A blown budget is
+         worth a warning — the user asked for exactness and did not
+         fully get it, and --fail-on warning should notice. *)
+      let budget_diags =
+        match exact with
+        | Some exact when not (Analysis.Exact.complete exact) ->
+          [ Diagnostic.make c ~rule:"bdd-budget" ~severity:Diagnostic.Warning
+              (Printf.sprintf
+                 "exact BDD analysis incomplete: %d of %d faults unclassified \
+                  (node budget %d)"
+                 (Analysis.Exact.unknown_count exact)
+                 (Analysis.Exact.universe_size exact)
+                 (Analysis.Exact.node_budget exact)) ]
+        | Some _ | None -> []
+      in
+      (untestable, hard @ resistant @ budget_diags)
   in
   let untestable_diags =
     Array.to_list untestable

@@ -20,6 +20,13 @@ type config = {
           learned-implication and blocked-dominator untestability
           proofs.  Default [None]: the quadratic-ish learning sweep is
           opt-in ([lsiq lint --learn-depth], or the analyze command). *)
+  exact_budget : int option;
+      (** When [Some budget], run the {!Analysis.Exact} ROBDD pass
+          under that node budget: complete redundancy identification
+          (reason [Redundant]) wherever the budget holds, plus a
+          [bdd-budget] warning when it does not.  Default [None] —
+          BDDs can be exponential, so exactness is opt-in
+          ([lsiq lint --exact]). *)
   resistant_threshold : float;
       (** Detection-probability bound below which
           {!Analysis.Detectability} flags a fault as

@@ -1,12 +1,13 @@
 module N = Circuit.Netlist
 module F = Faults.Fault
 
-type reason = Unexcitable | Unobservable | Equivalent
+type reason = Unexcitable | Unobservable | Equivalent | Redundant
 
 let reason_to_string = function
   | Unexcitable -> "unexcitable"
   | Unobservable -> "unobservable"
   | Equivalent -> "equivalent"
+  | Redundant -> "redundant"
 
 let not_const ternary id =
   match Ternary.const_value ternary id with Some _ -> false | None -> true
@@ -79,7 +80,7 @@ let prove_blocked_dominators (c : N.t) analysis site =
       blocked ~exclude_pin:pin gate
       || List.exists (fun d -> blocked d) (Analysis.Dominators.dominators dom gate))
 
-let analyze ?classes ?analysis (c : N.t) universe =
+let analyze ?classes ?analysis ?exact (c : N.t) universe =
   let t0 = Ternary.analyze c in
   let implication = Option.bind analysis Analysis.Engine.implication in
   (* Global filter: a stem is worth a per-fault proof only if no
@@ -138,6 +139,21 @@ let analyze ?classes ?analysis (c : N.t) universe =
       end
   in
   let verdicts = Array.map verdict universe in
+  (match exact with
+  | None -> ()
+  | Some exact ->
+    (* The ROBDD engine's verdicts are exact, not heuristic: wherever
+       the node budget held, Untestable means the Boolean difference
+       is the constant-zero function.  Runs after the structural
+       proofs so the cheaper reasons keep their names; the class
+       expansion below still widens these like any other proof. *)
+    Array.iteri
+      (fun i fault ->
+        if
+          verdicts.(i) = None
+          && Analysis.Exact.verdict exact fault = Analysis.Exact.Untestable
+        then verdicts.(i) <- Some Redundant)
+      universe);
   (match classes with
   | None -> ()
   | Some classes ->
@@ -160,8 +176,8 @@ let analyze ?classes ?analysis (c : N.t) universe =
       universe);
   verdicts
 
-let untestable ?classes ?analysis c universe =
-  let verdicts = analyze ?classes ?analysis c universe in
+let untestable ?classes ?analysis ?exact c universe =
+  let verdicts = analyze ?classes ?analysis ?exact c universe in
   let flagged = ref [] in
   Array.iteri
     (fun i fault ->
@@ -171,5 +187,5 @@ let untestable ?classes ?analysis c universe =
     universe;
   Array.of_list (List.rev !flagged)
 
-let untestable_faults ?classes ?analysis c universe =
-  Array.map fst (untestable ?classes ?analysis c universe)
+let untestable_faults ?classes ?analysis ?exact c universe =
+  Array.map fst (untestable ?classes ?analysis ?exact c universe)

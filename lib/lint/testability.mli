@@ -44,25 +44,32 @@
     cross-checks soundness by exhaustive simulation on small
     circuits. *)
 
-type reason = Unexcitable | Unobservable | Equivalent
+type reason = Unexcitable | Unobservable | Equivalent | Redundant
 
 val reason_to_string : reason -> string
-(** ["unexcitable"], ["unobservable"] or ["equivalent"]. *)
+(** ["unexcitable"], ["unobservable"], ["equivalent"] or
+    ["redundant"]. *)
 
 val analyze :
   ?classes:Faults.Collapse.t ->
   ?analysis:Analysis.Engine.t ->
+  ?exact:Analysis.Exact.t ->
   Circuit.Netlist.t -> Faults.Fault.t array -> reason option array
 (** Per-fault verdicts, indexed like the universe.  When [classes]
     (equivalence classes over the {e same} universe) is supplied, every
     class containing a proven-untestable fault has its remaining
     members flagged [Equivalent].  [analysis] (built over the {e same}
     netlist) enables the learned-implication and blocked-dominator
-    proofs described above. *)
+    proofs described above.  [exact] (an {!Analysis.Exact} bundle over
+    the same netlist) adds the [Redundant] verdict: the per-fault
+    Boolean-difference BDD is the constant-zero function, a complete
+    proof wherever the node budget held.  The structural proofs run
+    first so their more descriptive reasons win on overlap. *)
 
 val untestable :
   ?classes:Faults.Collapse.t ->
   ?analysis:Analysis.Engine.t ->
+  ?exact:Analysis.Exact.t ->
   Circuit.Netlist.t -> Faults.Fault.t array ->
   (Faults.Fault.t * reason) array
 (** The flagged subset of the universe, in universe order. *)
@@ -70,6 +77,7 @@ val untestable :
 val untestable_faults :
   ?classes:Faults.Collapse.t ->
   ?analysis:Analysis.Engine.t ->
+  ?exact:Analysis.Exact.t ->
   Circuit.Netlist.t -> Faults.Fault.t array -> Faults.Fault.t array
 (** {!untestable} without the reasons — the argument
     {!Faults.Universe.exclude_untestable} expects. *)

@@ -108,6 +108,24 @@ let metrics_of_doc doc =
       exact "testability/hybrid" hybrid "hybrid_patterns"
     | None -> ())
   | None -> ());
+  (match field "bdd" doc with
+  | Some bdd ->
+    List.iter
+      (fun row ->
+        match as_string (field "circuit" row) with
+        | Some circuit ->
+          let block = Printf.sprintf "bdd/%s" circuit in
+          exact block row "dfs_nodes";
+          exact block row "sifted_nodes";
+          exact block row "untestable";
+          exact block row "exact_width";
+          exact block row "interval_width"
+        | None -> ())
+      (as_list (field "circuits" bdd));
+    (match field "equiv" bdd with
+    | Some equiv -> exact "bdd/equiv" equiv "counterexample_inputs"
+    | None -> ())
+  | None -> ());
   List.rev !out
 
 let entry ~time_unix doc =

@@ -8,6 +8,7 @@ type config = {
   engine : engine;
   use_analysis : bool;
   learn_depth : int;
+  exact_budget : int option;
   hybrid : bool;
   resistant_threshold : float;
 }
@@ -15,7 +16,7 @@ type config = {
 let default_config =
   { random_budget = 512; random_target = 0.90; backtrack_limit = 2000; seed = 7;
     engine = Podem_engine; use_analysis = false; learn_depth = 1;
-    hybrid = false; resistant_threshold = 0.01 }
+    exact_budget = None; hybrid = false; resistant_threshold = 0.01 }
 
 type report = {
   patterns : bool array array;
@@ -29,17 +30,23 @@ type report = {
 
 let run ?(config = default_config) c faults =
   Obs.Trace.with_span "atpg.run" @@ fun () ->
+  let want_exact = config.exact_budget <> None && config.engine = Podem_engine in
   let analysis =
-    if (config.use_analysis && config.engine = Podem_engine) || config.hybrid
+    if
+      (config.use_analysis && config.engine = Podem_engine)
+      || config.hybrid || want_exact
     then
       Some
         (Analysis.Engine.build
            ~learn_depth:
              (if config.use_analysis then Some config.learn_depth else None)
+           ?exact_budget:(if want_exact then config.exact_budget else None)
            c)
     else None
   in
-  let podem_analysis = if config.use_analysis then analysis else None in
+  let podem_analysis =
+    if config.use_analysis || want_exact then analysis else None
+  in
   let detectability =
     match analysis with
     | Some a when config.hybrid -> Some (Analysis.Engine.detectability a)

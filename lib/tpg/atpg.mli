@@ -24,6 +24,13 @@ type config = {
           {!Implication_engine}.  Default off. *)
   learn_depth : int;
       (** Implication learning depth when [use_analysis] is set. *)
+  exact_budget : int option;
+      (** When [Some budget], build the {!Analysis.Exact} ROBDD bundle
+          and let PODEM settle fault verdicts before search: exact
+          Untestable proofs skip the search outright, exact Testable
+          skips the (then provably fruitless) static untestability
+          checks.  Only meaningful with {!Podem_engine}.  Default
+          [None]. *)
   hybrid : bool;
       (** Principled random/deterministic cutover: cap the random
           phase at {!Analysis.Detectability.cutover} — the statically

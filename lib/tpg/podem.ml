@@ -358,7 +358,15 @@ let generate ?(backtrack_limit = 1000) ?(guidance = Level_based) ?analysis
   let static_verdict =
     match analysis with
     | None -> None
-    | Some a ->
+    | Some a -> (
+      (* An exact ROBDD bundle settles the question outright: its
+         Untestable is a complete proof, and its Testable means the
+         other static untestability checks (all sound) can never fire,
+         so skip them.  Unknown falls through to the usual checks. *)
+      match Option.map (fun e -> Analysis.Exact.verdict e fault) (Analysis.Engine.exact a) with
+      | Some Analysis.Exact.Untestable -> Some Untestable
+      | Some (Analysis.Exact.Testable _) -> None
+      | Some Analysis.Exact.Unknown | None ->
       if
         not
           (Analysis.Dominators.observable
@@ -373,7 +381,7 @@ let generate ?(backtrack_limit = 1000) ?(guidance = Level_based) ?analysis
           if Analysis.Implication.infeasible imp line (stuck = Logic5.F) then
             Some Untestable
           else None
-      end
+      end)
   in
   let verdict =
     Obs.Trace.with_span "podem.generate" (fun () ->
