@@ -12,6 +12,9 @@ let conv =
     | c -> Ok c
     | exception Failure message -> Error (`Msg message)
     | exception Invalid_argument message -> Error (`Msg message)
+    | exception Sys_error message -> Error (`Msg message)
+    | exception Circuit.Netlist.Cycle name ->
+      Error (`Msg (Printf.sprintf "netlist has a combinational cycle through %s" name))
     | exception Circuit.Bench_format.Parse_error { line; message } ->
       Error (`Msg (Printf.sprintf "parse error at line %d: %s" line message))
   in

@@ -112,11 +112,88 @@ let exact_arg =
        & opt ~vopt:(Some Analysis.Exact.default_budget) (some int) None
        & info [ "exact" ] ~docv:"NODES" ~doc)
 
+(* --------------------------- robustness ---------------------------- *)
+
+let deadline_arg =
+  let doc =
+    "Cooperative wall-clock deadline for the run, in seconds.  When it \
+     expires the engines stop at their next safe point (a 64-pattern block, \
+     a PODEM backtrack, a die) and the command reports whatever partial \
+     result is well-defined; a command with nothing printable exits 130 \
+     after flushing its checkpoint."
+  in
+  Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SECS" ~doc)
+
+let checkpoint_arg =
+  let doc =
+    "Crash-safe checkpoint file (atomic tmp+rename JSONL).  The run \
+     snapshots its incremental state there; $(b,--resume) continues from \
+     the last complete snapshot with bit-identical final results."
+  in
+  Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE" ~doc)
+
+let checkpoint_every_arg =
+  let doc =
+    "Checkpoint cadence: snapshot after every $(docv) units of work \
+     (patterns for fsim, fault targets for atpg, dies for simulate-lot)."
+  in
+  Arg.(value & opt (positive_int ~what:"a checkpoint cadence") 1024
+       & info [ "checkpoint-every" ] ~docv:"N" ~doc)
+
+let resume_arg =
+  let doc = "Resume from the $(b,--checkpoint) file instead of starting over." in
+  Arg.(value & flag & info [ "resume" ] ~doc)
+
+(* Manual flag validation: combinations cmdliner cannot express are
+   usage errors — message on stderr, exit 2, before any work or obs
+   state exists. *)
+let usage_error fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "lsiq: %s\n" msg;
+      exit 2)
+    fmt
+
+(* Validate the shared robustness flags and build the run's cancel
+   token with SIGINT/SIGTERM pointed at it. *)
+let robust_setup ~deadline ~checkpoint ~resume =
+  (match deadline with
+  | Some d when d <= 0.0 -> usage_error "--deadline must be > 0 (got %g)" d
+  | _ -> ());
+  if resume && checkpoint = None then
+    usage_error "--resume requires --checkpoint FILE";
+  let cancel = Robust.Cancel.create ?deadline_s:deadline () in
+  Robust.Signals.install cancel;
+  cancel
+
+(* After a command printed its (possibly partial) result: a note about
+   why the run stopped early, and the 130 exit for signal deaths. *)
+let robust_finish ?(note = "") cancel =
+  match Robust.Cancel.reason cancel with
+  | None -> ()
+  | Some reason ->
+    Printf.eprintf "lsiq: stopped early (%s)%s\n"
+      (Robust.Cancel.reason_to_string reason)
+      note;
+    if Robust.Signals.interrupted cancel then
+      exit Robust.Signals.exit_interrupted
+
 (* Enable the obs subsystem around [f], then emit: the Chrome trace to
    the requested file (summary tree to stderr), metrics text to stderr,
    journal events to the --journal file, progress lines to stderr.
-   All obs output is status, never data — stdout stays pipe-clean. *)
-let with_obs ?seed ?circuit ~trace ~metrics ~journal ~progress f =
+   All obs output is status, never data — stdout stays pipe-clean.
+   [cancel] classifies the journal outcome: a run whose token fired
+   ends [Interrupted], not [Finished]/[Failed]. *)
+let with_obs ?seed ?circuit ?(cancel = Robust.Cancel.none) ~trace ~metrics
+    ~journal ~progress f =
+  let classify_ok () =
+    if Robust.Cancel.stop_requested cancel then Obs.Journal.Interrupted
+    else Obs.Journal.Finished
+  in
+  let classify_exn = function
+    | Experiments.Pipeline.Interrupted _ -> Obs.Journal.Interrupted
+    | e -> Obs.Journal.Failed (Printexc.to_string e)
+  in
   if trace = None && not metrics && journal = None && progress = None then f ()
   else begin
     if trace <> None then begin
@@ -174,9 +251,9 @@ let with_obs ?seed ?circuit ~trace ~metrics ~journal ~progress f =
     in
     (* Not Fun.protect: run_end must record how the run ended. *)
     match f () with
-    | v -> finish Obs.Journal.Finished; v
+    | v -> finish (classify_ok ()); v
     | exception e ->
-      finish (Obs.Journal.Failed (Printexc.to_string e));
+      finish (classify_exn e);
       raise e
   end
 
@@ -292,48 +369,74 @@ let simulate_lot_cmd =
                  --exclude-untestable).")
   in
   let action scale chips target_yield n0 clustered exclude_untestable
-      collapse_dominance n_detect seed domains trace metrics journal progress =
-    with_obs ~seed ~trace ~metrics ~journal ~progress @@ fun () ->
-    let config =
-      { Experiments.Pipeline.default_config with
-        Experiments.Pipeline.scale; lot_size = chips; target_yield;
-        target_n0 = n0; seed; exclude_untestable; collapse_dominance; n_detect;
-        line = (if clustered then Experiments.Pipeline.Clustered
-                else Experiments.Pipeline.Ideal);
-        fsim_engine =
-          (match domains with
-          | Some n -> Fsim.Coverage.Par { domains = n }
-          | None -> Experiments.Pipeline.default_config.fsim_engine) }
-    in
-    let run = Experiments.Pipeline.execute config in
-    print_string (Experiments.Pipeline.summary run);
-    print_newline ();
-    print_string (Experiments.Table1.render ~run ());
-    match Tester.Pattern_set.n_detect run.Experiments.Pipeline.program with
-    | None -> ()
-    | Some cs ->
-      (* The same lot read off the n-detect coverage axis: each row sits
-         at the first pattern count whose n-detect coverage reaches the
-         checkpoint. *)
-      Printf.printf "\nn-detect rows (coverage = %d-detect):\n"
-        cs.Fsim.Coverage.require;
-      List.iter
-        (fun row ->
-          Printf.printf
-            "  coverage %.3f  after %4d patterns  failed %3d (%.3f)\n"
-            row.Tester.Wafer_test.coverage
-            row.Tester.Wafer_test.patterns_applied
-            row.Tester.Wafer_test.cumulative_failed
-            row.Tester.Wafer_test.fraction_failed)
-        (Tester.Wafer_test.rows_at_n_detect_coverages
-           run.Experiments.Pipeline.outcome run.Experiments.Pipeline.program
-           ~coverages:[ 0.25; 0.5; 0.75; 0.9; 0.95 ])
+      collapse_dominance n_detect seed domains deadline checkpoint every resume
+      trace metrics journal progress =
+    let cancel = robust_setup ~deadline ~checkpoint ~resume in
+    (try
+       with_obs ~seed ~cancel ~trace ~metrics ~journal ~progress @@ fun () ->
+       let config =
+         { Experiments.Pipeline.default_config with
+           Experiments.Pipeline.scale; lot_size = chips; target_yield;
+           target_n0 = n0; seed; exclude_untestable; collapse_dominance;
+           n_detect;
+           line = (if clustered then Experiments.Pipeline.Clustered
+                   else Experiments.Pipeline.Ideal);
+           fsim_engine =
+             (match domains with
+             | Some n -> Fsim.Coverage.Par { domains = n }
+             | None -> Experiments.Pipeline.default_config.fsim_engine) }
+       in
+       let lot_checkpoint =
+         Option.map
+           (fun path -> { Experiments.Pipeline.path; every; resume })
+           checkpoint
+       in
+       let run = Experiments.Pipeline.execute ~cancel ?lot_checkpoint config in
+       print_string (Experiments.Pipeline.summary run);
+       print_newline ();
+       print_string (Experiments.Table1.render ~run ());
+       match Tester.Pattern_set.n_detect run.Experiments.Pipeline.program with
+       | None -> ()
+       | Some cs ->
+         (* The same lot read off the n-detect coverage axis: each row
+            sits at the first pattern count whose n-detect coverage
+            reaches the checkpoint. *)
+         Printf.printf "\nn-detect rows (coverage = %d-detect):\n"
+           cs.Fsim.Coverage.require;
+         List.iter
+           (fun row ->
+             Printf.printf
+               "  coverage %.3f  after %4d patterns  failed %3d (%.3f)\n"
+               row.Tester.Wafer_test.coverage
+               row.Tester.Wafer_test.patterns_applied
+               row.Tester.Wafer_test.cumulative_failed
+               row.Tester.Wafer_test.fraction_failed)
+           (Tester.Wafer_test.rows_at_n_detect_coverages
+              run.Experiments.Pipeline.outcome run.Experiments.Pipeline.program
+              ~coverages:[ 0.25; 0.5; 0.75; 0.9; 0.95 ])
+     with
+    | Experiments.Pipeline.Interrupted reason ->
+      (* A lot run with no complete outcome has nothing printable: note
+         where the durable progress lives and exit 130 whatever the
+         cancel source (signal or deadline). *)
+      Printf.eprintf "lsiq: interrupted (%s)%s\n"
+        (Robust.Cancel.reason_to_string reason)
+        (match checkpoint with
+        | Some path ->
+          Printf.sprintf "; progress durable in %s (--resume continues)" path
+        | None -> "");
+      exit Robust.Signals.exit_interrupted
+    | Robust.Checkpoint.Mismatch msg ->
+      Printf.eprintf "lsiq: %s\n" msg;
+      exit 2);
+    robust_finish cancel
   in
   let doc = "Simulate a chip lot end-to-end and print its Table-1 analogue." in
   Cmd.v (Cmd.info "simulate-lot" ~doc)
     Term.(const action $ scale $ chips $ target_yield $ n0_arg $ clustered
           $ exclude_untestable $ collapse_dominance $ n_detect_arg $ seed_arg
-          $ domains_arg $ trace_arg $ metrics_arg $ journal_arg $ progress_arg)
+          $ domains_arg $ deadline_arg $ checkpoint_arg $ checkpoint_every_arg
+          $ resume_arg $ trace_arg $ metrics_arg $ journal_arg $ progress_arg)
 
 (* ------------------------------ fsim ------------------------------- *)
 
@@ -343,12 +446,15 @@ let fsim_cmd =
            ~doc:"Number of random patterns to grade.")
   in
   let engine =
-    Arg.(value & opt (enum [ ("serial", Fsim.Coverage.Serial);
-                             ("ppsfp", Fsim.Coverage.Parallel);
-                             ("deductive", Fsim.Coverage.Deductive);
-                             ("concurrent", Fsim.Coverage.Concurrent) ])
-           Fsim.Coverage.Parallel
-         & info [ "engine" ] ~docv:"ENGINE" ~doc:"serial, ppsfp, deductive or concurrent.")
+    Arg.(value & opt (some (enum [ ("serial", Fsim.Coverage.Serial);
+                                   ("ppsfp", Fsim.Coverage.Parallel);
+                                   ("deductive", Fsim.Coverage.Deductive);
+                                   ("concurrent", Fsim.Coverage.Concurrent) ]))
+           None
+         & info [ "engine" ] ~docv:"ENGINE"
+             ~doc:"serial, ppsfp, deductive or concurrent (default ppsfp).  \
+                   Conflicts with $(b,--domains), which selects the \
+                   multicore par engine.")
   in
   let csv =
     Arg.(value & flag & info [ "csv" ]
@@ -361,29 +467,59 @@ let fsim_cmd =
                  equivalence representatives.")
   in
   let action circuit count engine seed domains collapse_dominance n_detect csv
-      trace metrics journal progress =
-    with_obs ~seed ~circuit:circuit.Circuit.Netlist.name ~trace ~metrics
-      ~journal ~progress
-    @@ fun () ->
+      deadline checkpoint every resume trace metrics journal progress =
     let engine =
-      match domains with
-      | Some n -> Fsim.Coverage.Par { domains = n }
-      | None -> engine
+      match (engine, domains) with
+      | Some _, Some _ ->
+        usage_error
+          "--engine conflicts with --domains (--domains selects the multicore \
+           par engine)"
+      | Some e, None -> e
+      | None, Some n -> Fsim.Coverage.Par { domains = n }
+      | None, None -> Fsim.Coverage.Parallel
     in
-    let rng = Stats.Rng.create ~seed () in
-    let universe = Faults.Universe.all circuit in
-    let classes = Faults.Collapse.equivalence circuit universe in
-    let reps =
-      if collapse_dominance then Faults.Collapse.dominance circuit classes
-      else Faults.Collapse.representatives classes
-    in
-    let patterns = Tpg.Random_tpg.uniform rng circuit ~count in
-    let profile = Fsim.Coverage.profile ~engine circuit reps patterns in
-    let ndetect_counts =
-      Option.map
-        (fun n -> Fsim.Coverage.detection_counts ~engine ~n circuit reps patterns)
-        n_detect
-    in
+    let cancel = robust_setup ~deadline ~checkpoint ~resume in
+    let note =
+      try
+        with_obs ~seed ~circuit:circuit.Circuit.Netlist.name ~cancel ~trace
+          ~metrics ~journal ~progress
+        @@ fun () ->
+        let rng = Stats.Rng.create ~seed () in
+        let universe = Faults.Universe.all circuit in
+        let classes = Faults.Collapse.equivalence circuit universe in
+        let reps =
+          if collapse_dominance then Faults.Collapse.dominance circuit classes
+          else Faults.Collapse.representatives classes
+        in
+        let patterns = Tpg.Random_tpg.uniform rng circuit ~count in
+        let profile, note =
+          match checkpoint with
+          | None ->
+            (Fsim.Coverage.profile ~engine ~cancel circuit reps patterns, "")
+          | Some path ->
+            (match
+               Fsim.Restart.run ~engine ~cancel ~every ~resume ~checkpoint:path
+                 ~seed circuit reps patterns
+             with
+            | Error msg -> raise (Robust.Checkpoint.Mismatch msg)
+            | Ok o ->
+              let note =
+                if o.Fsim.Restart.completed then ""
+                else
+                  Printf.sprintf
+                    "; %d/%d patterns graded, durable in %s (--resume \
+                     continues)"
+                    o.Fsim.Restart.patterns_done count path
+              in
+              (o.Fsim.Restart.profile, note))
+        in
+        let ndetect_counts =
+          Option.map
+            (fun n ->
+              Fsim.Coverage.detection_counts ~engine ~cancel ~n circuit reps
+                patterns)
+            n_detect
+        in
     (* Progress/status on stderr; only the results on stdout, so
        `--csv` output pipes clean. *)
     Format.eprintf "%a@." Circuit.Netlist.pp_summary circuit;
@@ -429,13 +565,20 @@ let fsim_cmd =
           if i mod step = 0 || i = Array.length curve - 1 then
             Printf.printf "  after %5d patterns: %.2f%%\n" k (100.0 *. f))
         curve
-    end
+    end;
+        note
+      with Robust.Checkpoint.Mismatch msg ->
+        Printf.eprintf "lsiq: %s\n" msg;
+        exit 2
+    in
+    robust_finish ~note cancel
   in
   let doc = "Fault-simulate random patterns and print the coverage curve." in
   Cmd.v (Cmd.info "fsim" ~doc)
     Term.(const action $ circuit_arg $ patterns $ engine $ seed_arg
-          $ domains_arg $ collapse_dominance $ n_detect_arg $ csv $ trace_arg
-          $ metrics_arg $ journal_arg $ progress_arg)
+          $ domains_arg $ collapse_dominance $ n_detect_arg $ csv
+          $ deadline_arg $ checkpoint_arg $ checkpoint_every_arg $ resume_arg
+          $ trace_arg $ metrics_arg $ journal_arg $ progress_arg)
 
 (* ------------------------------ atpg ------------------------------- *)
 
@@ -455,44 +598,92 @@ let atpg_cmd =
     Arg.(value & opt int 1 & info [ "learn-depth" ] ~docv:"N"
            ~doc:"Implication learning sweeps for $(b,--use-analysis).")
   in
-  let action circuit out seed use_analysis learn_depth exact trace metrics
-      journal progress =
-    with_obs ~seed ~circuit:circuit.Circuit.Netlist.name ~trace ~metrics
-      ~journal ~progress
-    @@ fun () ->
-    let universe = Faults.Universe.all circuit in
-    let classes = Faults.Collapse.equivalence circuit universe in
-    let reps = Faults.Collapse.representatives classes in
-    let config =
-      { Tpg.Atpg.default_config with
-        Tpg.Atpg.seed; use_analysis; learn_depth; exact_budget = exact }
+  let backtrack_limit =
+    Arg.(value
+         & opt (positive_int ~what:"a backtrack limit")
+             Tpg.Atpg.default_config.Tpg.Atpg.backtrack_limit
+         & info [ "backtrack-limit" ] ~docv:"N"
+             ~doc:"Per-fault PODEM backtrack budget; a fault whose search \
+                   exceeds it counts as aborted.")
+  in
+  let podem_budget =
+    Arg.(value & opt (some float) None & info [ "podem-budget" ] ~docv:"SECS"
+           ~doc:"Per-fault PODEM wall-clock budget; a fault whose search \
+                 exceeds it counts as aborted.  Makes verdicts \
+                 timing-dependent — prefer $(b,--backtrack-limit) for \
+                 reproducible runs.")
+  in
+  let action circuit out seed use_analysis learn_depth exact backtrack_limit
+      podem_budget deadline checkpoint every resume trace metrics journal
+      progress =
+    (match podem_budget with
+    | Some b when b <= 0.0 -> usage_error "--podem-budget must be > 0 (got %g)" b
+    | _ -> ());
+    let cancel = robust_setup ~deadline ~checkpoint ~resume in
+    let note =
+      try
+        with_obs ~seed ~circuit:circuit.Circuit.Netlist.name ~cancel ~trace
+          ~metrics ~journal ~progress
+        @@ fun () ->
+        let universe = Faults.Universe.all circuit in
+        let classes = Faults.Collapse.equivalence circuit universe in
+        let reps = Faults.Collapse.representatives classes in
+        let config =
+          { Tpg.Atpg.default_config with
+            Tpg.Atpg.seed; use_analysis; learn_depth; exact_budget = exact;
+            backtrack_limit; podem_time_budget_s = podem_budget }
+        in
+        let checkpointing =
+          Option.map (fun path -> { Tpg.Atpg.path; every; resume }) checkpoint
+        in
+        let report =
+          Tpg.Atpg.run ~config ~cancel ?checkpoint:checkpointing circuit reps
+        in
+        Format.eprintf "%a@." Circuit.Netlist.pp_summary circuit;
+        Printf.printf "faults: %d collapsed\n" (Array.length reps);
+        Printf.printf "patterns: %d (%d random + %d deterministic)\n"
+          (Array.length report.Tpg.Atpg.patterns)
+          report.Tpg.Atpg.random_patterns
+          report.Tpg.Atpg.deterministic_patterns;
+        Printf.printf "coverage: %.2f%%\n" (100.0 *. Tpg.Atpg.coverage report);
+        Printf.printf "untestable (proved redundant): %d\n"
+          report.Tpg.Atpg.untestable;
+        Printf.printf "aborted: %d\n" report.Tpg.Atpg.aborted;
+        if report.Tpg.Atpg.unknown > 0 then
+          Printf.printf "unknown (no verdict before cancellation): %d\n"
+            report.Tpg.Atpg.unknown;
+        (match out with
+        | None -> ()
+        | Some path ->
+          let oc = open_out path in
+          Array.iter
+            (fun pattern ->
+              Array.iter
+                (fun b -> output_char oc (if b then '1' else '0'))
+                pattern;
+              output_char oc '\n')
+            report.Tpg.Atpg.patterns;
+          close_out oc;
+          Printf.eprintf "patterns written to %s\n" path);
+        if report.Tpg.Atpg.unknown = 0 then ""
+        else
+          Printf.sprintf "; %d targets unresolved%s" report.Tpg.Atpg.unknown
+            (match checkpoint with
+            | Some path ->
+              Printf.sprintf ", durable in %s (--resume continues)" path
+            | None -> "")
+      with Robust.Checkpoint.Mismatch msg ->
+        Printf.eprintf "lsiq: %s\n" msg;
+        exit 2
     in
-    let report = Tpg.Atpg.run ~config circuit reps in
-    Format.eprintf "%a@." Circuit.Netlist.pp_summary circuit;
-    Printf.printf "faults: %d collapsed\n" (Array.length reps);
-    Printf.printf "patterns: %d (%d random + %d deterministic)\n"
-      (Array.length report.Tpg.Atpg.patterns) report.Tpg.Atpg.random_patterns
-      report.Tpg.Atpg.deterministic_patterns;
-    Printf.printf "coverage: %.2f%%\n" (100.0 *. Tpg.Atpg.coverage report);
-    Printf.printf "untestable (proved redundant): %d\n" report.Tpg.Atpg.untestable;
-    Printf.printf "aborted: %d\n" report.Tpg.Atpg.aborted;
-    match out with
-    | None -> ()
-    | Some path ->
-      let oc = open_out path in
-      Array.iter
-        (fun pattern ->
-          Array.iter (fun b -> output_char oc (if b then '1' else '0')) pattern;
-          output_char oc '\n')
-        report.Tpg.Atpg.patterns;
-      close_out oc;
-      Printf.eprintf "patterns written to %s\n" path
+    robust_finish ~note cancel
   in
   let doc = "Generate a test set (random + PODEM) for a circuit." in
   Cmd.v (Cmd.info "atpg" ~doc)
     Term.(const action $ circuit_arg $ out $ seed_arg $ use_analysis
-          $ learn_depth $ exact_arg $ trace_arg $ metrics_arg $ journal_arg
-          $ progress_arg)
+          $ learn_depth $ exact_arg $ backtrack_limit $ podem_budget
+          $ deadline_arg $ checkpoint_arg $ checkpoint_every_arg $ resume_arg
+          $ trace_arg $ metrics_arg $ journal_arg $ progress_arg)
 
 (* ------------------------------ convert ----------------------------- *)
 
@@ -1518,6 +1709,15 @@ let wafer_cmd =
 (* ------------------------------- main ------------------------------ *)
 
 let () =
+  (* Fault-injection drills: arm failpoints from LSIQ_FAILPOINTS before
+     any command runs, and point the journal file sink at its
+     failpoint.  A malformed spec is a usage error. *)
+  (match Robust.Inject.init_from_env () with
+  | Ok () -> ()
+  | Error msg ->
+    Printf.eprintf "lsiq: %s: %s\n" Robust.Inject.env_var msg;
+    exit 2);
+  Obs.Journal.set_sink_hook (fun () -> Robust.Inject.hit "journal.sink");
   let doc =
     "Reproduction of Agrawal, Seth & Agrawal, 'LSI Product Quality and Fault \
      Coverage' (DAC 1981)."

@@ -13,9 +13,41 @@ let strip_comment line =
   | Some i -> String.sub line 0 i
   | None -> line
 
+(* Anything bigger trips the cap before the builder allocates; real
+   netlists top out around a few hundred fanins even post-synthesis. *)
+let max_fanin = 4096
+
+let check_charset lineno text =
+  String.iter
+    (fun c ->
+      let code = Char.code c in
+      if code >= 0x7f || (code < 0x20 && c <> '\t') then
+        fail lineno "non-ASCII or control byte 0x%02x in %S" code
+          (String.sub text 0 (min 40 (String.length text))))
+    text
+
+let check_name lineno what s =
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9'
+      | '_' | '.' | '[' | ']' | '-' | '$' | '/' | ':' -> ()
+      | _ -> fail lineno "invalid character %C in %s %S" c what s)
+    s;
+  s
+
+(* The last ')' ends the statement; anything after it is garbage from a
+   glued-together or truncated-and-rejoined file. *)
+let check_trailing lineno text rparen =
+  let rest =
+    String.trim (String.sub text (rparen + 1) (String.length text - rparen - 1))
+  in
+  if rest <> "" then fail lineno "trailing %S after ')' in %S" rest text
+
 let tokenize_statement lineno text =
   (* Shapes: INPUT(x) / OUTPUT(x) / t = GATE(a, b, ...) *)
   let text = String.trim text in
+  check_charset lineno text;
   match String.index_opt text '=' with
   | None ->
     let lparen =
@@ -29,15 +61,18 @@ let tokenize_statement lineno text =
       | Some i -> i
       | None -> fail lineno "missing ')' in %S" text
     in
+    if rparen < lparen then fail lineno "')' before '(' in %S" text;
+    check_trailing lineno text rparen;
     let arg = String.trim (String.sub text (lparen + 1) (rparen - lparen - 1)) in
     if arg = "" then fail lineno "empty name in %S" text;
     (match keyword with
-    | "INPUT" -> Declare_input arg
-    | "OUTPUT" -> Declare_output arg
+    | "INPUT" -> Declare_input (check_name lineno "signal name" arg)
+    | "OUTPUT" -> Declare_output (check_name lineno "signal name" arg)
     | _ -> fail lineno "unknown declaration %S" keyword)
   | Some eq ->
     let target = String.trim (String.sub text 0 eq) in
     if target = "" then fail lineno "missing target before '='";
+    let target = check_name lineno "target name" target in
     let rhs = String.trim (String.sub text (eq + 1) (String.length text - eq - 1)) in
     let lparen =
       match String.index_opt rhs '(' with
@@ -50,12 +85,21 @@ let tokenize_statement lineno text =
       | Some i -> i
       | None -> fail lineno "missing ')' in %S" rhs
     in
+    if rparen < lparen then fail lineno "')' before '(' in %S" rhs;
+    check_trailing lineno rhs rparen;
     let args_text = String.sub rhs (lparen + 1) (rparen - lparen - 1) in
     let args =
-      String.split_on_char ',' args_text
-      |> List.map String.trim
-      |> List.filter (fun s -> s <> "")
+      if String.trim args_text = "" then []
+      else
+        String.split_on_char ',' args_text
+        |> List.map (fun raw ->
+               let a = String.trim raw in
+               if a = "" then fail lineno "empty argument in %S" rhs
+               else check_name lineno "signal name" a)
     in
+    if List.length args > max_fanin then
+      fail lineno "gate %s has %d inputs (limit %d)" target (List.length args)
+        max_fanin;
     Define { target; gate; args }
 
 let parse_statements source =
@@ -69,6 +113,7 @@ let parse_statements source =
 
 let parse_string ?(name = "bench") source =
   let statements = parse_statements source in
+  if statements = [] then fail 1 "no statements (empty or comment-only source)";
   let builder = Netlist.Builder.create ~name in
   let ids : (string, int) Hashtbl.t = Hashtbl.create 64 in
   let declared_outputs = ref [] in
@@ -92,11 +137,19 @@ let parse_string ?(name = "bench") source =
   (* Pass 2: logic gates, resolved iteratively because .bench files may
      define signals after their uses. *)
   let pending = ref [] in
+  let explicit_outputs : (string, unit) Hashtbl.t = Hashtbl.create 16 in
   List.iter
     (fun (lineno, st) ->
       match st with
       | Declare_input _ -> ()
-      | Declare_output signal -> declared_outputs := (lineno, signal) :: !declared_outputs
+      | Declare_output signal ->
+        (* Only explicit OUTPUT() lines are deduplicated here: a DFF data
+           pin may legitimately coincide with a declared output, and the
+           builder folds those together downstream. *)
+        if Hashtbl.mem explicit_outputs signal then
+          fail lineno "duplicate OUTPUT(%s)" signal;
+        Hashtbl.add explicit_outputs signal ();
+        declared_outputs := (lineno, signal) :: !declared_outputs
       | Define { gate = "DFF"; args; target } ->
         (* The D pin is an observable pseudo output. *)
         (match args with
@@ -108,6 +161,18 @@ let parse_string ?(name = "bench") source =
           | Some k -> k
           | None -> fail lineno "unknown gate type %S" gate
         in
+        let arity = List.length args in
+        if arity < Gate.min_arity kind then
+          fail lineno "%s(%s) needs at least %d input%s, got %d" gate target
+            (Gate.min_arity kind)
+            (if Gate.min_arity kind = 1 then "" else "s")
+            arity;
+        (match Gate.max_arity kind with
+        | Some m when arity > m ->
+          fail lineno "%s(%s) takes at most %d input%s, got %d" gate target m
+            (if m = 1 then "" else "s")
+            arity
+        | Some _ | None -> ());
         pending := (lineno, target, kind, args) :: !pending)
     statements;
   let pending = ref (List.rev !pending) in

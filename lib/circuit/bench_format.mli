@@ -10,7 +10,17 @@
     Flip-flops are handled by the full-scan transformation: a [DFF]
     output becomes a pseudo primary input and its data line a pseudo
     primary output, yielding the combinational core that test generation
-    and the paper's fault statistics operate on. *)
+    and the paper's fault statistics operate on.
+
+    Malformed input never escapes as a raw [Failure] or array error: a
+    truncated statement, trailing garbage after [')'], a non-ASCII or
+    control byte, an illegal signal-name character, a duplicate
+    [INPUT]/[OUTPUT]/definition, a gate arity outside the range of
+    {!Gate.min_arity}/{!Gate.max_arity}, a fanin wider than 4096, an
+    undefined signal, or an empty (statement-free) source all raise
+    {!Parse_error} with the offending 1-based line number; a
+    combinational cycle raises {!Netlist.Cycle} naming the loop.  CRLF
+    line endings and [#] comments are accepted anywhere. *)
 
 exception Parse_error of { line : int; message : string }
 

@@ -47,6 +47,10 @@ type run = {
   outcome : Tester.Wafer_test.result;
 }
 
+type lot_checkpoint = { path : string; every : int; resume : bool }
+
+exception Interrupted of Robust.Cancel.reason
+
 let calibrated_multiplicity config ~lambda =
   (* expected_n0 = mu * lambda / (1 - y)  =>  mu = n0 (1 - y) / lambda. *)
   max 1.0 (config.target_n0 *. (1.0 -. config.target_yield) /. lambda)
@@ -60,13 +64,25 @@ let stage index name f =
   Obs.Progress.stage ~label:"pipeline" ~stage:name ~index ~total:stage_total;
   Obs.Trace.with_span ("pipeline." ^ name) f
 
-let execute config =
+let execute ?(cancel = Robust.Cancel.none) ?lot_checkpoint config =
   (* Every stage boundary is a span plus a progress tick, so a trace of
      [execute] shows exactly where a simulate-lot run spends its time;
      the GC delta of the whole run accumulates in the [pipeline.*]
      counters. *)
   Obs.Metrics.with_gc_delta "pipeline" @@ fun () ->
   Obs.Trace.with_span "pipeline.execute" @@ fun () ->
+  (* A run that cannot finish has no [run] value to return: cancellation
+     is surfaced as the typed [Interrupted] exception, checked at every
+     stage boundary (the lot-test stage additionally stops between dies
+     and flushes its checkpoint first). *)
+  let guard () =
+    if Robust.Cancel.stop_requested cancel then
+      raise
+        (Interrupted
+           (Option.value ~default:Robust.Cancel.Requested
+              (Robust.Cancel.reason cancel)))
+  in
+  let stage index name f = guard (); stage index name f in
   let circuit =
     stage 1 "circuit" (fun () ->
         Circuit.Generators.lsi_chip ~seed:config.seed ~scale:config.scale ())
@@ -105,8 +121,11 @@ let execute config =
     stage 4 "atpg" (fun () ->
         Tpg.Atpg.run
           ~config:{ config.atpg with seed = config.seed + 1 }
-          circuit universe)
+          ~cancel circuit universe)
   in
+  (* A cancelled ATPG returns a partial report; the boundary guard in
+     the next [stage] call turns it into [Interrupted] rather than
+     grading a truncated program as if it were the real one. *)
   let program =
     stage 5 "program" @@ fun () ->
     match config.program_style with
@@ -159,8 +178,24 @@ let execute config =
   Obs.Trace.add_int "chips" (Fab.Lot.size lot);
   let outcome =
     stage 9 "test" (fun () ->
-        Tester.Wafer_test.test_lot ~mode:config.tester_mode circuit universe
-          program lot)
+        match lot_checkpoint with
+        | None ->
+          Tester.Wafer_test.test_lot ~mode:config.tester_mode circuit universe
+            program lot
+        | Some { path; every; resume } ->
+          (match
+             Tester.Wafer_test.test_lot_restart ~mode:config.tester_mode
+               ~cancel ~every ~resume ~checkpoint:path circuit universe
+               program lot
+           with
+          | Error msg -> raise (Robust.Checkpoint.Mismatch msg)
+          | Ok lot_run ->
+            if not lot_run.Tester.Wafer_test.completed then
+              raise
+                (Interrupted
+                   (Option.value ~default:Robust.Cancel.Requested
+                      (Robust.Cancel.reason cancel)));
+            Tester.Wafer_test.result_of_run program lot lot_run))
   in
   if Obs.Journal.enabled () then begin
     Obs.Journal.headline "circuit"

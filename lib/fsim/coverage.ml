@@ -6,14 +6,14 @@ type profile = {
   first_detection : int option array;
 }
 
-let profile ?(engine = Parallel) c faults patterns =
+let profile ?(engine = Parallel) ?cancel c faults patterns =
   let first_detection =
     match engine with
-    | Serial -> Serial.run c faults patterns
-    | Parallel -> Ppsfp.run c faults patterns
+    | Serial -> Serial.run ?cancel c faults patterns
+    | Parallel -> Ppsfp.run ?cancel c faults patterns
     | Deductive -> Deductive.run c faults patterns
     | Concurrent -> Concurrent.run c faults patterns
-    | Par { domains } -> Par.run ~domains c faults patterns
+    | Par { domains } -> Par.run ?cancel ~domains c faults patterns
   in
   { universe_size = Array.length faults;
     pattern_count = Array.length patterns;
@@ -25,16 +25,16 @@ type counts = {
   nth_profile : profile;
 }
 
-let detection_counts ?(engine = Parallel) ~n c faults patterns =
+let detection_counts ?(engine = Parallel) ?cancel ~n c faults patterns =
   let detections, nth_detection =
     match engine with
-    | Serial -> Serial.run_counts ~n c faults patterns
+    | Serial -> Serial.run_counts ?cancel ~n c faults patterns
     | Parallel | Deductive | Concurrent ->
       (* The deductive and concurrent engines have no drop-after-n
          kernel; all engines produce identical detection sets, so they
          fall back to the PPSFP kernel. *)
-      Ppsfp.run_counts ~n c faults patterns
-    | Par { domains } -> Par.run_counts ~domains ~n c faults patterns
+      Ppsfp.run_counts ?cancel ~n c faults patterns
+    | Par { domains } -> Par.run_counts ?cancel ~domains ~n c faults patterns
   in
   { require = n;
     detections;

@@ -24,10 +24,13 @@ type profile = {
 
 val profile :
   ?engine:engine ->
+  ?cancel:Robust.Cancel.t ->
   Circuit.Netlist.t -> Faults.Fault.t array -> bool array array -> profile
 (** Run fault simulation (default {!Parallel}; {!Serial} and
     {!Deductive} give identical results at different costs) and package
-    the result. *)
+    the result.  [cancel] reaches the block loops of {!Serial},
+    {!Parallel} and {!Par} (the deductive/concurrent reference engines
+    ignore it); a cancelled run returns the partial profile. *)
 
 type counts = {
   require : int;
@@ -48,6 +51,7 @@ type counts = {
 
 val detection_counts :
   ?engine:engine ->
+  ?cancel:Robust.Cancel.t ->
   n:int ->
   Circuit.Netlist.t -> Faults.Fault.t array -> bool array array -> counts
 (** Run n-detection fault simulation.  {!Serial}, {!Parallel} and

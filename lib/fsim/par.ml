@@ -35,13 +35,13 @@ let prepare c patterns =
    dropping, writing first detections into the shard's own slice of
    [results].  Mirrors Ppsfp.run_general's block loop exactly.
    Returns the number of detections this shard made. *)
-let run_shard c ~progress slices faults results lo hi =
+let run_shard c ~cancel ~progress slices faults results lo hi =
   let st = Ppsfp.make_state c in
   let alive = ref (List.init (hi - lo) (fun i -> lo + i)) in
   let detected = ref 0 in
   List.iter
     (fun { block_start; patterns; live; good } ->
-      if !alive <> [] then begin
+      if !alive <> [] && not (Robust.Cancel.stop_requested cancel) then begin
         if Instrument.observing () then
           Instrument.count_fault_evals ~engine:"par" (List.length !alive);
         let survivors = ref [] in
@@ -65,8 +65,23 @@ let run_shard c ~progress slices faults results lo hi =
    [grade ~progress slices lo hi] (returning the shard's detection
    count) on one domain per shard, and record per-shard wall/imbalance
    observability under [engine] ("par" or "ndetect.par").  [annotate]
-   adds engine-specific span attributes inside the top-level span. *)
-let drive ~engine ?(annotate = fun () -> ()) ?domains c faults patterns grade =
+   adds engine-specific span attributes inside the top-level span.
+
+   Shard supervision: each shard runs under per-domain exception
+   capture (a domain that dies would otherwise take the whole run down
+   at [Domain.join]).  A failed shard's result range is wiped via
+   [reset] and the shard re-run on a fresh domain up to
+   [max_shard_retries] times; if every retry fails it is recomputed
+   serially in the calling domain as a deterministic last resort.
+   Because per-fault results are independent and each shard owns a
+   disjoint range, recompute-after-reset merges bit-identically with
+   the untouched shards.  The ["fsim.par.shard"] failpoint sits in
+   front of every supervised attempt (never the serial fallback), so
+   recovery is testable end to end. *)
+let shard_failpoint = "fsim.par.shard"
+
+let drive ~engine ?(annotate = fun () -> ()) ?(max_shard_retries = 1) ?domains
+    c faults patterns ~reset grade =
   let n = Array.length faults in
   let requested =
     match domains with Some d -> d | None -> Domain.recommended_domain_count ()
@@ -108,13 +123,47 @@ let drive ~engine ?(annotate = fun () -> ()) ?domains c faults patterns grade =
             Obs.Trace.add_int "detected" detected
           end)
     in
+    let attempt_shard i lo hi () =
+      Robust.Inject.hit shard_failpoint;
+      graded_shard i lo hi ()
+    in
+    let failures = Array.make domains None in
+    let captured i lo hi () =
+      try attempt_shard i lo hi ()
+      with e -> failures.(i) <- Some e
+    in
     let workers =
       Array.init (domains - 1) (fun i ->
           let lo = bounds (i + 1) and hi = bounds (i + 2) in
-          Domain.spawn (graded_shard (i + 1) lo hi))
+          Domain.spawn (captured (i + 1) lo hi))
     in
-    graded_shard 0 0 (bounds 1) ();
+    captured 0 0 (bounds 1) ();
     Array.iter Domain.join workers;
+    let prefix = "fsim." ^ engine in
+    Array.iteri
+      (fun i failure ->
+        match failure with
+        | None -> ()
+        | Some _ ->
+          let lo = bounds i and hi = bounds (i + 1) in
+          let rec retry attempt =
+            if attempt > max_shard_retries then begin
+              (* Serial last resort in the calling domain, without the
+                 failpoint: deterministic by construction. *)
+              reset lo hi;
+              Obs.Metrics.incr (prefix ^ ".shard_fallbacks");
+              graded_shard i lo hi ()
+            end
+            else begin
+              reset lo hi;
+              Obs.Metrics.incr (prefix ^ ".shard_retries");
+              match Domain.join (Domain.spawn (attempt_shard i lo hi)) with
+              | () -> ()
+              | exception _ -> retry (attempt + 1)
+            end
+          in
+          retry 1)
+      failures;
     Obs.Progress.finish progress;
     if Obs.Metrics.enabled () then begin
       let prefix = "fsim." ^ engine in
@@ -132,10 +181,12 @@ let drive ~engine ?(annotate = fun () -> ()) ?domains c faults patterns grade =
     end
   end
 
-let run ?domains c faults patterns =
+let run ?(cancel = Robust.Cancel.none) ?domains c faults patterns =
   let results = Array.make (Array.length faults) None in
-  drive ~engine:"par" ?domains c faults patterns (fun ~progress slices lo hi ->
-      run_shard c ~progress slices faults results lo hi);
+  drive ~engine:"par" ?domains c faults patterns
+    ~reset:(fun lo hi -> Array.fill results lo (hi - lo) None)
+    (fun ~progress slices lo hi ->
+      run_shard c ~cancel ~progress slices faults results lo hi);
   results
 
 (* n-detection shard: the Ppsfp drop-after-n policy over [lo, hi),
@@ -143,13 +194,13 @@ let run ?domains c faults patterns =
    slices of [detections]/[nth].  Per-fault state never crosses shard
    boundaries, so the merge (array concatenation by construction) is
    deterministic for every domain count. *)
-let run_shard_counts ~n c ~progress slices faults detections nth lo hi =
+let run_shard_counts ~n c ~cancel ~progress slices faults detections nth lo hi =
   let st = Ppsfp.make_state c in
   let alive = ref (List.init (hi - lo) (fun i -> lo + i)) in
   let detected = ref 0 in
   List.iter
     (fun { block_start; patterns; live; good } ->
-      if !alive <> [] then begin
+      if !alive <> [] && not (Robust.Cancel.stop_requested cancel) then begin
         if Instrument.observing () then
           Instrument.count_fault_evals ~engine:"ndetect.par"
             (List.length !alive);
@@ -167,7 +218,7 @@ let run_shard_counts ~n c ~progress slices faults detections nth lo hi =
     slices;
   !detected
 
-let run_counts ?domains ~n c faults patterns =
+let run_counts ?(cancel = Robust.Cancel.none) ?domains ~n c faults patterns =
   if n < 1 then invalid_arg "Par.run_counts: n must be >= 1";
   let nf = Array.length faults in
   let detections = Array.make nf 0 in
@@ -175,6 +226,9 @@ let run_counts ?domains ~n c faults patterns =
   drive ~engine:"ndetect.par"
     ~annotate:(fun () -> Obs.Trace.add_int "n" n)
     ?domains c faults patterns
+    ~reset:(fun lo hi ->
+      Array.fill detections lo (hi - lo) 0;
+      Array.fill nth lo (hi - lo) None)
     (fun ~progress slices lo hi ->
-      run_shard_counts ~n c ~progress slices faults detections nth lo hi);
+      run_shard_counts ~n c ~cancel ~progress slices faults detections nth lo hi);
   (detections, nth)

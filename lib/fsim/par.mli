@@ -9,15 +9,26 @@
     for every domain count. *)
 
 val run :
+  ?cancel:Robust.Cancel.t ->
   ?domains:int ->
   Circuit.Netlist.t -> Faults.Fault.t array -> bool array array -> int option array
 (** Same contract as {!Ppsfp.run} / {!Serial.run}: per fault, first
     detecting pattern index.  [domains] defaults to
     [Domain.recommended_domain_count ()] and is clamped to the fault
     count; it must be >= 1.  [run ~domains:1] degenerates to the serial
-    engine without spawning. *)
+    engine without spawning.  [cancel] is polled per block in every
+    shard.
+
+    Shards run supervised: a shard whose domain dies (including at the
+    ["fsim.par.shard"] failpoint) has its result range wiped and is
+    retried on a fresh domain, then recomputed serially in the calling
+    domain as a deterministic fallback — the merged result stays
+    bit-identical.  Retries and fallbacks are counted in the
+    ["fsim.par.shard_retries"] / ["fsim.par.shard_fallbacks"]
+    metrics. *)
 
 val run_counts :
+  ?cancel:Robust.Cancel.t ->
   ?domains:int ->
   n:int ->
   Circuit.Netlist.t -> Faults.Fault.t array -> bool array array ->

@@ -189,7 +189,7 @@ let record_detections ~n ~block_start ~detections ~nth mask fi =
     end
   end
 
-let run_general c faults patterns ~on_block =
+let run_general ?(cancel = Robust.Cancel.none) c faults patterns ~on_block =
   Instrument.engine_run ~engine:"ppsfp" ~faults:(Array.length faults)
     ~patterns:(Array.length patterns)
   @@ fun () ->
@@ -204,7 +204,7 @@ let run_general c faults patterns ~on_block =
   let block_start = ref 0 in
   List.iter
     (fun block ->
-      if !alive <> [] then begin
+      if !alive <> [] && not (Robust.Cancel.stop_requested cancel) then begin
         if Instrument.observing () then
           Instrument.count_fault_evals ~engine:"ppsfp" (List.length !alive);
         let good = Logicsim.Packed.eval_block c block in
@@ -228,8 +228,9 @@ let run_general c faults patterns ~on_block =
   Obs.Progress.finish progress;
   results
 
-let run c faults patterns =
-  run_general c faults patterns ~on_block:(fun ~patterns_applied:_ ~detected:_ -> ())
+let run ?cancel c faults patterns =
+  run_general ?cancel c faults patterns
+    ~on_block:(fun ~patterns_applied:_ ~detected:_ -> ())
 
 let run_curve c faults patterns =
   let checkpoints = ref [] in
@@ -239,7 +240,7 @@ let run_curve c faults patterns =
   in
   (results, List.rev !checkpoints)
 
-let run_counts ~n c faults patterns =
+let run_counts ?(cancel = Robust.Cancel.none) ~n c faults patterns =
   if n < 1 then invalid_arg "Ppsfp.run_counts: n must be >= 1";
   Instrument.engine_run ~engine:"ndetect.ppsfp" ~faults:(Array.length faults)
     ~patterns:(Array.length patterns)
@@ -258,7 +259,7 @@ let run_counts ~n c faults patterns =
   let block_start = ref 0 in
   List.iter
     (fun block ->
-      if !alive <> [] then begin
+      if !alive <> [] && not (Robust.Cancel.stop_requested cancel) then begin
         if Instrument.observing () then
           Instrument.count_fault_evals ~engine:"ndetect.ppsfp"
             (List.length !alive);

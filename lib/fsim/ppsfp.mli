@@ -8,9 +8,11 @@
     fraction of the cost on large circuits. *)
 
 val run :
+  ?cancel:Robust.Cancel.t ->
   Circuit.Netlist.t -> Faults.Fault.t array -> bool array array -> int option array
 (** Same contract as {!Serial.run}: per fault, first detecting pattern
-    index, with fault dropping. *)
+    index, with fault dropping.  [cancel] is polled per 64-pattern
+    block; see {!Serial.run} for the partial-result contract. *)
 
 (** {2 Propagation core}
 
@@ -70,6 +72,7 @@ val run_curve :
     for. *)
 
 val run_counts :
+  ?cancel:Robust.Cancel.t ->
   n:int ->
   Circuit.Netlist.t -> Faults.Fault.t array -> bool array array ->
   int array * int option array

@@ -68,7 +68,7 @@ let lowest_set_bit w =
   let rec loop i = if Logicsim.Packed.bit w i then i else loop (i + 1) in
   loop 0
 
-let run c faults patterns =
+let run ?(cancel = Robust.Cancel.none) c faults patterns =
   Instrument.engine_run ~engine:"serial" ~faults:(Array.length faults)
     ~patterns:(Array.length patterns)
   @@ fun () ->
@@ -81,7 +81,7 @@ let run c faults patterns =
   let block_start = ref 0 in
   List.iter
     (fun block ->
-      if !alive <> [] then begin
+      if !alive <> [] && not (Robust.Cancel.stop_requested cancel) then begin
         if Instrument.observing () then
           Instrument.count_fault_evals ~engine:"serial" (List.length !alive);
         let good = Logicsim.Packed.eval_block c block in
@@ -101,7 +101,7 @@ let run c faults patterns =
   Obs.Progress.finish progress;
   results
 
-let run_counts ~n c faults patterns =
+let run_counts ?(cancel = Robust.Cancel.none) ~n c faults patterns =
   if n < 1 then invalid_arg "Serial.run_counts: n must be >= 1";
   Instrument.engine_run ~engine:"ndetect.serial" ~faults:(Array.length faults)
     ~patterns:(Array.length patterns)
@@ -119,7 +119,7 @@ let run_counts ~n c faults patterns =
   let block_start = ref 0 in
   List.iter
     (fun block ->
-      if !alive <> [] then begin
+      if !alive <> [] && not (Robust.Cancel.stop_requested cancel) then begin
         if Instrument.observing () then
           Instrument.count_fault_evals ~engine:"ndetect.serial"
             (List.length !alive);

@@ -21,12 +21,17 @@ val detect_word :
     [good_outputs]. *)
 
 val run :
+  ?cancel:Robust.Cancel.t ->
   Circuit.Netlist.t -> Faults.Fault.t array -> bool array array -> int option array
 (** [run c faults patterns] returns, for each fault, the index of the
     first pattern that detects it ([None] = undetected).  Detected
-    faults are dropped from later blocks. *)
+    faults are dropped from later blocks.  [cancel] is polled at every
+    64-pattern block boundary; after it fires the remaining blocks are
+    skipped, leaving a well-defined partial result (every recorded
+    detection is real; undetected may mean unsimulated). *)
 
 val run_counts :
+  ?cancel:Robust.Cancel.t ->
   n:int ->
   Circuit.Netlist.t -> Faults.Fault.t array -> bool array array ->
   int array * int option array

@@ -1,6 +1,6 @@
 type host = { hostname : string; cores : int; ocaml_version : string }
 
-type outcome = Finished | Failed of string
+type outcome = Finished | Failed of string | Interrupted
 
 type event =
   | Run_start of {
@@ -125,6 +125,7 @@ let event_to_json = function
         ("outcome",
          (match outcome with
          | Finished -> Report.Json.String "ok"
+         | Interrupted -> Report.Json.String "interrupted"
          | Failed msg ->
            Report.Json.Obj [ ("error", Report.Json.String msg) ]));
         ("results", Report.Json.Obj results) ]
@@ -203,6 +204,7 @@ let event_of_json json =
     let* outcome =
       match field "outcome" json with
       | Some (Report.Json.String "ok") -> Ok Finished
+      | Some (Report.Json.String "interrupted") -> Ok Interrupted
       | Some (Report.Json.Obj [ ("error", Report.Json.String msg) ]) ->
         Ok (Failed msg)
       | _ -> Error "bad outcome"
@@ -217,19 +219,32 @@ let event_of_json json =
 
 (* ---- emission ------------------------------------------------------ *)
 
+(* Pre-write hook on the file sink; the fault-injection harness points
+   it at a failpoint.  It may raise, so the write path must release the
+   mutex on the way out — the in-memory ring keeps the event either
+   way. *)
+let sink_hook = Atomic.make (fun () -> ())
+let set_sink_hook f = Atomic.set sink_hook f
+
 let emit event =
   if Atomic.get enabled_flag then begin
     Mutex.lock mutex;
-    st.ring.(st.ring_next) <- Some event;
-    st.ring_next <- (st.ring_next + 1) mod ring_cap;
-    if st.ring_count < ring_cap then st.ring_count <- st.ring_count + 1;
-    (match st.oc with
-    | Some oc ->
-      output_string oc (Report.Json.to_string (event_to_json event));
-      output_char oc '\n';
-      flush oc
-    | None -> ());
-    Mutex.unlock mutex
+    match
+      st.ring.(st.ring_next) <- Some event;
+      st.ring_next <- (st.ring_next + 1) mod ring_cap;
+      if st.ring_count < ring_cap then st.ring_count <- st.ring_count + 1;
+      match st.oc with
+      | Some oc ->
+        (Atomic.get sink_hook) ();
+        output_string oc (Report.Json.to_string (event_to_json event));
+        output_char oc '\n';
+        flush oc
+      | None -> ()
+    with
+    | () -> Mutex.unlock mutex
+    | exception e ->
+      Mutex.unlock mutex;
+      raise e
   end
 
 let tail () =
@@ -427,6 +442,7 @@ let render_summary events =
         Stdlib.incr n_end;
         (match outcome with
         | Finished -> addf "outcome: ok after %.3f s\n" t_s
+        | Interrupted -> addf "outcome: INTERRUPTED after %.3f s\n" t_s
         | Failed msg -> addf "outcome: FAILED after %.3f s: %s\n" t_s msg);
         if results <> [] then begin
           addf "headline:\n";

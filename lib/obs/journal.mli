@@ -16,7 +16,7 @@
 
 type host = { hostname : string; cores : int; ocaml_version : string }
 
-type outcome = Finished | Failed of string
+type outcome = Finished | Failed of string | Interrupted
 
 type event =
   | Run_start of {
@@ -60,6 +60,13 @@ val reset : unit -> unit
 
 val emit : event -> unit
 (** Append a pre-built event.  No-op when disabled. *)
+
+val set_sink_hook : (unit -> unit) -> unit
+(** Install a hook run immediately before each file-sink write.  The
+    CLI points it at the ["journal.sink"] failpoint so the
+    fault-injection harness can fail journal IO; an exception from the
+    hook propagates out of the emitting call, but the event is already
+    in the in-memory ring ({!tail} still sees it). *)
 
 val run_start :
   argv:string array -> ?seed:int -> ?circuit:string -> unit -> unit

@@ -1,0 +1,25 @@
+let exit_interrupted = 130
+
+let install token =
+  (* Cooperative shutdown: the handler only flips the token; the run
+     winds down at its next cancellation point, flushes its checkpoint
+     and journal, and the CLI exits 130.  A second signal while already
+     cancelled restores default behaviour so a stuck run can still be
+     killed. *)
+  let handle s =
+    if Cancel.stop_requested token then begin
+      Sys.set_signal s Sys.Signal_default;
+      (* Re-raise at default disposition: terminate now. *)
+      Unix.kill (Unix.getpid ()) s
+    end
+    else Cancel.cancel ~reason:(Cancel.Signal s) token
+  in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle handle);
+  (* SIGTERM does not exist on Windows; ignore the failure. *)
+  (try Sys.set_signal Sys.sigterm (Sys.Signal_handle handle)
+   with Invalid_argument _ | Sys_error _ -> ())
+
+let interrupted token =
+  match Cancel.reason token with
+  | Some (Cancel.Signal _) -> true
+  | Some (Cancel.Deadline | Cancel.Requested) | None -> false

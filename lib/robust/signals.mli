@@ -1,0 +1,16 @@
+(** Cooperative SIGINT/SIGTERM handling.
+
+    {!install} points both signals at a handler that cancels the run's
+    token with [Cancel.Signal]; the run winds down at its next
+    cancellation point with checkpoints and journal intact, and the CLI
+    exits {!exit_interrupted}.  A second signal after the first kills
+    the process at default disposition, so a wedged run stays
+    killable. *)
+
+val install : Cancel.t -> unit
+
+val interrupted : Cancel.t -> bool
+(** Whether the token was cancelled by a signal. *)
+
+val exit_interrupted : int
+(** 130, the conventional exit status of a SIGINT death. *)

@@ -45,6 +45,11 @@ type config = {
   resistant_threshold : float;
       (** Detection-probability bound below which a fault counts as
           random-pattern-resistant in hybrid mode (default 0.01). *)
+  podem_time_budget_s : float option;
+      (** Per-fault wall-clock budget for each {!Podem.generate} call;
+          a fault whose search exceeds it counts as [aborted].  Makes
+          verdicts timing-dependent — leave [None] (the default) for
+          reproducible runs.  Ignored by {!Implication_engine}. *)
 }
 
 val default_config : config
@@ -55,14 +60,40 @@ type report = {
   random_patterns : int;              (** Patterns from the random phase. *)
   deterministic_patterns : int;       (** Patterns from PODEM. *)
   untestable : int;                   (** Proved redundant. *)
-  aborted : int;                      (** PODEM gave up. *)
+  aborted : int;                      (** PODEM gave up within budget. *)
+  unknown : int;
+      (** Targets never reached (or interrupted mid-search) because the
+          cancel token fired: no verdict at all, retried on resume.
+          Always 0 on an uncancelled run. *)
   predicted_cutover : int option;
       (** Static random-phase cap used by hybrid mode; [None] when
           [hybrid] was off. *)
 }
 
+type checkpointing = {
+  path : string;   (** Checkpoint file ({!Robust.Checkpoint} format). *)
+  every : int;     (** Save after this many targets processed (>= 1). *)
+  resume : bool;   (** Restore [path] before the deterministic phase. *)
+}
+
 val run :
-  ?config:config -> Circuit.Netlist.t -> Faults.Fault.t array -> report
+  ?config:config ->
+  ?cancel:Robust.Cancel.t ->
+  ?checkpoint:checkpointing ->
+  Circuit.Netlist.t -> Faults.Fault.t array -> report
+(** [cancel] is polled before each deterministic target and inside each
+    PODEM search (see {!Podem.generate}); a cancelled run returns a
+    well-defined partial report whose unresolved targets are counted in
+    [unknown].  The random phase always runs to completion — it is a
+    pure function of the config, which is what lets a resume re-derive
+    it instead of storing patterns in the checkpoint.  With
+    [checkpoint], the incremental deterministic state is snapshotted
+    crash-safely every [every] targets and once more at exit; a resumed
+    run continues from the last snapshot and produces a report
+    bit-identical to an uninterrupted one (given no time budget).
+    Raises {!Robust.Checkpoint.Mismatch} when [resume] is set and the
+    file is unreadable or was written by a run with different inputs;
+    raises [Invalid_argument] when [every < 1]. *)
 
 val coverage : report -> float
 (** Final fault coverage of the generated set. *)

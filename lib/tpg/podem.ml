@@ -22,8 +22,28 @@ let fault_line_driver (c : Circuit.Netlist.t) fault =
   | Faults.Fault.Stem v -> v
   | Faults.Fault.Branch { gate; pin } -> c.fanins.(gate).(pin)
 
-let generate ?(backtrack_limit = 1000) ?(guidance = Level_based) ?analysis
+let generate ?(backtrack_limit = 1000) ?time_budget_s
+    ?(cancel = Robust.Cancel.none) ?(guidance = Level_based) ?analysis
     (c : Circuit.Netlist.t) fault =
+  (match time_budget_s with
+  | Some b when b <= 0.0 ->
+    invalid_arg "Podem.generate: time budget must be > 0"
+  | Some _ | None -> ());
+  (* Per-fault wall-clock budget, on the same monotonic clock as the
+     run deadline; checked with the cancel token at every decision and
+     backtrack, both of which map to [Aborted] — a typed verdict, never
+     an escaping exception. *)
+  let deadline =
+    match time_budget_s with
+    | Some b -> Some (Obs.Clock.now_s () +. b)
+    | None -> None
+  in
+  let out_of_time () =
+    match deadline with
+    | Some d -> Obs.Clock.now_s () >= d
+    | None -> false
+  in
+  let should_stop () = Robust.Cancel.stop_requested cancel || out_of_time () in
   (* Cost of choosing [src] as the line to drive toward [value]; the
      search is correct for any cost, guidance only shapes its order. *)
   let choice_cost src value =
@@ -298,6 +318,7 @@ let generate ?(backtrack_limit = 1000) ?(guidance = Level_based) ?analysis
   let stack = ref [] in
 
   let rec attempt () =
+    if should_stop () then raise Abort_search;
     imply ();
     if po_has_effect () then finish ()
     else begin
@@ -337,7 +358,8 @@ let generate ?(backtrack_limit = 1000) ?(guidance = Level_based) ?analysis
       end
       else begin
         incr backtracks;
-        if !backtracks > backtrack_limit then raise Abort_search;
+        if !backtracks > backtrack_limit || should_stop () then
+          raise Abort_search;
         top.flipped <- true;
         top.value <- Logic5.not3 top.value;
         pi.(top.input_index) <- top.value;

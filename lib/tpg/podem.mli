@@ -12,7 +12,8 @@ type result =
   | Untestable
       (** The search space is exhausted: the fault is redundant. *)
   | Aborted
-      (** Backtrack limit hit before a verdict. *)
+      (** Backtrack limit, per-fault time budget, or the run's cancel
+          token fired before a verdict. *)
 
 type stats = { backtracks : int; implications : int }
 
@@ -25,11 +26,19 @@ type guidance =
 
 val generate :
   ?backtrack_limit:int ->
+  ?time_budget_s:float ->
+  ?cancel:Robust.Cancel.t ->
   ?guidance:guidance ->
   ?analysis:Analysis.Engine.t ->
   Circuit.Netlist.t -> Faults.Fault.t -> result * stats
 (** [generate c fault] searches for a test.  Default backtrack limit is
-    1000, default guidance {!Level_based}.  The returned pattern is
+    1000, default guidance {!Level_based}.  [time_budget_s] bounds this
+    fault's wall-clock search time and [cancel] aborts cooperatively
+    (both checked at every decision and backtrack); either yields the
+    typed [Aborted] verdict, never an exception.  A time budget makes
+    verdicts timing-dependent — runs that must be reproducible should
+    bound the search with [backtrack_limit] alone.  Raises
+    [Invalid_argument] when [time_budget_s <= 0].  The returned pattern is
     guaranteed (and test-suite verified) to detect the fault under the
     fault simulator; the verdicts (test found / untestable) do not
     depend on the guidance, only the search effort does.
